@@ -1,0 +1,58 @@
+"""Ablation: stream descriptor registers (Section 5.3).
+
+The paper argues SDRs exist to compress host instruction bandwidth:
+DEPTH reuses each SDR 717x, and "if only the minimum amount of SDR
+reuse was achieved ... the total number of stream instructions would
+increase by 1.9x", pushing DEPTH past the host interface.  We rebuild
+DEPTH with shrinking SDR files and measure instruction count,
+descriptor reuse, and execution time.
+"""
+
+from dataclasses import replace
+
+from benchlib import HARDWARE, save_report
+
+from repro.analysis.report import render_table
+from repro.apps import depth
+from repro.core import ImagineProcessor, MachineConfig
+
+SDR_SIZES = (32, 8, 2, 1)
+
+
+def run_with_sdrs(num_sdrs: int):
+    machine = replace(MachineConfig(), num_sdrs=num_sdrs)
+    bundle = depth.build(machine=machine)
+    processor = ImagineProcessor(machine=machine, board=HARDWARE,
+                                 kernels=bundle.kernels)
+    return bundle, processor.run(bundle.image)
+
+
+def regenerate() -> str:
+    rows = []
+    baseline_instructions = baseline_cycles = None
+    for num_sdrs in SDR_SIZES:
+        bundle, result = run_with_sdrs(num_sdrs)
+        total = len(bundle.image.instructions)
+        if baseline_instructions is None:
+            baseline_instructions = total
+            baseline_cycles = result.cycles
+        rows.append([
+            f"{num_sdrs} SDRs",
+            total,
+            f"{total / baseline_instructions:.2f}x",
+            f"{bundle.image.sdr_reuse:.1f}x",
+            f"{result.metrics.host_mips:.2f} MIPS",
+            f"{result.cycles / baseline_cycles:.2f}x",
+        ])
+    return render_table(
+        "Ablation: SDR file size on DEPTH; paper: minimum reuse "
+        "would grow the instruction stream 1.9x and exceed host BW",
+        ["SDR file", "instructions", "instr vs 32", "SDR reuse",
+         "host BW used", "exec slowdown"],
+        rows)
+
+
+def test_ablation_descriptors(benchmark):
+    text = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    save_report("ablation_descriptors", text)
+    assert "SDR file" in text

@@ -1,0 +1,56 @@
+"""Ablation: voltage/frequency scaling (Section 4.1's DVFS aside).
+
+Paper: "voltage and frequency scaling allow the same Imagine chip to
+execute the MPEG and QRD applications at about half the performance
+but only one-fourth the power (< 2 W)."  We rerun both applications
+at 100 MHz / 1.32 V and compare against the 200 MHz / 1.8 V nominal
+point.
+"""
+
+from benchlib import get_bundle, save_report
+
+from repro.analysis.report import render_table
+from repro.core import BoardConfig, EnergyModel, ImagineProcessor, MachineConfig
+from repro.core.power import EnergyConstants
+
+OPERATING_POINTS = (
+    ("nominal", 200e6, 1.8),
+    ("half-speed", 100e6, 1.32),
+)
+
+
+def run_at(name: str, clock_hz: float, volts: float):
+    machine = MachineConfig().at_frequency(clock_hz)
+    constants = EnergyConstants().at_voltage(
+        volts, clock_ratio=clock_hz / 200e6)
+    bundle = get_bundle(name)
+    processor = ImagineProcessor(
+        machine=machine, board=BoardConfig.hardware(),
+        kernels=bundle.kernels,
+        energy=EnergyModel(machine, constants))
+    return processor.run(bundle.image)
+
+
+def regenerate() -> str:
+    rows = []
+    for app in ("MPEG", "QRD"):
+        nominal = run_at(app, *OPERATING_POINTS[0][1:])
+        scaled = run_at(app, *OPERATING_POINTS[1][1:])
+        rows.append([
+            app,
+            f"{nominal.metrics.gops:.2f} GOPS @ {nominal.power.watts:.2f} W",
+            f"{scaled.metrics.gops:.2f} GOPS @ {scaled.power.watts:.2f} W",
+            f"{scaled.metrics.gops / nominal.metrics.gops:.2f}",
+            f"{scaled.power.watts / nominal.power.watts:.2f}",
+        ])
+    return render_table(
+        "Ablation: DVFS (200 MHz/1.8 V vs 100 MHz/1.32 V); paper: "
+        "~0.5x performance at ~0.25x power (< 2 W)",
+        ["App", "nominal", "scaled", "perf ratio", "power ratio"],
+        rows)
+
+
+def test_ablation_dvfs(benchmark):
+    text = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    save_report("ablation_dvfs", text)
+    assert "power ratio" in text

@@ -1,0 +1,55 @@
+"""Ablation: scoreboard depth.
+
+The 32-slot scoreboard is the run-ahead window that lets the host
+"buffer up instructions for future use" (Section 5.4) and lets memory
+operations execute under kernels.  Shrinking it should surface memory
+and host stalls; growing it past the point where the host interface
+is the limiter should change nothing.
+"""
+
+from dataclasses import replace
+
+from benchlib import HARDWARE, save_report
+
+from repro.analysis.report import render_table
+from repro.apps import mpeg
+from repro.core import ImagineProcessor, MachineConfig
+from repro.core.metrics import CycleCategory
+
+SLOTS = (64, 32, 8, 2)
+
+
+def run_with_slots(slots: int):
+    machine = replace(MachineConfig(), scoreboard_slots=slots)
+    bundle = mpeg.build(machine=machine)
+    processor = ImagineProcessor(machine=machine, board=HARDWARE,
+                                 kernels=bundle.kernels)
+    return processor.run(bundle.image)
+
+
+def regenerate() -> str:
+    rows = []
+    baseline = None
+    for slots in SLOTS:
+        result = run_with_slots(slots)
+        if baseline is None:
+            baseline = result.cycles
+        fractions = result.metrics.cycle_fractions()
+        rows.append([
+            f"{slots} slots",
+            f"{result.cycles / 1e3:.0f} k",
+            f"{result.cycles / baseline:.2f}x",
+            f"{fractions[CycleCategory.MEMORY_STALL] * 100:.1f}%",
+            f"{fractions[CycleCategory.HOST_BANDWIDTH_STALL] * 100:.1f}%",
+        ])
+    return render_table(
+        "Ablation: scoreboard depth on MPEG (run-ahead window)",
+        ["scoreboard", "cycles", "vs 64", "memory stalls",
+         "host stalls"],
+        rows)
+
+
+def test_ablation_scoreboard(benchmark):
+    text = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    save_report("ablation_scoreboard", text)
+    assert "scoreboard" in text

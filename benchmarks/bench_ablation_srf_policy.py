@@ -1,0 +1,68 @@
+"""Ablation: SRF buffer-rotation policy (double buffering).
+
+The stream compiler rotates freed SRF regions several pipeline stages
+deep before reuse, so the write-after-read dependency on a reused
+region points far enough back for loads to run under kernel
+execution.  Rotation depth 1 (reuse a buffer the moment it frees) is
+the no-double-buffering strawman; the paper's stream scheduler
+("allocating and managing the SRF", Section 2.3) exists to avoid it.
+"""
+
+from benchlib import HARDWARE, save_report
+
+from repro.analysis.report import render_table
+from repro.apps import mpeg
+from repro.core import ImagineProcessor
+from repro.core.metrics import CycleCategory
+
+import repro.streamc.program as streamc_program
+
+DEPTHS = (1, 2, 4, 8)
+
+
+def run_with_rotation(depth: int):
+    build = mpeg.build
+
+    # The app builders construct their own StreamProgram; parametrize
+    # the rotation policy through a thin wrapper class.
+    class RotatedProgram(streamc_program.StreamProgram):
+        def __init__(self, name, machine=None, **kw):
+            kw["srf_rotation_depth"] = depth
+            super().__init__(name, machine, **kw)
+
+    original = streamc_program.StreamProgram
+    mpeg.StreamProgram = RotatedProgram
+    try:
+        bundle = build()
+    finally:
+        mpeg.StreamProgram = original
+    processor = ImagineProcessor(board=HARDWARE,
+                                 kernels=bundle.kernels)
+    return processor.run(bundle.image)
+
+
+def regenerate() -> str:
+    rows = []
+    baseline = None
+    for depth in DEPTHS:
+        result = run_with_rotation(depth)
+        if baseline is None:
+            baseline = result.cycles
+        fractions = result.metrics.cycle_fractions()
+        rows.append([
+            f"depth {depth}",
+            f"{result.cycles / 1e3:.0f} k",
+            f"{result.cycles / baseline:.2f}x",
+            f"{fractions[CycleCategory.MEMORY_STALL] * 100:.1f}%",
+        ])
+    return render_table(
+        "Ablation: SRF buffer rotation depth on MPEG "
+        "(1 = no double buffering)",
+        ["rotation", "cycles", "vs depth 1", "memory stalls"],
+        rows)
+
+
+def test_ablation_srf_policy(benchmark):
+    text = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    save_report("ablation_srf_policy", text)
+    assert "rotation" in text

@@ -1,0 +1,32 @@
+"""Figure 11: execution-time breakdown of applications.
+
+Paper shape: kernel run time (first four categories) covers ~90% of
+execution for DEPTH, MPEG and QRD; RTSL loses over 30% to non-kernel
+overheads, chiefly memory stalls and host-dependency stalls.
+"""
+
+from benchlib import APP_NAMES, get_result, save_report
+
+from repro.analysis.breakdown import application_breakdown
+from repro.analysis.report import render_breakdown
+
+
+def regenerate() -> str:
+    breakdowns = {}
+    average = {}
+    for name in APP_NAMES:
+        breakdown = application_breakdown(get_result(name, "isim"))
+        breakdowns[name] = breakdown
+        for key, value in breakdown.items():
+            average[key] = average.get(key, 0.0) + value / len(
+                APP_NAMES)
+    breakdowns["Average"] = average
+    return render_breakdown(
+        "Figure 11: Execution time breakdown of applications (ISIM)",
+        breakdowns)
+
+
+def test_fig11(benchmark):
+    text = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    save_report("fig11_app_breakdown", text)
+    assert "RTSL" in text

@@ -1,0 +1,39 @@
+"""Figure 12: average sustained performance of Imagine components on
+applications, as a percentage of each component's peak.
+
+Paper shape: different applications stress different components --
+QRD leads in arithmetic utilization, DEPTH in host-interface
+bandwidth, all applications sit far below peak memory bandwidth while
+LRF utilization tracks arithmetic.
+"""
+
+from benchlib import APP_NAMES, HARDWARE, MACHINE, get_result, save_report
+
+from repro.analysis.report import render_table
+
+
+def regenerate() -> str:
+    rows = []
+    for name in APP_NAMES:
+        metrics = get_result(name).metrics
+        peak_alu = (MACHINE.peak_gflops if name == "QRD"
+                    else MACHINE.peak_gops)
+        alu = (metrics.gflops if name == "QRD" else metrics.gops)
+        rows.append([
+            name,
+            f"{alu / peak_alu * 100:.1f}%",
+            f"{metrics.host_mips / HARDWARE.host_peak_mips * 100:.2f}%",
+            f"{metrics.mem_gbytes / MACHINE.mem_peak_gbytes * 100:.1f}%",
+            f"{metrics.srf_gbytes / MACHINE.srf_peak_gbytes * 100:.1f}%",
+            f"{metrics.lrf_gbytes / MACHINE.lrf_peak_gbytes * 100:.1f}%",
+        ])
+    return render_table(
+        "Figure 12: Sustained component utilization (% of peak)",
+        ["App", "ALU", "HI BW", "MEM BW", "SRF BW", "LRF BW"],
+        rows)
+
+
+def test_fig12(benchmark):
+    text = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    save_report("fig12_component_utilization", text)
+    assert "MEM BW" in text

@@ -1,0 +1,37 @@
+"""Figure 13: the bandwidth hierarchy on applications.
+
+Paper shape: sustained LRF bandwidth sits an order of magnitude above
+SRF bandwidth, which sits an order of magnitude above DRAM bandwidth;
+the LRF:DRAM ratio exceeds 350:1 across the four applications --
+the register hierarchy captures the locality, which is why a stream
+processor is not memory-bound (Section 5.2).
+"""
+
+from benchlib import APP_NAMES, MACHINE, get_result, save_report
+
+from repro.analysis.report import render_table
+
+
+def regenerate() -> str:
+    rows = [["Peak", MACHINE.lrf_peak_gbytes, MACHINE.srf_peak_gbytes,
+             MACHINE.mem_peak_gbytes, "-"]]
+    ratios = []
+    for name in APP_NAMES:
+        metrics = get_result(name).metrics
+        dram = max(metrics.mem_gbytes, 1e-9)
+        ratio = metrics.lrf_gbytes / dram
+        ratios.append(ratio)
+        rows.append([name, metrics.lrf_gbytes, metrics.srf_gbytes,
+                     metrics.mem_gbytes, f"{ratio:.0f}:1"])
+    rows.append(["Average", "-", "-", "-",
+                 f"{sum(ratios) / len(ratios):.0f}:1"])
+    return render_table(
+        "Figure 13: Bandwidth hierarchy (GB/s)",
+        ["App", "LRF", "SRF", "DRAM", "LRF:DRAM"],
+        rows)
+
+
+def test_fig13(benchmark):
+    text = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    save_report("fig13_bandwidth_hierarchy", text)
+    assert "LRF:DRAM" in text

@@ -1,0 +1,34 @@
+"""Figure 6: breakdown of kernel run time.
+
+Paper shape: operations + main-loop overhead dominate everywhere;
+RLE and GROMACS have the worst main-loop occupancy (scratchpad- and
+DSQ-bound); short-stream kernels (conv7x7/blocksad at DEPTH row
+lengths) show visible non-main-loop shares; cluster stalls stay under
+~5% except at kernel startup.
+"""
+
+from benchlib import save_report
+
+from repro.analysis import kernel_breakdown
+from repro.analysis.report import render_breakdown
+from repro.kernels import KERNEL_LIBRARY
+from repro.kernels.library import TABLE2_KERNELS
+
+
+def regenerate() -> str:
+    breakdowns = {name: kernel_breakdown(KERNEL_LIBRARY[name])
+                  for name in TABLE2_KERNELS}
+    average = {}
+    for fractions in breakdowns.values():
+        for key, value in fractions.items():
+            average[key] = average.get(key, 0.0) + value / len(
+                breakdowns)
+    breakdowns["Average"] = average
+    return render_breakdown(
+        "Figure 6: Breakdown of kernel performance", breakdowns)
+
+
+def test_fig6(benchmark):
+    text = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    save_report("fig6_kernel_breakdown", text)
+    assert "Average" in text

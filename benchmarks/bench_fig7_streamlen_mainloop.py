@@ -1,0 +1,35 @@
+"""Figure 7: kernel performance vs. stream length, prologue fixed at
+64 cycles, main-loop length varied 8..256 cycles.
+
+Paper shape: every curve rises toward the 4.8 GOPS ideal as streams
+lengthen; shorter main loops are hurt more by short streams (larger
+non-main-loop share); below ~64 elements all curves collapse onto the
+host-interface limit.
+"""
+
+from benchlib import save_report
+
+from repro.analysis.report import render_table
+from repro.workloads.streamlen import ideal_kernel_gops, kernel_length_sweep
+
+MAIN_LOOPS = (8, 16, 32, 64, 128, 256)
+LENGTHS = (8, 32, 128, 512, 2048, 8192)
+
+
+def regenerate() -> str:
+    rows = []
+    for main in MAIN_LOOPS:
+        points = kernel_length_sweep(main, 64, list(LENGTHS))
+        rows.append([f"main loop {main} cycles"]
+                    + [p.gops for p in points])
+    rows.append(["ideal BW"] + [ideal_kernel_gops()] * len(LENGTHS))
+    return render_table(
+        "Figure 7: Kernel GOPS vs stream length (prologue = 64)",
+        ["configuration"] + [f"len {n}" for n in LENGTHS],
+        rows)
+
+
+def test_fig7(benchmark):
+    text = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    save_report("fig7_streamlen_mainloop", text)
+    assert "ideal BW" in text

@@ -1,0 +1,35 @@
+"""Figure 8: kernel performance vs. stream length, main loop fixed at
+32 cycles, prologue varied 8..256 cycles.
+
+Paper shape: for streams up to ~64 elements performance is
+host-interface-bound (short-prologue kernels finish sooner and idle
+longer, so they fare *worse* there); beyond that the main/non-main
+cycle split dominates and shorter prologues win.
+"""
+
+from benchlib import save_report
+
+from repro.analysis.report import render_table
+from repro.workloads.streamlen import ideal_kernel_gops, kernel_length_sweep
+
+PROLOGUES = (8, 16, 32, 64, 128, 256)
+LENGTHS = (8, 32, 128, 512, 2048, 8192)
+
+
+def regenerate() -> str:
+    rows = []
+    for prologue in PROLOGUES:
+        points = kernel_length_sweep(32, prologue, list(LENGTHS))
+        rows.append([f"prologue {prologue} cycles"]
+                    + [p.gops for p in points])
+    rows.append(["ideal BW"] + [ideal_kernel_gops()] * len(LENGTHS))
+    return render_table(
+        "Figure 8: Kernel GOPS vs stream length (main loop = 32)",
+        ["configuration"] + [f"len {n}" for n in LENGTHS],
+        rows)
+
+
+def test_fig8(benchmark):
+    text = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    save_report("fig8_streamlen_prologue", text)
+    assert "prologue 256" in text

@@ -1,0 +1,43 @@
+"""Figure 9: memory system bandwidth from a single address generator.
+
+Paper shape: all patterns are host-interface-limited below ~64 words;
+unit stride approaches the DRAM limit (cut ~20% by the hardware
+precharge bug); stride 2 engages half the channels; the idx-range-16
+pattern is captured by the controller cache and climbs to the on-chip
+AG/controller limit; idx 2K thrashes rows; idx 4M misses on every
+access.
+"""
+
+from benchlib import save_report
+
+from repro.analysis.report import render_table
+from repro.workloads.streamlen import (
+    MEMORY_PATTERNS,
+    host_interface_bandwidth_limit,
+    memory_length_sweep,
+)
+
+LENGTHS = (16, 64, 256, 1024, 4096, 16384)
+
+
+def regenerate(address_generators: int = 1) -> str:
+    points = memory_length_sweep(list(LENGTHS), address_generators)
+    by_pattern = {name: [] for name in MEMORY_PATTERNS}
+    for point in points:
+        by_pattern[point.pattern].append(point.gbytes_per_sec)
+    rows = [[name] + values for name, values in by_pattern.items()]
+    rows.append(["HI limit"]
+                + [min(host_interface_bandwidth_limit(n), 1.6)
+                   for n in LENGTHS])
+    rows.append(["ideal BW"] + [1.6] * len(LENGTHS))
+    return render_table(
+        f"Figure {9 if address_generators == 1 else 10}: Memory "
+        f"bandwidth (GB/s), {address_generators} AG(s)",
+        ["pattern"] + [f"len {n}" for n in LENGTHS],
+        rows)
+
+
+def test_fig9(benchmark):
+    text = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    save_report("fig9_memory_1ag", text)
+    assert "idx range 16" in text

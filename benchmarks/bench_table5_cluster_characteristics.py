@@ -1,0 +1,44 @@
+"""Table 5: cluster characteristics of applications.
+
+Paper values (avg kernel duration / kernel stream length / memory
+stream length): DEPTH 729 cyc, 161.8 w, 234.8 w; MPEG 8244 cyc,
+1191 w, 2543 w; QRD 2234 cyc, 2087 w, 1261 w; RTSL 1022 cyc, ~786 w.
+Shape: DEPTH has by far the shortest kernels and streams; MPEG and
+QRD run long streams.
+"""
+
+from benchlib import APP_NAMES, get_result, save_report
+
+from repro.analysis.report import render_table
+
+PAPER = {
+    "DEPTH": (729, 161.8, 234.8),
+    "MPEG": (8244, 1191, 2543),
+    "QRD": (2234, 2087, 1261),
+    "RTSL": (1022, 786, 786),
+}
+
+
+def regenerate() -> str:
+    rows = []
+    for name in APP_NAMES:
+        metrics = get_result(name).metrics
+        paper = PAPER[name]
+        rows.append([
+            name,
+            f"{metrics.average_kernel_duration:.0f} cycles",
+            f"{metrics.average_kernel_stream_length:.1f} words",
+            f"{metrics.average_memory_stream_length:.1f} words",
+            f"{paper[0]} / {paper[1]} / {paper[2]}",
+        ])
+    return render_table(
+        "Table 5: Cluster characteristics of applications",
+        ["App", "Avg kernel duration", "Avg kernel stream",
+         "Avg memory stream", "paper (dur/kstream/mstream)"],
+        rows)
+
+
+def test_table5(benchmark):
+    text = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    save_report("table5_cluster_characteristics", text)
+    assert "Avg kernel duration" in text

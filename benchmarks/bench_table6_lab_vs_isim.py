@@ -1,0 +1,40 @@
+"""Table 6: lab (hardware) vs. ISIM running cycles.
+
+Paper values: DEPTH 2.22M vs 2.11M, MPEG 4.33M vs 4.24M, QRD 10.40M
+vs 10.14M, RTSL 4.47M vs 4.24M -- hardware consistently a few percent
+slower than the cycle-accurate simulator because of unmodeled issue
+latencies, the memory-controller precharge bug, and an optimistic
+host model.  The reproduction's two board modes differ in exactly
+those three mechanisms.
+"""
+
+from benchlib import APP_NAMES, get_result, save_report
+
+from repro.analysis.report import render_table
+
+PAPER_RATIOS = {"DEPTH": 2.22 / 2.11, "MPEG": 4.33 / 4.24,
+                "QRD": 10.40 / 10.14, "RTSL": 4.47 / 4.24}
+
+
+def regenerate() -> str:
+    rows = []
+    for name in APP_NAMES:
+        lab = get_result(name, "hardware").cycles
+        isim = get_result(name, "isim").cycles
+        rows.append([
+            name,
+            f"{lab / 1e6:.3f} M",
+            f"{isim / 1e6:.3f} M",
+            f"{lab / isim:.3f}",
+            f"{PAPER_RATIOS[name]:.3f}",
+        ])
+    return render_table(
+        "Table 6: Lab vs ISIM running cycles",
+        ["App", "Lab cycles", "ISIM cycles", "ratio", "paper ratio"],
+        rows)
+
+
+def test_table6(benchmark):
+    text = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    save_report("table6_lab_vs_isim", text)
+    assert "ISIM" in text

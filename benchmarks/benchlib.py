@@ -1,0 +1,53 @@
+"""Shared fixtures and caches for the table/figure benchmarks.
+
+Application bundles and simulation results are cached per session so
+the many benchmarks that slice the same four application runs (Tables
+3-6, Figures 11-13) only pay for each simulation once.
+
+Each benchmark writes its regenerated table to
+``benchmarks/results/<name>.txt`` (and the pytest-benchmark timing
+covers the regeneration itself).
+"""
+
+from __future__ import annotations
+
+import functools
+import pathlib
+
+from repro.apps import depth, mpeg, qrd, rtsl, run_app
+from repro.core import BoardConfig, MachineConfig
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+MACHINE = MachineConfig()
+HARDWARE = BoardConfig.hardware()
+ISIM = BoardConfig.isim()
+
+_BUILDERS = {
+    "DEPTH": depth.build,
+    "MPEG": mpeg.build,
+    "QRD": qrd.build,
+    "RTSL": rtsl.build,
+}
+APP_NAMES = tuple(_BUILDERS)
+
+
+@functools.lru_cache(maxsize=None)
+def get_bundle(name: str):
+    """Build an application at its default (paper-scaled) size."""
+    return _BUILDERS[name]()
+
+
+@functools.lru_cache(maxsize=None)
+def get_result(name: str, mode: str = "hardware"):
+    """Simulate an application on the chosen platform model."""
+    board = HARDWARE if mode == "hardware" else ISIM
+    return run_app(get_bundle(name), board=board)
+
+
+def save_report(name: str, text: str) -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")
+    return path

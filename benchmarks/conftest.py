@@ -1,0 +1,6 @@
+"""Make the benchmarks directory importable as a test root."""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Complex QR decomposition on the stream processor (the QRD app).
+
+Factors the paper's 192x96 complex matrix with blocked Householder
+reflections (``house`` + ``update2`` kernels), verifies the factors
+against numpy at machine precision, and shows why the blocked
+SRF-resident schedule -- not raw memory bandwidth -- is what lets
+Imagine sustain multi-GFLOPS on dense linear algebra.
+"""
+
+import numpy as np
+
+from repro.apps import qrd, run_app
+from repro.apps.qrd import factorization_error, reconstruct_q
+from repro.core import BoardConfig
+
+
+def main():
+    bundle = qrd.build(rows=192, cols=96)
+    print(f"QRD: {len(bundle.image)} stream instructions over a "
+          f"192x96 complex matrix")
+
+    residual, unitarity = factorization_error(bundle)
+    print(f"||QR - A|| / ||A|| = {residual:.2e}")
+    print(f"||Q^H Q - I||      = {unitarity:.2e}")
+
+    q = reconstruct_q(bundle)
+    r = bundle.oracle["R"]
+    print(f"R upper-triangular: "
+          f"{np.allclose(np.tril(r, -1), 0)}; "
+          f"Q shape {q.shape}")
+
+    result = run_app(bundle, board=BoardConfig.hardware())
+    print(result.summary())
+    print(f"throughput: {bundle.throughput(result.seconds):.1f} QRD/s "
+          f"(paper: 326 QRD/s)")
+
+    metrics = result.metrics
+    print(f"\nbandwidth hierarchy during QRD: "
+          f"LRF {metrics.lrf_gbytes:.1f} GB/s, "
+          f"SRF {metrics.srf_gbytes:.2f} GB/s, "
+          f"DRAM {metrics.mem_gbytes:.2f} GB/s")
+    flops_per_word = (metrics.flops
+                      / max(metrics.mem_words, 1))
+    print(f"arithmetic per DRAM word: {flops_per_word:.1f} FLOPs "
+          f"(conventional machines sustain ~4:1; Section 5.1)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Stream-length effects (the paper's Section 3.3 micro-study).
+
+Sweeps kernel stream length against main-loop and prologue size
+(Figures 7-8) and memory stream length against access pattern
+(Figure 9), printing the curves the paper plots.  Shows the three
+regimes: host-interface-bound short streams, overhead-bound medium
+streams, and saturated long streams.
+"""
+
+from repro.analysis.report import render_table
+from repro.workloads.streamlen import (
+    MEMORY_PATTERNS,
+    host_interface_bandwidth_limit,
+    ideal_kernel_gops,
+    kernel_length_sweep,
+    memory_length_sweep,
+)
+
+LENGTHS = [16, 64, 256, 1024, 4096]
+
+
+def kernel_study():
+    print("Kernel GOPS vs stream length (prologue 64 cycles):")
+    rows = []
+    for main_loop in (8, 32, 128):
+        points = kernel_length_sweep(main_loop, 64, LENGTHS,
+                                     invocations=16)
+        rows.append([f"main loop {main_loop}"]
+                    + [p.gops for p in points])
+    rows.append(["ideal"] + [ideal_kernel_gops()] * len(LENGTHS))
+    print(render_table("", ["config"] + [str(n) for n in LENGTHS],
+                       rows))
+
+
+def memory_study():
+    print("\nMemory bandwidth (GB/s) vs stream length, one AG:")
+    points = memory_length_sweep(LENGTHS, 1, loads_per_point=8)
+    table = {name: [] for name in MEMORY_PATTERNS}
+    for point in points:
+        table[point.pattern].append(point.gbytes_per_sec)
+    rows = [[name] + values for name, values in table.items()]
+    rows.append(["HI limit"]
+                + [min(host_interface_bandwidth_limit(n), 1.6)
+                   for n in LENGTHS])
+    print(render_table("", ["pattern"] + [str(n) for n in LENGTHS],
+                       rows))
+
+
+if __name__ == "__main__":
+    kernel_study()
+    memory_study()

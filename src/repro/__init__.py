@@ -1,0 +1,52 @@
+"""repro: a reproduction of "Evaluating the Imagine Stream Architecture".
+
+The package models the complete Imagine stream processing system from
+the ISCA 2004 evaluation paper: the chip (8 SIMD VLIW clusters, a
+two-level LRF/SRF register hierarchy, SDRAM memory system, stream
+controller), its software system (a KernelC-like kernel compiler with
+software pipelining and a StreamC-like stream compiler with
+stripmining and SRF allocation), the development board's host
+interface, and the paper's entire evaluation: micro-benchmarks,
+kernels, and the DEPTH / MPEG / QRD / RTSL applications.
+
+Quickstart::
+
+    from repro import ImagineProcessor, BoardConfig
+    from repro.apps import depth
+
+    app = depth.build(image_height=64, image_width=128)
+    processor = ImagineProcessor(board=BoardConfig.hardware(),
+                                 kernels=app.kernels)
+    result = processor.run(app.image)
+    print(result.summary())
+"""
+
+from repro.core import (
+    BoardConfig,
+    CycleCategory,
+    EnergyModel,
+    ImagineProcessor,
+    MachineConfig,
+    Metrics,
+    PowerReport,
+    RunResult,
+)
+from repro.isa import CompiledKernel, KernelBuilder
+from repro.kernelc import compile_kernel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BoardConfig",
+    "CycleCategory",
+    "EnergyModel",
+    "ImagineProcessor",
+    "MachineConfig",
+    "Metrics",
+    "PowerReport",
+    "RunResult",
+    "CompiledKernel",
+    "KernelBuilder",
+    "compile_kernel",
+    "__version__",
+]

@@ -1,0 +1,27 @@
+"""Analysis and reporting: breakdowns, table renderers, power study."""
+
+from repro.analysis.breakdown import (
+    KernelRow,
+    application_breakdown,
+    kernel_breakdown,
+    measure_kernel,
+)
+from repro.analysis.power_compare import power_efficiency_comparison
+from repro.analysis.report import render_table
+from repro.analysis.timeline import (
+    kernel_profile,
+    render_kernel_profile,
+    render_timeline,
+)
+
+__all__ = [
+    "KernelRow",
+    "application_breakdown",
+    "kernel_breakdown",
+    "measure_kernel",
+    "power_efficiency_comparison",
+    "render_table",
+    "kernel_profile",
+    "render_kernel_profile",
+    "render_timeline",
+]

@@ -1,0 +1,61 @@
+"""Fixed-width text table rendering for benchmark output.
+
+Every benchmark prints its table/figure through :func:`render_table`
+so the regenerated evaluation reads like the paper's tables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def render_table(title: str, headers: Sequence[str],
+                 rows: Iterable[Sequence[object]],
+                 floatfmt: str = "{:.2f}") -> str:
+    """Render rows as an aligned monospace table with a title."""
+    materialized = [[_format(cell, floatfmt) for cell in row]
+                    for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    rule = "-" * len(line)
+    body = [
+        "  ".join(cell.rjust(w) if _numeric(cell) else cell.ljust(w)
+                  for cell, w in zip(row, widths))
+        for row in materialized
+    ]
+    return "\n".join([title, rule, line, rule, *body, rule])
+
+
+def render_breakdown(title: str,
+                     breakdowns: dict[str, dict[str, float]]) -> str:
+    """Render named stacked-percentage breakdowns (Figs 6, 11, 14)."""
+    categories: list[str] = []
+    for fractions in breakdowns.values():
+        for key in fractions:
+            if key not in categories:
+                categories.append(key)
+    headers = ["case"] + categories
+    rows = [
+        [name] + [f"{fractions.get(c, 0.0) * 100:.1f}%"
+                  for c in categories]
+        for name, fractions in breakdowns.items()
+    ]
+    return render_table(title, headers, rows)
+
+
+def _format(cell: object, floatfmt: str) -> str:
+    if isinstance(cell, float):
+        return floatfmt.format(cell)
+    return str(cell)
+
+
+def _numeric(cell: str) -> bool:
+    stripped = cell.rstrip("%x")
+    try:
+        float(stripped)
+    except ValueError:
+        return False
+    return True

@@ -1,0 +1,120 @@
+"""Execution-timeline rendering and per-kernel profiling.
+
+Two post-mortem views over a :class:`~repro.core.RunResult`:
+
+* :func:`render_timeline` -- a text Gantt chart of stream-instruction
+  lifetimes (residency in the scoreboard vs. execution), the view the
+  paper's authors used to diagnose load/kernel overlap.
+* :func:`kernel_profile` -- per-kernel aggregation of invocation
+  records (calls, cycles, ops, sustained rate), i.e. Table 2 measured
+  *inside* an application run instead of standalone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import MachineConfig, RunResult
+from repro.core.processor import TraceEvent
+
+
+def render_timeline(result: RunResult, width: int = 72,
+                    limit: int = 40,
+                    kinds: tuple[str, ...] | None = None) -> str:
+    """Text Gantt chart of the first ``limit`` matching instructions.
+
+    ``.`` marks scoreboard residency (issued, waiting), ``=`` marks
+    execution.  ``kinds`` filters by instruction category (e.g.
+    ``("kernel", "mem_load")``).
+    """
+    events = [e for e in result.trace
+              if kinds is None or e.op in kinds][:limit]
+    if not events:
+        return "(no matching instructions)"
+    span = max(e.finished_at for e in events) or 1.0
+    scale = (width - 1) / span
+
+    def column(t: float) -> int:
+        return min(width - 1, int(t * scale))
+
+    lines = [f"timeline of {result.name} "
+             f"(0 .. {span:.0f} cycles; . = queued, = = executing)"]
+    for event in events:
+        bar = [" "] * width
+        for i in range(column(event.resident_at),
+                       column(event.started_at)):
+            bar[i] = "."
+        for i in range(column(event.started_at),
+                       column(event.finished_at) + 1):
+            bar[i] = "="
+        label = (event.tag or event.kernel or event.op)[:18]
+        lines.append(f"{event.index:5d} {event.op[:9]:9s} "
+                     f"{label:18s} |{''.join(bar)}|")
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class KernelProfileRow:
+    """Per-kernel aggregate over one application run."""
+
+    kernel: str
+    invocations: int
+    busy_cycles: int
+    stall_cycles: int
+    arith_ops: int
+    flops: int
+    share_of_busy: float
+    sustained_rate: float
+    rate_unit: str
+
+
+def kernel_profile(result: RunResult,
+                   machine: MachineConfig | None = None
+                   ) -> list[KernelProfileRow]:
+    """Aggregate invocation records by kernel, sorted by time spent."""
+    machine = machine or result.metrics.machine
+    totals: dict[str, dict] = {}
+    for record in result.metrics.kernel_invocations:
+        entry = totals.setdefault(record.kernel, {
+            "invocations": 0, "busy": 0, "stall": 0,
+            "ops": 0, "flops": 0})
+        entry["invocations"] += 1
+        entry["busy"] += record.busy_cycles
+        entry["stall"] += record.stall_cycles
+        entry["ops"] += record.arith_ops
+        entry["flops"] += record.flops
+    all_busy = sum(e["busy"] + e["stall"] for e in totals.values())
+    rows = []
+    for kernel, entry in totals.items():
+        cycles = entry["busy"] + entry["stall"]
+        seconds = cycles / machine.clock_hz
+        is_float = entry["flops"] >= 0.9 * entry["ops"]
+        numerator = entry["flops"] if is_float else entry["ops"]
+        rows.append(KernelProfileRow(
+            kernel=kernel,
+            invocations=entry["invocations"],
+            busy_cycles=entry["busy"],
+            stall_cycles=entry["stall"],
+            arith_ops=entry["ops"],
+            flops=entry["flops"],
+            share_of_busy=cycles / max(all_busy, 1),
+            sustained_rate=numerator / max(seconds, 1e-30) / 1e9,
+            rate_unit="GFLOPS" if is_float else "GOPS",
+        ))
+    rows.sort(key=lambda r: -r.share_of_busy)
+    return rows
+
+
+def render_kernel_profile(result: RunResult) -> str:
+    from repro.analysis.report import render_table
+
+    rows = [
+        [row.kernel, row.invocations, row.busy_cycles,
+         f"{row.share_of_busy * 100:.1f}%",
+         f"{row.sustained_rate:.2f} {row.rate_unit}"]
+        for row in kernel_profile(result)
+    ]
+    return render_table(
+        f"Kernel profile of {result.name}",
+        ["kernel", "calls", "busy cycles", "share", "sustained"],
+        rows)

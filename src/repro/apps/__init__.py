@@ -1,0 +1,16 @@
+"""Full applications from the paper's evaluation (Table 3).
+
+* :mod:`repro.apps.depth` -- DEPTH, the stereo depth extractor.
+* :mod:`repro.apps.mpeg` -- MPEG, an MPEG-2 I/P encoder.
+* :mod:`repro.apps.qrd` -- QRD, blocked complex Householder QR.
+* :mod:`repro.apps.rtsl` -- RTSL, a Real-Time-Shading-Language-style
+  renderer with host-dependent control flow.
+
+Every module exposes ``build(**sizes) -> AppBundle``; the bundle's
+``image`` runs on :class:`repro.core.ImagineProcessor` and its
+``oracle`` dict carries reference values for functional validation.
+"""
+
+from repro.apps.common import AppBundle, run_app
+
+__all__ = ["AppBundle", "run_app"]

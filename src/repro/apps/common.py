@@ -1,0 +1,42 @@
+"""Shared application plumbing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import BoardConfig, ImagineProcessor, MachineConfig, RunResult
+from repro.streamc.compiler import StreamProgramImage
+
+
+@dataclass
+class AppBundle:
+    """A built application: compiled program + validation oracle.
+
+    ``work_units`` and ``work_name`` let benchmarks report
+    throughput in the paper's units (frames/s, QRD/s).
+    """
+
+    name: str
+    image: StreamProgramImage
+    oracle: dict = field(default_factory=dict)
+    work_units: float = 1.0
+    work_name: str = "runs"
+
+    @property
+    def kernels(self):
+        return self.image.kernels
+
+    def throughput(self, seconds: float) -> float:
+        """Work units per second (e.g. frames/s)."""
+        if seconds <= 0:
+            return 0.0
+        return self.work_units / seconds
+
+
+def run_app(bundle: AppBundle,
+            board: BoardConfig | None = None,
+            machine: MachineConfig | None = None) -> RunResult:
+    """Build a processor for ``bundle`` and simulate it."""
+    processor = ImagineProcessor(machine=machine, board=board,
+                                 kernels=bundle.kernels)
+    return processor.run(bundle.image)

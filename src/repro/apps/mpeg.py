@@ -1,0 +1,216 @@
+"""MPEG: an MPEG-2 I/P video encoder (Table 3).
+
+Encodes ``frames`` frames of synthetic video (a textured scene
+translating horizontally by one macroblock per frame, so motion
+estimation has a known right answer).  Per macroblock-row strip:
+
+* RGB load -> ``colorconv`` -> luma strip (stored for reference use);
+* P frames: ``blocksearch`` against the previous frame's luma,
+  ``blocksad`` (residual mode) for motion compensation;
+* ``dct8x8`` -> ``quantzig`` -> ``rle`` -> ``vlc`` -> coded output.
+
+Frames are stored macroblock-ordered (each 16x16 block contiguous) so
+block streams are unit-stride, as the real implementation arranges.
+A host register read per frame models rate control.
+
+Oracle checks: recovered motion vectors equal the synthetic
+translation for interior blocks, and the quantized-DCT pipeline
+round-trips (decode error bounded by the quantization step).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.common import AppBundle
+from repro.kernels.blocksearch import BLOCKSEARCH
+from repro.kernels.copy import COLORCONV
+from repro.kernels.dct import DCT8X8, IDCT8X8, QUANTZIG
+from repro.kernels.pixelmath import pack16, unpack16
+from repro.kernels.rle import RLE, VLC
+from repro.kernels.sad import BLOCKSAD
+from repro.streamc.program import StreamProgram
+
+DEFAULT_WIDTH = 352
+DEFAULT_HEIGHT = 96
+DEFAULT_FRAMES = 3
+MB = 16
+MB_PIXELS = MB * MB
+
+
+def make_video(height: int, width: int, frames: int,
+               seed: int = 11) -> np.ndarray:
+    """(frames, H, W) synthetic video translating 16 px/frame."""
+    rng = np.random.default_rng(seed)
+    base = rng.integers(0, 256, size=(height, width)).astype(float)
+    for _ in range(2):
+        base = (base + np.roll(base, 1, axis=1)
+                + np.roll(base, 1, axis=0)) / 3.0
+    base = np.round(base)
+    return np.stack([np.roll(base, MB * f, axis=1)
+                     for f in range(frames)])
+
+
+def to_macroblock_order(plane: np.ndarray) -> np.ndarray:
+    """(H, W) plane -> flat pixel array, 16x16 blocks contiguous."""
+    height, width = plane.shape
+    blocks = plane.reshape(height // MB, MB, width // MB, MB)
+    return blocks.transpose(0, 2, 1, 3).reshape(-1)
+
+
+def from_macroblock_order(flat: np.ndarray, height: int,
+                          width: int) -> np.ndarray:
+    blocks = flat.reshape(height // MB, width // MB, MB, MB)
+    return blocks.transpose(0, 2, 1, 3).reshape(height, width)
+
+
+def build(height: int = DEFAULT_HEIGHT, width: int = DEFAULT_WIDTH,
+          frames: int = DEFAULT_FRAMES, qstep: float = 16.0,
+          chunks_per_strip: int = 2, seed: int = 11,
+          machine=None) -> AppBundle:
+    """Build the MPEG stream program.
+
+    ``chunks_per_strip`` stripmines each macroblock row so the live
+    working set double-buffers comfortably inside the 128 KB SRF (the
+    stream compiler's "optimal sizing of stripmined streams").
+    """
+    if height % MB or width % MB:
+        raise ValueError("frame dimensions must be multiples of 16")
+    video = make_video(height, width, frames, seed)
+    strips = height // MB
+    strip_pixels = MB * width           # pixels per macroblock row
+    strip_words = strip_pixels // 2
+    blocks_per_strip = width // MB
+    if blocks_per_strip % chunks_per_strip:
+        raise ValueError("chunks_per_strip must divide the strip")
+    blocks_per_chunk = blocks_per_strip // chunks_per_strip
+    chunk_words = strip_words // chunks_per_strip
+    chunk_pixels = strip_pixels // chunks_per_strip
+
+    program = StreamProgram("MPEG", machine=machine)
+    # Source video: three "color planes" per frame (the synthetic
+    # scene is grey, so planes coincide; the colorconv cost is real).
+    plane_arrays = []
+    for f in range(frames):
+        mb_plane = pack16(to_macroblock_order(video[f]))
+        plane_arrays.append(tuple(
+            program.array(f"f{f}_{c}", mb_plane) for c in "rgb"))
+    luma = [program.alloc_array(f"luma{f}", height * width // 2)
+            for f in range(frames)]
+    chunks = strips * chunks_per_strip
+    mv_out = program.alloc_array(
+        "motion_vectors", frames * chunks * (blocks_per_chunk + 1))
+    coded_out = program.alloc_array(
+        "coded", frames * strips * 4 * strip_words)
+    coded_cursor = 0
+    bits_cursor = 0
+    # Intra strips are coded as residuals against flat gray, so the
+    # signed-DCT path is identical for I and P macroblocks.
+    gray = program.array("gray128",
+                         pack16(np.full(chunk_pixels, 128.0)))
+
+    search_offsets = tuple(MB_PIXELS * k for k in range(-2, 3))
+
+    for f in range(frames):
+        for s in range(chunks):
+            offset = s * chunk_words
+            r, g, b = (program.load(arr, start=offset, words=chunk_words,
+                                    name=f"f{f}s{s}_{c}")
+                       for arr, c in zip(plane_arrays[f], "rgb"))
+            cur = program.kernel1(
+                COLORCONV, [r, g, b],
+                params={"wr": 0.299, "wg": 0.587, "wb": 0.114},
+                name=f"luma{f}_{s}")
+            if f == 0:
+                mv = None
+                predicted = program.load(gray, words=chunk_words,
+                                         name=f"gray{s}")
+            else:
+                # Motion estimation runs against the *reconstructed*
+                # previous frame, as a real encoder must.
+                ref = program.load(luma[f - 1], start=offset,
+                                   words=chunk_words, name=f"ref{f}_{s}")
+                # Hierarchical search: a coarse pass over the wide
+                # window, then a fine pass; only the fine motion
+                # vectors are kept.
+                program.kernel(
+                    BLOCKSEARCH, [cur, ref],
+                    params={"block": MB_PIXELS,
+                            "offsets": search_offsets[::2]},
+                    name=f"me0_{f}_{s}")
+                mv, predicted = program.kernel(
+                    BLOCKSEARCH, [cur, ref],
+                    params={"block": MB_PIXELS,
+                            "offsets": search_offsets},
+                    name=f"me{f}_{s}")
+            residual = program.kernel1(
+                BLOCKSAD, [cur, predicted],
+                params={"mode": "residual"},
+                name=f"res{f}_{s}")
+            coefficients = program.kernel1(DCT8X8, [residual],
+                                           name=f"dct{f}_{s}")
+            quantized = program.kernel1(
+                QUANTZIG, [coefficients], params={"qstep": qstep},
+                name=f"q{f}_{s}")
+            runs = program.kernel1(RLE, [quantized], name=f"rle{f}_{s}")
+            bits = program.kernel1(VLC, [runs], name=f"vlc{f}_{s}")
+            # Reconstruction loop: dequantize + IDCT (+ motion add)
+            # produces the reference frame for the next P frame.
+            recon_res = program.kernel1(
+                IDCT8X8, [quantized],
+                params={"qstep": qstep, "zigzagged": True},
+                name=f"idct{f}_{s}")
+            recon = program.kernel1(
+                BLOCKSAD, [recon_res, predicted],
+                params={"mode": "add"}, name=f"mc{f}_{s}")
+            program.store(recon, luma[f], start=offset)
+            if mv is not None:
+                program.store(mv, mv_out,
+                              start=(f * chunks + s)
+                              * (blocks_per_chunk + 1))
+            program.store(runs, coded_out, start=coded_cursor)
+            coded_cursor += runs.words
+            bits_cursor += bits.words
+        # Rate control: the host reads the frame's VLC bit count.
+        program.host_read(tag=f"rate_control_f{f}")
+
+    image = program.build()
+    image.validate()
+    return AppBundle(
+        name="MPEG",
+        image=image,
+        oracle={
+            "video": video,
+            "qstep": qstep,
+            "strips": chunks,
+            "blocks_per_strip": blocks_per_chunk,
+            "coded_words": coded_cursor,
+            "bits_words": bits_cursor,
+            "search_offsets": search_offsets,
+        },
+        work_units=float(frames),
+        work_name="frames",
+    )
+
+
+def motion_vector_accuracy(bundle: AppBundle) -> float:
+    """Fraction of interior P-frame blocks with the true motion."""
+    image = bundle.image
+    oracle = bundle.oracle
+    strips = oracle["strips"]
+    per_strip = oracle["blocks_per_strip"] + 1
+    frames = int(bundle.work_units)
+    mv_words = image.outputs["motion_vectors"]
+    hits = total = 0
+    for f in range(1, frames):
+        for s in range(strips):
+            start = (f * strips + s) * per_strip
+            packed = mv_words[start:start + per_strip]
+            vectors = unpack16(packed)[:oracle["blocks_per_strip"]] - 32768
+            # The scene translates +16 px/frame; in macroblock order a
+            # block's content was one block earlier in the previous
+            # frame: offset -MB_PIXELS.
+            interior = vectors[2:-2]
+            hits += int((interior == -MB_PIXELS).sum())
+            total += len(interior)
+    return hits / max(total, 1)

@@ -1,0 +1,141 @@
+"""RTSL: a Real-Time Shading Language renderer (Table 3).
+
+Renders one frame of a procedural triangle scene through the Stanford
+RTSL-style pipeline: vertex transform, vertex lighting, triangle
+setup/rasterization, fragment shading, and scattered framebuffer
+writes (indexed stores).  The defining overheads the paper measures
+for RTSL are modeled directly:
+
+* batch sizes are data-dependent, so after each batch the host reads
+  a result register before issuing the next batch -- the host
+  serialization that gives RTSL its >30% application-level overhead;
+* fragment streams have unpredictable lengths, defeating load/kernel
+  overlap, so memory stalls stay visible;
+* framebuffer writes are gather/scatter (indexed) traffic.
+
+The oracle replays the fragment stream against a reference
+rasterizer and compares framebuffers exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.common import AppBundle
+from repro.kernels.shading import (
+    FRAGMENT_WORDS,
+    FRAGSHADE,
+    RASTERIZE,
+    SHADE,
+    VERTEX_WORDS,
+    XFORM,
+)
+from repro.memsys.patterns import indexed
+from repro.streamc.program import StreamProgram
+
+DEFAULT_TRIANGLES = 360
+DEFAULT_WIDTH = 160
+DEFAULT_HEIGHT = 120
+
+
+def make_scene(triangles: int, width: int, height: int,
+               seed: int = 5) -> np.ndarray:
+    """(T, 3, VERTEX_WORDS) screen-space triangles with normals."""
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform([8, 8], [width - 8, height - 8],
+                          size=(triangles, 2))
+    verts = np.zeros((triangles, 3, VERTEX_WORDS))
+    for t in range(triangles):
+        offsets = rng.uniform(-7, 7, size=(3, 2))
+        verts[t, :, 0:2] = centers[t] + offsets
+        verts[t, :, 2] = rng.uniform(0.1, 0.9)       # depth
+        verts[t, :, 3] = 1.0                          # w
+        normal = rng.normal(size=3)
+        normal /= np.linalg.norm(normal)
+        verts[t, :, 4:7] = normal
+    return verts
+
+
+def build(triangles: int = DEFAULT_TRIANGLES,
+          width: int = DEFAULT_WIDTH, height: int = DEFAULT_HEIGHT,
+          seed: int = 5, machine=None) -> AppBundle:
+    scene = make_scene(triangles, width, height, seed)
+    rng = np.random.default_rng(seed + 1)
+
+    program = StreamProgram("RTSL", machine=machine)
+    verts_arr = program.array("vertices", scene.reshape(-1))
+    fb_words = width * height
+    fb_arr = program.alloc_array("framebuffer", fb_words)
+
+    matrix = np.eye(4)
+    light = (0.3, 0.5, 0.8)
+    reference_fragments = []
+
+    cursor = 0
+    batch_id = 0
+    while cursor < triangles:
+        batch = int(min(rng.integers(24, 57), triangles - cursor))
+        words = batch * 3 * VERTEX_WORDS
+        raw = program.load(verts_arr, start=cursor * 3 * VERTEX_WORDS,
+                           words=words, record_words=VERTEX_WORDS,
+                           name=f"verts{batch_id}")
+        placed = program.kernel1(
+            XFORM, [raw], params={"matrix": tuple(map(tuple, matrix))},
+            name=f"xform{batch_id}")
+        lit = program.kernel1(SHADE, [placed],
+                              params={"light_dir": light},
+                              name=f"shade{batch_id}")
+        fragments = program.kernel1(
+            RASTERIZE, [lit], params={"width": width, "height": height},
+            name=f"rast{batch_id}")
+        if fragments.words:
+            addresses, colors = program.kernel(
+                FRAGSHADE, [fragments], params={"width": width},
+                name=f"frag{batch_id}")
+            index_list = addresses.data.astype(np.int64)
+            reference_fragments.append(
+                (index_list.copy(), colors.data.copy()))
+            program.store(
+                colors, fb_arr,
+                pattern=indexed(colors.words, fb_words,
+                                start=fb_arr.base, indices=index_list))
+        # The host reads the fragment count to size upcoming batches
+        # (every second batch: the dispatcher double-buffers batches,
+        # but cannot run further ahead than that).
+        if batch_id % 2 == 1:
+            program.host_read(tag=f"batch{batch_id}")
+        cursor += batch
+        batch_id += 1
+
+    image = program.build()
+    image.validate()
+    return AppBundle(
+        name="RTSL",
+        image=image,
+        oracle={
+            "scene": scene,
+            "width": width,
+            "height": height,
+            "fragments": reference_fragments,
+            "batches": batch_id,
+        },
+        work_units=1.0,
+        work_name="frames",
+    )
+
+
+def framebuffer_matches_reference(bundle: AppBundle) -> bool:
+    """Replay the fragment stream; compare framebuffers exactly."""
+    oracle = bundle.oracle
+    width, height = oracle["width"], oracle["height"]
+    reference = np.zeros(width * height)
+    for addresses, colors in oracle["fragments"]:
+        reference[addresses] = colors
+    rendered = bundle.image.outputs["framebuffer"]
+    return bool(np.array_equal(rendered, reference))
+
+
+def coverage(bundle: AppBundle) -> float:
+    """Fraction of framebuffer pixels any triangle touched."""
+    framebuffer = bundle.image.outputs["framebuffer"]
+    return float((framebuffer > 0).mean())

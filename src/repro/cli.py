@@ -1,0 +1,219 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Mirrors the paper's evaluation flow from a shell:
+
+* ``microbench`` -- Table 1 component peaks;
+* ``kernels``    -- Table 2 kernel rates and the Figure 6 breakdown;
+* ``app NAME``   -- run DEPTH / MPEG / QRD / RTSL and print the
+  Table-3 summary, Figure-11 breakdown and per-kernel profile;
+* ``memory``     -- Figure 9/10 pattern sweep;
+* ``power``      -- the Section 5.5 efficiency comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import BoardConfig
+
+
+def _cmd_microbench(args) -> int:
+    from repro.analysis.report import render_table
+    from repro.workloads.microbench import run_all_microbenchmarks
+
+    rows = [[r.component, r.achieved, r.theoretical, r.unit,
+             r.power_watts, f"{r.efficiency * 100:.1f}%"]
+            for r in run_all_microbenchmarks(board=_board(args))]
+    print(render_table("Table 1: component peaks",
+                       ["component", "achieved", "theoretical",
+                        "unit", "W", "efficiency"], rows))
+    return 0
+
+
+def _cmd_kernels(args) -> int:
+    from repro.analysis import kernel_breakdown, measure_kernel
+    from repro.analysis.report import render_breakdown, render_table
+    from repro.kernels import KERNEL_LIBRARY
+    from repro.kernels.library import TABLE2_KERNELS
+
+    rows = []
+    for name in TABLE2_KERNELS:
+        row = measure_kernel(KERNEL_LIBRARY[name])
+        rows.append([name, f"{row.rate:.2f} {row.rate_unit}",
+                     row.lrf_gbytes, row.srf_gbytes,
+                     f"{row.ipc:.1f}", row.power_watts])
+    print(render_table("Table 2: kernels",
+                       ["kernel", "ALU", "LRF GB/s", "SRF GB/s",
+                        "IPC", "W"], rows))
+    print()
+    print(render_breakdown(
+        "Figure 6: kernel run-time breakdown",
+        {name: kernel_breakdown(KERNEL_LIBRARY[name])
+         for name in TABLE2_KERNELS}))
+    print()
+    from repro.analysis.occupancy import render_occupancy
+
+    print(render_occupancy(
+        [KERNEL_LIBRARY[name].compiled() for name in TABLE2_KERNELS]))
+    return 0
+
+
+def _cmd_app(args) -> int:
+    from repro.analysis import render_kernel_profile, render_timeline
+    from repro.analysis.breakdown import application_breakdown
+    from repro.analysis.report import render_breakdown
+    from repro.apps import depth, mpeg, qrd, rtsl, run_app
+
+    builders = {"depth": depth.build, "mpeg": mpeg.build,
+                "qrd": qrd.build, "rtsl": rtsl.build}
+    name = args.name.lower()
+    if name not in builders:
+        print(f"unknown application {args.name!r}; "
+              f"choose from {sorted(builders)}", file=sys.stderr)
+        return 2
+    bundle = builders[name]()
+    result = run_app(bundle, board=_board(args))
+    print(result.summary())
+    print(f"throughput: {bundle.throughput(result.seconds):.1f} "
+          f"{bundle.work_name}/s")
+    print()
+    print(render_breakdown(
+        "execution-time breakdown",
+        {bundle.name: application_breakdown(result)}))
+    print()
+    print(render_kernel_profile(result))
+    if args.timeline:
+        print()
+        print(render_timeline(result, kinds=("kernel", "restart",
+                                             "mem_load", "mem_store")))
+    return 0
+
+
+def _cmd_memory(args) -> int:
+    from repro.analysis.report import render_table
+    from repro.workloads.streamlen import (
+        MEMORY_PATTERNS,
+        memory_length_sweep,
+    )
+
+    lengths = [64, 512, 4096]
+    points = memory_length_sweep(lengths, args.ags,
+                                 board=_board(args))
+    table = {name: [] for name in MEMORY_PATTERNS}
+    for point in points:
+        table[point.pattern].append(point.gbytes_per_sec)
+    print(render_table(
+        f"Memory bandwidth (GB/s), {args.ags} AG(s)",
+        ["pattern"] + [str(n) for n in lengths],
+        [[name] + values for name, values in table.items()]))
+    return 0
+
+
+def _cmd_kernel(args) -> int:
+    from repro.analysis import kernel_breakdown, measure_kernel
+    from repro.analysis.report import render_breakdown
+    from repro.kernelc.listing import render_listing
+    from repro.kernels import KERNEL_LIBRARY
+
+    if args.name not in KERNEL_LIBRARY:
+        print(f"unknown kernel {args.name!r}; available: "
+              f"{', '.join(sorted(KERNEL_LIBRARY))}", file=sys.stderr)
+        return 2
+    spec = KERNEL_LIBRARY[args.name]
+    row = measure_kernel(spec)
+    print(f"{spec.name}: {spec.description}")
+    print(f"sustained {row.rate:.2f} {row.rate_unit}, "
+          f"IPC {row.ipc:.1f}, LRF {row.lrf_gbytes:.1f} GB/s, "
+          f"SRF {row.srf_gbytes:.2f} GB/s, {row.power_watts:.2f} W")
+    print()
+    print(render_breakdown("run-time breakdown",
+                           {spec.name: kernel_breakdown(spec)}))
+    if args.listing:
+        print()
+        print(render_listing(spec.compiled()))
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    from repro.evaluation import SECTIONS, run_full_evaluation
+
+    sections = args.sections or None
+    if args.list:
+        for name in SECTIONS:
+            print(name)
+        return 0
+    for name, text in run_full_evaluation(
+            board=_board(args), sections=sections).items():
+        print(text)
+        print()
+    return 0
+
+
+def _cmd_power(args) -> int:
+    from repro.analysis import power_efficiency_comparison
+    from repro.analysis.report import render_table
+
+    rows = [[r.processor, r.pj_per_flop, r.technology]
+            for r in power_efficiency_comparison(board=_board(args))]
+    print(render_table("Power efficiency", ["processor", "pJ/FLOP",
+                                            "technology"], rows,
+                       floatfmt="{:.1f}"))
+    return 0
+
+
+def _board(args) -> BoardConfig:
+    board = (BoardConfig.isim() if getattr(args, "isim", False)
+             else BoardConfig.hardware())
+    if getattr(args, "host_mips", None):
+        board = board.with_host_mips(args.host_mips)
+    return board
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Imagine stream-architecture evaluation, "
+                    "reproduced (ISCA 2004)")
+    parser.add_argument("--isim", action="store_true",
+                        help="use the cycle-accurate-simulator model "
+                             "instead of the development board")
+    parser.add_argument("--host-mips", type=float, default=None,
+                        help="override host-interface bandwidth")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("microbench", help="Table 1 component peaks")
+    sub.add_parser("kernels", help="Table 2 + Figure 6")
+    app = sub.add_parser("app", help="run one application")
+    app.add_argument("name", help="depth | mpeg | qrd | rtsl")
+    app.add_argument("--timeline", action="store_true",
+                     help="print the instruction timeline")
+    memory = sub.add_parser("memory", help="Figure 9/10 sweep")
+    memory.add_argument("--ags", type=int, default=1, choices=(1, 2))
+    sub.add_parser("power", help="Section 5.5 comparison")
+    kernel = sub.add_parser("kernel", help="inspect one kernel")
+    kernel.add_argument("name")
+    kernel.add_argument("--listing", action="store_true",
+                        help="print the VLIW microcode listing")
+    evaluate = sub.add_parser(
+        "evaluate", help="regenerate the paper's whole evaluation")
+    evaluate.add_argument("sections", nargs="*",
+                          help="subset of sections (default: all)")
+    evaluate.add_argument("--list", action="store_true",
+                          help="list available sections")
+
+    args = parser.parse_args(argv)
+    handler = {
+        "microbench": _cmd_microbench,
+        "kernels": _cmd_kernels,
+        "app": _cmd_app,
+        "memory": _cmd_memory,
+        "power": _cmd_power,
+        "kernel": _cmd_kernel,
+        "evaluate": _cmd_evaluate,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

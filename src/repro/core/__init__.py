@@ -1,0 +1,24 @@
+"""The Imagine stream processor model (the paper's primary subject).
+
+The top-level entry point is :class:`repro.core.processor.ImagineProcessor`,
+which ties together the arithmetic clusters, stream register file,
+micro-controller, stream controller, memory system, host interface and
+power model, and runs compiled stream programs while attributing every
+cycle to one of the paper's stall/busy categories.
+"""
+
+from repro.core.config import BoardConfig, MachineConfig
+from repro.core.metrics import CycleCategory, Metrics
+from repro.core.power import EnergyModel, PowerReport
+from repro.core.processor import ImagineProcessor, RunResult
+
+__all__ = [
+    "BoardConfig",
+    "MachineConfig",
+    "CycleCategory",
+    "Metrics",
+    "EnergyModel",
+    "PowerReport",
+    "ImagineProcessor",
+    "RunResult",
+]

@@ -1,0 +1,200 @@
+"""Architectural and board configuration for the Imagine model.
+
+All constants come from the paper (Sections 1-2 and Figure 2): 200 MHz
+clock, 8 clusters x (3 adders + 2 multipliers + 1 DSQ), 9.7 KB of LRF
+capacity at 272 words/cycle, a 128 KB SRF at 16 words/cycle
+(12.8 GB/s), four 100 MHz SDRAM channels (1.6 GB/s), two address
+generators, a 2K-word microcode store, a 32-slot scoreboard, 32 SDRs
+and 8 MARs, and a host interface whose development-board implementation
+delivers ~2 MIPS against a 20 MIPS theoretical peak (~500 ns per stream
+instruction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.kernelc.scheduling import ClusterResources
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """SDRAM channel organisation and timing (100 MHz, in mem cycles)."""
+
+    channels: int = 4
+    banks_per_channel: int = 4
+    row_words: int = 64
+    t_rp: int = 3
+    t_rcd: int = 3
+    t_cl: int = 3
+    clock_ratio: int = 2           # core cycles per memory cycle
+    controller_cache_words: int = 256
+    reorder_window: int = 16
+    #: Hardware bug: an unnecessary precharge is inserted every N
+    #: same-row accesses (disabled in ISIM mode).  Calibrated so unit
+    #: stride lands ~20% under the no-bug rate (Section 3.3).
+    precharge_bug_interval: int = 24
+    #: Row-buffer policy: "open" keeps rows open between accesses
+    #: (Imagine's controller, which stream traffic rewards);
+    #: "closed" precharges after every access -- an ablation point
+    #: showing why the open-page policy matters for streams.
+    page_policy: str = "open"
+
+    def __post_init__(self) -> None:
+        if self.page_policy not in ("open", "closed"):
+            raise ValueError(
+                f"unknown page policy {self.page_policy!r}")
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """The Imagine chip proper."""
+
+    clock_hz: float = 200e6
+    num_clusters: int = 8
+    cluster: ClusterResources = field(default_factory=ClusterResources)
+    word_bytes: int = 4
+    lrf_kbytes: float = 9.7
+    lrf_peak_words_per_cycle: int = 272
+    srf_kbytes: int = 128
+    srf_peak_words_per_cycle: int = 16
+    microcode_store_words: int = 2048
+    scoreboard_slots: int = 32
+    num_sdrs: int = 32
+    num_mars: int = 8
+    num_ags: int = 2
+    ag_peak_words_per_cycle: float = 2.0
+    dram: DramConfig = field(default_factory=DramConfig)
+    #: Cycles for the SRF to prime a kernel's stream buffers at
+    #: kernel start (the dominant source of Fig. 6 "cluster stalls").
+    srf_prime_cycles: int = 20
+    #: Core cycles to transfer one microcode word from Imagine memory
+    #: to the microcode store.
+    microcode_load_cycles_per_word: float = 0.5
+    #: Stream-controller occupancy per issued stream instruction.
+    stream_controller_issue_cycles: int = 6
+
+    # ------------------------------------------------------------------
+    # Theoretical peaks (Table 1 denominators).
+    # ------------------------------------------------------------------
+    @property
+    def peak_flops_per_cycle(self) -> float:
+        """3 adds + 2 muls fully pipelined + DSQ every 16 cycles."""
+        cluster = (self.cluster.adders + self.cluster.multipliers
+                   + self.cluster.dsq_units / 16.0)
+        return cluster * self.num_clusters
+
+    @property
+    def peak_gflops(self) -> float:
+        return self.peak_flops_per_cycle * self.clock_hz / 1e9
+
+    @property
+    def peak_ops_per_cycle(self) -> float:
+        """Four 8-bit ops per adder, two 16-bit ops per multiplier."""
+        cluster = (self.cluster.adders * 4 + self.cluster.multipliers * 2
+                   + self.cluster.dsq_units / 16.0)
+        return cluster * self.num_clusters
+
+    @property
+    def peak_gops(self) -> float:
+        return self.peak_ops_per_cycle * self.clock_hz / 1e9
+
+    @property
+    def peak_ipc(self) -> int:
+        """One instruction per FPU per cycle."""
+        return self.cluster.fpus * self.num_clusters
+
+    @property
+    def peak_comm_ops_per_cycle(self) -> int:
+        return self.cluster.comm_units * self.num_clusters
+
+    @property
+    def srf_peak_gbytes(self) -> float:
+        return (self.srf_peak_words_per_cycle * self.word_bytes
+                * self.clock_hz / 1e9)
+
+    @property
+    def lrf_peak_gbytes(self) -> float:
+        return (self.lrf_peak_words_per_cycle * self.word_bytes
+                * self.clock_hz / 1e9)
+
+    @property
+    def mem_peak_words_per_cycle(self) -> float:
+        """DRAM data-bus peak in words per core cycle."""
+        return self.dram.channels / self.dram.clock_ratio
+
+    @property
+    def mem_peak_gbytes(self) -> float:
+        return (self.mem_peak_words_per_cycle * self.word_bytes
+                * self.clock_hz / 1e9)
+
+    @property
+    def srf_words(self) -> int:
+        return self.srf_kbytes * 1024 // self.word_bytes
+
+    def gbytes_per_sec(self, words: float, cycles: float) -> float:
+        if cycles <= 0:
+            return 0.0
+        return words * self.word_bytes * self.clock_hz / cycles / 1e9
+
+    def at_frequency(self, clock_hz: float) -> "MachineConfig":
+        """The same chip at a scaled clock (DVFS operating point).
+
+        Cycle-level behaviour is unchanged -- the memory system is
+        clocked off the core in this model, as on the board where
+        core and SDRAM clocks scale together under DVFS.
+        """
+        return replace(self, clock_hz=clock_hz)
+
+
+@dataclass(frozen=True)
+class BoardConfig:
+    """The system around the chip: host path and fidelity mode.
+
+    ``mode`` selects between the two measurement platforms of the
+    paper: ``"hardware"`` is the development board (FPGA host bridge at
+    ~2 MIPS, stream-controller issue pipeline latency, the memory
+    controller precharge bug) and ``"isim"`` is the cycle-accurate
+    simulator (optimistic host model, no bug, no extra issue latency),
+    so Table 6 is hardware-mode vs. isim-mode.
+    """
+
+    mode: str = "hardware"
+    #: Sustainable host stream-instruction rate, MIPS.
+    host_mips: float = 2.03
+    #: Theoretical host-interface peak on the chip, MIPS.
+    host_peak_mips: float = 20.0
+    #: Core cycles for a host register read-compute-write round trip.
+    host_round_trip_cycles: int = 600
+    #: Extra stream-controller pipeline cycles per issue, hardware only.
+    issue_pipeline_cycles: int = 4
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("hardware", "isim"):
+            raise ValueError(f"unknown board mode {self.mode!r}")
+
+    @classmethod
+    def hardware(cls, **overrides) -> "BoardConfig":
+        return cls(mode="hardware", **overrides)
+
+    @classmethod
+    def isim(cls, **overrides) -> "BoardConfig":
+        defaults = dict(
+            mode="isim",
+            host_mips=2.2,              # optimistic host model
+            host_round_trip_cycles=400,  # "
+            issue_pipeline_cycles=0,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    def with_host_mips(self, mips: float) -> "BoardConfig":
+        return replace(self, host_mips=mips)
+
+    def host_issue_cycles(self, machine: MachineConfig) -> int:
+        """Core cycles between successive host stream instructions."""
+        return max(1, round(machine.clock_hz / (self.host_mips * 1e6)))
+
+    @property
+    def precharge_bug(self) -> bool:
+        return self.mode == "hardware"

@@ -1,0 +1,186 @@
+"""Cycle, operation and bandwidth accounting.
+
+Every cycle of a simulation ends up in exactly one
+:class:`CycleCategory`; the eight categories are the legend of
+Figure 11 (and Figure 14), and the first four also cover Figure 6's
+kernel-level breakdown.  Operation/word counters feed Tables 1-5 and
+Figures 12-13.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.core.config import MachineConfig
+
+
+class CycleCategory(enum.Enum):
+    """Where a cluster cycle went, in the paper's taxonomy."""
+
+    OPERATIONS = "operations"
+    KERNEL_MAIN_LOOP_OVERHEAD = "kernel main loop overhead"
+    KERNEL_NON_MAIN_LOOP = "kernel non main loop"
+    CLUSTER_STALL = "cluster stalls"
+    MICROCODE_LOAD_STALL = "microcode load stalls"
+    MEMORY_STALL = "memory stalls"
+    STREAM_CONTROLLER_OVERHEAD = "stream controller overhead"
+    HOST_BANDWIDTH_STALL = "host bandwidth stalls"
+
+
+#: Attribution priority for idle-cluster cycles, "earliest in the
+#: list" wins when several overheads overlap (Section 4.2).
+IDLE_PRIORITY = (
+    CycleCategory.MICROCODE_LOAD_STALL,
+    CycleCategory.MEMORY_STALL,
+    CycleCategory.STREAM_CONTROLLER_OVERHEAD,
+    CycleCategory.HOST_BANDWIDTH_STALL,
+)
+
+BUSY_CATEGORIES = (
+    CycleCategory.OPERATIONS,
+    CycleCategory.KERNEL_MAIN_LOOP_OVERHEAD,
+    CycleCategory.KERNEL_NON_MAIN_LOOP,
+    CycleCategory.CLUSTER_STALL,
+)
+
+
+@dataclass
+class KernelInvocationRecord:
+    """Per-invocation facts, aggregated for Tables 2 and 5."""
+
+    kernel: str
+    stream_elements: int
+    busy_cycles: int
+    stall_cycles: int
+    arith_ops: int
+    flops: int
+    instructions: int
+    srf_words: int
+    lrf_words: int
+    sp_accesses: int
+    comm_ops: int
+    dsq_ops: int = 0
+
+
+@dataclass
+class Metrics:
+    """Mutable counter set filled in by the simulator."""
+
+    machine: MachineConfig
+    cycles: dict[CycleCategory, float] = field(
+        default_factory=lambda: defaultdict(float))
+    total_cycles: float = 0.0
+    arith_ops: float = 0.0
+    flops: float = 0.0
+    instructions: float = 0.0
+    comm_ops: float = 0.0
+    lrf_words: float = 0.0
+    srf_words: float = 0.0
+    mem_words: float = 0.0
+    host_instructions: int = 0
+    kernel_invocations: list[KernelInvocationRecord] = field(
+        default_factory=list)
+    sdr_writes: int = 0
+    sdr_references: int = 0
+    memory_stream_words: list[int] = field(default_factory=list)
+    #: Idle-cycle attribution detail: blocking instruction tag -> cycles.
+    idle_blame: dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Recording.
+    # ------------------------------------------------------------------
+    def add_cycles(self, category: CycleCategory, cycles: float) -> None:
+        if cycles < 0:
+            raise ValueError(f"negative cycle count for {category}")
+        self.cycles[category] += cycles
+
+    def record_invocation(self, record: KernelInvocationRecord) -> None:
+        self.kernel_invocations.append(record)
+        self.arith_ops += record.arith_ops
+        self.flops += record.flops
+        self.instructions += record.instructions
+        self.comm_ops += record.comm_ops
+        self.lrf_words += record.lrf_words
+        self.srf_words += record.srf_words
+
+    # ------------------------------------------------------------------
+    # Derived results.
+    # ------------------------------------------------------------------
+    @property
+    def seconds(self) -> float:
+        return self.total_cycles / self.machine.clock_hz
+
+    @property
+    def gops(self) -> float:
+        return self.arith_ops / max(self.seconds, 1e-30) / 1e9
+
+    @property
+    def gflops(self) -> float:
+        return self.flops / max(self.seconds, 1e-30) / 1e9
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / max(self.total_cycles, 1e-30)
+
+    @property
+    def lrf_gbytes(self) -> float:
+        return self.machine.gbytes_per_sec(self.lrf_words, self.total_cycles)
+
+    @property
+    def srf_gbytes(self) -> float:
+        return self.machine.gbytes_per_sec(self.srf_words, self.total_cycles)
+
+    @property
+    def mem_gbytes(self) -> float:
+        return self.machine.gbytes_per_sec(self.mem_words, self.total_cycles)
+
+    @property
+    def host_mips(self) -> float:
+        return self.host_instructions / max(self.seconds, 1e-30) / 1e6
+
+    def cycle_fractions(self) -> dict[CycleCategory, float]:
+        """Figure 11 rows: fraction of execution time per category."""
+        total = max(self.total_cycles, 1e-30)
+        return {cat: self.cycles.get(cat, 0.0) / total
+                for cat in CycleCategory}
+
+    def check_conservation(self, tolerance: float = 1e-6) -> None:
+        """All cycles must be attributed exactly once."""
+        attributed = sum(self.cycles.values())
+        if abs(attributed - self.total_cycles) > tolerance * max(
+                1.0, self.total_cycles):
+            raise AssertionError(
+                f"cycle accounting leak: attributed {attributed} of "
+                f"{self.total_cycles}")
+
+    # ------------------------------------------------------------------
+    # Table 5 aggregates.
+    # ------------------------------------------------------------------
+    @property
+    def average_kernel_duration(self) -> float:
+        records = self.kernel_invocations
+        if not records:
+            return 0.0
+        return sum(r.busy_cycles + r.stall_cycles
+                   for r in records) / len(records)
+
+    @property
+    def average_kernel_stream_length(self) -> float:
+        records = self.kernel_invocations
+        if not records:
+            return 0.0
+        return sum(r.stream_elements for r in records) / len(records)
+
+    @property
+    def average_memory_stream_length(self) -> float:
+        if not self.memory_stream_words:
+            return 0.0
+        return sum(self.memory_stream_words) / len(self.memory_stream_words)
+
+    @property
+    def sdr_reuse(self) -> float:
+        if self.sdr_writes == 0:
+            return 0.0
+        return self.sdr_references / self.sdr_writes

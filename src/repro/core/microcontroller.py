@@ -1,0 +1,61 @@
+"""Micro-controller and microcode store.
+
+The micro-controller fetches and issues kernel VLIW instructions from a
+2K-word on-chip microcode store.  Applications whose kernels exceed the
+store trigger dynamic loads from Imagine memory (the paper cites a
+< 6% degradation when loads overlap kernel execution); the stream
+compiler emits explicit ``MICROCODE_LOAD`` instructions and this module
+tracks residency with LRU eviction and prices each load.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.core.config import MachineConfig
+
+
+class MicrocodeStoreError(Exception):
+    """Raised when a single kernel exceeds the whole store."""
+
+
+class Microcontroller:
+    """Residency tracking for kernel microcode (LRU) plus UCRs."""
+
+    def __init__(self, machine: MachineConfig) -> None:
+        self.machine = machine
+        self.capacity_words = machine.microcode_store_words
+        self._resident: OrderedDict[str, int] = OrderedDict()
+        self.ucr: dict[int, float] = {}
+        self.loads = 0
+        self.evictions = 0
+
+    def is_resident(self, kernel: str) -> bool:
+        return kernel in self._resident
+
+    def resident_words(self) -> int:
+        return sum(self._resident.values())
+
+    def touch(self, kernel: str) -> None:
+        """Mark ``kernel`` most-recently used (kernel issue)."""
+        if kernel in self._resident:
+            self._resident.move_to_end(kernel)
+
+    def load(self, kernel: str, words: int) -> float:
+        """Load microcode; return the load's duration in core cycles."""
+        if words > self.capacity_words:
+            raise MicrocodeStoreError(
+                f"kernel {kernel!r} needs {words} microcode words; the "
+                f"store holds {self.capacity_words}")
+        if kernel in self._resident:
+            self._resident.move_to_end(kernel)
+            return 0.0
+        while self.resident_words() + words > self.capacity_words:
+            self._resident.popitem(last=False)
+            self.evictions += 1
+        self._resident[kernel] = words
+        self.loads += 1
+        return words * self.machine.microcode_load_cycles_per_word
+
+    def write_ucr(self, index: int, value: float) -> None:
+        self.ucr[index] = value

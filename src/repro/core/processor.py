@@ -1,0 +1,418 @@
+"""The Imagine processor: event-driven whole-system simulator.
+
+``ImagineProcessor.run`` executes a compiled stream program (a list of
+:class:`~repro.isa.stream_ops.StreamInstruction`) against the full
+machine model: the host issues instructions into the 32-slot
+scoreboard at the host-interface rate, the stream controller issues
+ready instructions to the clusters / address generators / microcode
+loader, kernel durations come from compiled VLIW schedules, memory
+durations from the SDRAM model, and every cycle of the run is
+attributed to one of the paper's eight categories (Figure 11), with
+idle-cluster time classified by the paper's priority rule: microcode
+load, then memory, then stream-controller overhead, then host
+bandwidth.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+from repro.core.cluster import ClusterArray, InvocationResult
+from repro.core.config import BoardConfig, MachineConfig
+from repro.core.metrics import CycleCategory, Metrics
+from repro.core.microcontroller import Microcontroller
+from repro.core.power import EnergyModel, PowerReport
+from repro.core.srf import StreamRegisterFile
+from repro.core.stream_controller import Scoreboard
+from repro.host.interface import HostInterface
+from repro.host.processor import HostModel
+from repro.isa.stream_ops import StreamInstruction, StreamOpType, histogram
+from repro.isa.vliw import CompiledKernel
+from repro.memsys.controller import MemorySystem, SharedMemoryServer
+
+_EPS = 1e-6
+#: Extra non-main-loop cycles charged to a RESTART continuation
+#: instead of a full prologue/epilogue.
+_RESTART_OVERHEAD_CYCLES = 16
+
+
+class SimulationError(Exception):
+    """Deadlock or structural failure during simulation."""
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Lifetime of one stream instruction during simulation."""
+
+    index: int
+    op: str
+    tag: str
+    kernel: str | None
+    resident_at: float
+    started_at: float
+    finished_at: float
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+    @property
+    def queue_delay(self) -> float:
+        return self.started_at - self.resident_at
+
+
+@dataclass
+class RunResult:
+    """Outcome of one stream-program run."""
+
+    name: str
+    metrics: Metrics
+    power: PowerReport
+    instruction_histogram: dict[str, int]
+    board: BoardConfig
+    trace: list[TraceEvent] = field(default_factory=list)
+
+    @property
+    def cycles(self) -> float:
+        return self.metrics.total_cycles
+
+    @property
+    def seconds(self) -> float:
+        return self.metrics.seconds
+
+    def summary(self) -> str:
+        metrics = self.metrics
+        return (f"{self.name}: {metrics.total_cycles:.0f} cycles "
+                f"({metrics.seconds * 1e3:.2f} ms), "
+                f"{metrics.gops:.2f} GOPS, {metrics.gflops:.2f} GFLOPS, "
+                f"IPC {metrics.ipc:.1f}, {self.power.watts:.2f} W")
+
+
+@dataclass
+class _InstructionState:
+    instruction: StreamInstruction
+    status: str = "pending"          # pending -> resident -> running -> done
+    resident_time: float = 0.0
+    start_time: float = 0.0
+    finish_time: float = 0.0
+    invocation: InvocationResult | None = None
+
+
+class ImagineProcessor:
+    """Top-level simulator; construct once per run."""
+
+    def __init__(self, machine: MachineConfig | None = None,
+                 board: BoardConfig | None = None,
+                 kernels: dict[str, CompiledKernel] | None = None,
+                 energy: EnergyModel | None = None) -> None:
+        self.machine = machine or MachineConfig()
+        self.board = board or BoardConfig()
+        self.kernels = dict(kernels or {})
+        self.energy = energy or EnergyModel(self.machine)
+        self.srf = StreamRegisterFile(self.machine)
+        self.clusters = ClusterArray(self.machine, self.srf)
+        self.microcontroller = Microcontroller(self.machine)
+        self.memory = MemorySystem(self.machine,
+                                   precharge_bug=self.board.precharge_bug)
+
+    def register_kernel(self, kernel: CompiledKernel) -> None:
+        self.kernels[kernel.name] = kernel
+
+    # ------------------------------------------------------------------
+    # Simulation.
+    # ------------------------------------------------------------------
+    def run(self, program, name: str = "program") -> RunResult:
+        """Simulate ``program`` (a list of instructions or a
+        :class:`~repro.streamc.compiler.StreamProgramImage`)."""
+        sdr_writes = sdr_references = 0
+        if hasattr(program, "instructions"):
+            name = getattr(program, "name", name)
+            sdr_writes = getattr(program, "sdr_writes", 0)
+            sdr_references = getattr(program, "sdr_references", 0)
+            instructions = list(program.instructions)
+        else:
+            instructions = list(program)
+        if not instructions:
+            raise SimulationError("empty stream program")
+
+        machine = self.machine
+        metrics = Metrics(machine)
+        metrics.sdr_writes = sdr_writes
+        metrics.sdr_references = sdr_references
+        interface = HostInterface(machine, self.board)
+        host = HostModel(interface, instructions)
+        scoreboard = Scoreboard(machine.scoreboard_slots)
+        server = SharedMemoryServer(self.memory)
+        states = [_InstructionState(instr) for instr in instructions]
+        kernel_indices = [i for i, instr in enumerate(instructions)
+                          if instr.op.is_kernel]
+        issue_overhead = (machine.stream_controller_issue_cycles
+                          + self.board.issue_pipeline_cycles)
+
+        completions: list[tuple[float, int, int]] = []
+        tiebreak = itertools.count()
+        now = 0.0
+        cluster_busy_until = 0.0
+        loader_busy_until = 0.0
+        controller_busy_until = 0.0
+        next_kernel_pos = 0
+        total_dsq_ops = 0.0
+
+        def push_completion(time: float, index: int) -> None:
+            heapq.heappush(completions, (time, next(tiebreak), index))
+
+        def resource_free(instr: StreamInstruction, t: float) -> bool:
+            if instr.op.is_kernel:
+                return cluster_busy_until <= t + _EPS
+            if instr.op.is_memory:
+                return len(server.active()) < machine.num_ags
+            if instr.op is StreamOpType.MICROCODE_LOAD:
+                return loader_busy_until <= t + _EPS
+            return True
+
+        def begin(index: int, t: float) -> None:
+            nonlocal cluster_busy_until, loader_busy_until, total_dsq_ops
+            state = states[index]
+            instr = state.instruction
+            state.status = "running"
+            state.start_time = t
+            if instr.op.is_kernel:
+                # The issue window [decision, t] kept the clusters
+                # idle; charge it so cycle accounting stays exact.
+                metrics.add_cycles(
+                    CycleCategory.STREAM_CONTROLLER_OVERHEAD,
+                    issue_overhead)
+                kernel = self._lookup_kernel(instr)
+                extra = 0.0
+                if not self.microcontroller.is_resident(kernel.name):
+                    # Safety net: programs normally carry explicit
+                    # MICROCODE_LOAD instructions; charge a serial
+                    # load otherwise.
+                    extra = self.microcontroller.load(
+                        kernel.name, kernel.microcode_words)
+                    metrics.add_cycles(
+                        CycleCategory.MICROCODE_LOAD_STALL, extra)
+                self.microcontroller.touch(kernel.name)
+                result = self.clusters.run_kernel(
+                    kernel, instr.stream_elements)
+                if instr.op is StreamOpType.RESTART:
+                    result = _restart_adjusted(result)
+                state.invocation = result
+                total_dsq_ops += result.record.dsq_ops
+                finish = t + extra + result.total_cycles
+                cluster_busy_until = finish
+                push_completion(finish, index)
+            elif instr.op.is_memory:
+                measurement = self.memory.measure(instr.pattern)
+                server.start(index, measurement)
+                metrics.mem_words += measurement.words
+                metrics.memory_stream_words.append(measurement.words)
+            elif instr.op is StreamOpType.MICROCODE_LOAD:
+                kernel = self._lookup_kernel(instr)
+                duration = self.microcontroller.load(
+                    kernel.name, kernel.microcode_words)
+                loader_busy_until = t + max(duration, 1.0)
+                push_completion(loader_busy_until, index)
+            else:
+                push_completion(t + 1.0, index)
+
+        def complete(index: int, t: float) -> None:
+            state = states[index]
+            state.status = "done"
+            state.finish_time = t
+            scoreboard.complete(index)
+            host.notify_completion(index, t)
+            instr = state.instruction
+            if instr.op.is_kernel and state.invocation is not None:
+                timing = state.invocation.timing
+                record = state.invocation.record
+                metrics.add_cycles(CycleCategory.OPERATIONS,
+                                   timing.operations)
+                metrics.add_cycles(
+                    CycleCategory.KERNEL_MAIN_LOOP_OVERHEAD,
+                    timing.main_loop_overhead)
+                metrics.add_cycles(CycleCategory.KERNEL_NON_MAIN_LOOP,
+                                   timing.non_main_loop)
+                metrics.add_cycles(CycleCategory.CLUSTER_STALL,
+                                   record.stall_cycles)
+                metrics.record_invocation(record)
+
+        def idle_cause(t: float) -> CycleCategory:
+            # Attribution priority per Section 4.2; next_kernel_pos is
+            # advanced past completed kernels by the event loop.
+            if next_kernel_pos >= len(kernel_indices):
+                if server.active() or any(
+                        s.instruction.op.is_memory
+                        and s.status in ("pending", "resident")
+                        for s in states):
+                    return CycleCategory.MEMORY_STALL
+                if not host.done:
+                    return CycleCategory.HOST_BANDWIDTH_STALL
+                return CycleCategory.STREAM_CONTROLLER_OVERHEAD
+            index = kernel_indices[next_kernel_pos]
+            state = states[index]
+            instr = state.instruction
+            if state.status == "running":
+                return CycleCategory.STREAM_CONTROLLER_OVERHEAD
+            # A dependency only counts as a memory / microcode stall
+            # if the host has actually issued it; waiting on an
+            # instruction the host has not yet delivered is a host
+            # bandwidth (or host dependency) stall.
+            for dep in instr.deps:
+                dep_state = states[dep]
+                if (dep_state.status in ("resident", "running")
+                        and dep_state.instruction.op
+                        is StreamOpType.MICROCODE_LOAD):
+                    return CycleCategory.MICROCODE_LOAD_STALL
+            for dep in instr.deps:
+                dep_state = states[dep]
+                if (dep_state.status in ("resident", "running")
+                        and dep_state.instruction.op.is_memory):
+                    return CycleCategory.MEMORY_STALL
+            if state.status == "resident" and scoreboard.deps_met(instr):
+                return CycleCategory.STREAM_CONTROLLER_OVERHEAD
+            if state.status == "resident":
+                unissued = any(states[d].status == "pending"
+                               for d in instr.deps)
+                if unissued:
+                    return CycleCategory.HOST_BANDWIDTH_STALL
+                return CycleCategory.STREAM_CONTROLLER_OVERHEAD
+            return CycleCategory.HOST_BANDWIDTH_STALL
+
+        # --------------------------------------------------------------
+        # Event loop.
+        # --------------------------------------------------------------
+        max_steps = 200 * len(instructions) + 10000
+        for _ in range(max_steps):
+            # Zero-time actions at `now`.
+            progressed = True
+            while progressed:
+                progressed = False
+                while host.can_issue(now) and scoreboard.has_free_slot():
+                    index, instr = host.issue(now)
+                    scoreboard.insert(index, instr)
+                    states[index].status = "resident"
+                    states[index].resident_time = now
+                    metrics.host_instructions += 1
+                    progressed = True
+                if controller_busy_until <= now + _EPS:
+                    for index, instr in scoreboard.resident_instructions():
+                        state = states[index]
+                        if state.status != "resident":
+                            continue
+                        if not scoreboard.deps_met(instr):
+                            continue
+                        if not resource_free(instr, now):
+                            continue
+                        controller_busy_until = now + issue_overhead
+                        begin(index, now + issue_overhead)
+                        progressed = True
+                        break
+
+            while (next_kernel_pos < len(kernel_indices)
+                   and states[kernel_indices[next_kernel_pos]].status
+                   == "done"):
+                next_kernel_pos += 1
+
+            all_done = (host.done and all(s.status == "done"
+                                          for s in states))
+            if all_done:
+                break
+
+            # Next event time.
+            candidates: list[float] = []
+            host_time = host.next_event_time()
+            if host_time is not None and scoreboard.has_free_slot():
+                candidates.append(max(host_time, now))
+            if controller_busy_until > now + _EPS:
+                candidates.append(controller_busy_until)
+            if completions:
+                candidates.append(completions[0][0])
+            mem_delta = server.next_completion_delta()
+            if mem_delta is not None:
+                candidates.append(now + mem_delta)
+            if not candidates:
+                stuck = [i for i, s in enumerate(states)
+                         if s.status != "done"]
+                raise SimulationError(
+                    f"{name}: deadlock at cycle {now:.0f}; "
+                    f"unfinished instructions {stuck[:10]}")
+            target = min(candidates)
+            target = max(target, now)
+
+            # Attribute idle-cluster time over [now, target].
+            idle_start = max(now, cluster_busy_until)
+            if target > idle_start + _EPS:
+                cause = idle_cause(idle_start)
+                metrics.add_cycles(cause, target - idle_start)
+                if next_kernel_pos < len(kernel_indices):
+                    blocker = states[kernel_indices[next_kernel_pos]]
+                    tag = (f"{cause.value}<-"
+                           f"{blocker.instruction.tag or blocker.instruction.op.value}")
+                    metrics.idle_blame[tag] = (
+                        metrics.idle_blame.get(tag, 0.0)
+                        + (target - idle_start))
+
+            # Advance shared memory streams and collect completions.
+            for ident in server.advance(target - now):
+                complete(ident, target)
+            while completions and completions[0][0] <= target + _EPS:
+                _, _, index = heapq.heappop(completions)
+                complete(index, target)
+            now = target
+        else:
+            raise SimulationError(
+                f"{name}: event budget exhausted at cycle {now:.0f}")
+
+        metrics.total_cycles = now
+        metrics.check_conservation(tolerance=1e-3)
+        power = self.energy.report(metrics, dsq_ops=total_dsq_ops)
+        trace = [
+            TraceEvent(
+                index=i,
+                op=state.instruction.op.value,
+                tag=state.instruction.tag,
+                kernel=state.instruction.kernel,
+                resident_at=state.resident_time,
+                started_at=state.start_time,
+                finished_at=state.finish_time,
+            )
+            for i, state in enumerate(states)
+        ]
+        return RunResult(
+            name=name,
+            metrics=metrics,
+            power=power,
+            instruction_histogram=histogram(instructions),
+            board=self.board,
+            trace=trace,
+        )
+
+    def _lookup_kernel(self, instr: StreamInstruction) -> CompiledKernel:
+        if instr.kernel not in self.kernels:
+            raise SimulationError(
+                f"kernel {instr.kernel!r} not registered with the "
+                f"processor")
+        return self.kernels[instr.kernel]
+
+
+def _restart_adjusted(result: InvocationResult) -> InvocationResult:
+    """A RESTART continues a running kernel: no prologue/epilogue."""
+    from dataclasses import replace
+
+    from repro.isa.vliw import KernelTiming
+
+    timing = KernelTiming(
+        iterations=result.timing.iterations,
+        operations=result.timing.operations,
+        main_loop_overhead=result.timing.main_loop_overhead,
+        non_main_loop=_RESTART_OVERHEAD_CYCLES,
+    )
+    record = replace(
+        result.record,
+        busy_cycles=timing.busy_cycles,
+        stall_cycles=0,
+    )
+    return InvocationResult(record=record, timing=timing)

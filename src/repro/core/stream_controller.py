@@ -1,0 +1,70 @@
+"""Stream controller: the 32-slot scoreboard.
+
+The host writes stream instructions into scoreboard slots; the stream
+controller issues an instruction once its encoded dependencies have
+completed and its resources (clusters, an address generator, the
+microcode loader) are available.  This module is the bookkeeping half;
+the event-driven issue logic lives in :mod:`repro.core.processor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.stream_ops import StreamInstruction
+
+
+class ScoreboardError(Exception):
+    """Structural misuse of the scoreboard."""
+
+
+@dataclass
+class Scoreboard:
+    """Fixed-capacity in-flight window of stream instructions."""
+
+    slots: int = 32
+
+    def __post_init__(self) -> None:
+        self._resident: dict[int, StreamInstruction] = {}
+        self._completed: set[int] = set()
+        self.peak_occupancy = 0
+
+    # ------------------------------------------------------------------
+    # Host side.
+    # ------------------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        return len(self._resident)
+
+    def has_free_slot(self) -> bool:
+        return self.occupancy < self.slots
+
+    def insert(self, index: int, instruction: StreamInstruction) -> None:
+        if not self.has_free_slot():
+            raise ScoreboardError("scoreboard full")
+        if index in self._resident or index in self._completed:
+            raise ScoreboardError(f"instruction {index} already seen")
+        self._resident[index] = instruction
+        self.peak_occupancy = max(self.peak_occupancy, self.occupancy)
+
+    # ------------------------------------------------------------------
+    # Controller side.
+    # ------------------------------------------------------------------
+    def resident(self, index: int) -> bool:
+        return index in self._resident
+
+    def completed(self, index: int) -> bool:
+        return index in self._completed
+
+    def deps_met(self, instruction: StreamInstruction) -> bool:
+        return all(dep in self._completed for dep in instruction.deps)
+
+    def complete(self, index: int) -> None:
+        if index not in self._resident:
+            raise ScoreboardError(
+                f"completing non-resident instruction {index}")
+        del self._resident[index]
+        self._completed.add(index)
+
+    def resident_instructions(self) -> list[tuple[int, StreamInstruction]]:
+        return sorted(self._resident.items())

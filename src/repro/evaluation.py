@@ -1,0 +1,210 @@
+"""One-call reproduction of the paper's entire evaluation.
+
+``run_full_evaluation()`` regenerates every table and figure (the
+same code paths the individual benchmarks use) and returns them as a
+name -> rendered-text mapping; ``python -m repro evaluate`` prints
+them in the paper's order.  This is the "reproduce the paper" button.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.analysis import kernel_breakdown, measure_kernel
+from repro.analysis.breakdown import application_breakdown
+from repro.analysis.power_compare import power_efficiency_comparison
+from repro.analysis.report import render_breakdown, render_table
+from repro.apps import depth, mpeg, qrd, rtsl, run_app
+from repro.core import BoardConfig, MachineConfig
+from repro.kernels import KERNEL_LIBRARY
+from repro.kernels.library import TABLE2_KERNELS
+from repro.workloads.microbench import run_all_microbenchmarks
+from repro.workloads.streamlen import (
+    MEMORY_PATTERNS,
+    kernel_length_sweep,
+    memory_length_sweep,
+)
+
+_APP_BUILDERS = {"DEPTH": depth.build, "MPEG": mpeg.build,
+                 "QRD": qrd.build, "RTSL": rtsl.build}
+
+
+class Evaluation:
+    """Caches the expensive shared pieces (app runs) across sections."""
+
+    def __init__(self, machine: MachineConfig | None = None,
+                 board: BoardConfig | None = None) -> None:
+        self.machine = machine or MachineConfig()
+        self.board = board or BoardConfig.hardware()
+        self._bundles = {}
+        self._results = {}
+
+    def bundle(self, name: str):
+        if name not in self._bundles:
+            self._bundles[name] = _APP_BUILDERS[name]()
+        return self._bundles[name]
+
+    def result(self, name: str, mode: str = "hardware"):
+        key = (name, mode)
+        if key not in self._results:
+            board = (self.board if mode == "hardware"
+                     else BoardConfig.isim())
+            self._results[key] = run_app(self.bundle(name),
+                                         board=board)
+        return self._results[key]
+
+    # ------------------------------------------------------------------
+    # Sections.
+    # ------------------------------------------------------------------
+    def table1(self) -> str:
+        rows = [[r.component, r.achieved, r.theoretical, r.unit,
+                 r.power_watts]
+                for r in run_all_microbenchmarks(self.machine,
+                                                 self.board)]
+        return render_table("Table 1: component peaks",
+                            ["component", "achieved", "theoretical",
+                             "unit", "W"], rows)
+
+    def table2(self) -> str:
+        rows = []
+        for name in TABLE2_KERNELS:
+            row = measure_kernel(KERNEL_LIBRARY[name],
+                                 machine=self.machine)
+            rows.append([name, f"{row.rate:.2f} {row.rate_unit}",
+                         row.lrf_gbytes, row.srf_gbytes,
+                         f"{row.ipc:.1f}", row.power_watts])
+        return render_table("Table 2: kernels",
+                            ["kernel", "ALU", "LRF GB/s", "SRF GB/s",
+                             "IPC", "W"], rows)
+
+    def figure6(self) -> str:
+        return render_breakdown(
+            "Figure 6: kernel breakdown",
+            {name: kernel_breakdown(KERNEL_LIBRARY[name],
+                                    machine=self.machine)
+             for name in TABLE2_KERNELS})
+
+    def figures7_8(self) -> str:
+        lengths = [32, 256, 2048]
+        parts = []
+        for title, configs in (
+                ("Figure 7 (prologue 64)",
+                 [(m, 64) for m in (8, 64, 256)]),
+                ("Figure 8 (main loop 32)",
+                 [(32, p) for p in (8, 64, 256)])):
+            rows = []
+            for main, prologue in configs:
+                points = kernel_length_sweep(
+                    main, prologue, lengths, invocations=16,
+                    machine=self.machine, board=self.board)
+                rows.append([f"main {main} / prologue {prologue}"]
+                            + [p.gops for p in points])
+            parts.append(render_table(
+                title, ["config"] + [str(n) for n in lengths], rows))
+        return "\n\n".join(parts)
+
+    def figures9_10(self) -> str:
+        lengths = [64, 1024, 8192]
+        parts = []
+        for ags in (1, 2):
+            points = memory_length_sweep(
+                lengths, ags, loads_per_point=6,
+                machine=self.machine, board=self.board)
+            table = {name: [] for name in MEMORY_PATTERNS}
+            for point in points:
+                table[point.pattern].append(point.gbytes_per_sec)
+            parts.append(render_table(
+                f"Figure {8 + ags}: memory bandwidth, {ags} AG(s)",
+                ["pattern"] + [str(n) for n in lengths],
+                [[k] + v for k, v in table.items()]))
+        return "\n\n".join(parts)
+
+    def table3(self) -> str:
+        rows = []
+        for name in _APP_BUILDERS:
+            result = self.result(name)
+            bundle = self.bundle(name)
+            metrics = result.metrics
+            rows.append([
+                name,
+                f"{metrics.gflops:.2f} GFLOPS" if name == "QRD"
+                else f"{metrics.gops:.2f} GOPS",
+                f"{metrics.ipc:.1f}",
+                f"{bundle.throughput(result.seconds):.1f} "
+                f"{bundle.work_name}/s",
+                result.power.watts])
+        return render_table("Table 3: applications",
+                            ["app", "ALU", "IPC", "rate", "W"], rows)
+
+    def figure11(self) -> str:
+        return render_breakdown(
+            "Figure 11: application breakdown",
+            {name: application_breakdown(self.result(name, "isim"))
+             for name in _APP_BUILDERS})
+
+    def tables4_5(self) -> str:
+        rows4, rows5 = [], []
+        for name in _APP_BUILDERS:
+            image = self.bundle(name).image
+            metrics = self.result(name).metrics
+            histogram = image.histogram()
+            rows4.append([name, histogram["kernel"],
+                          histogram["memory"], histogram["total"],
+                          f"{image.sdr_reuse:.1f}x",
+                          f"{metrics.host_mips:.2f}"])
+            rows5.append([name,
+                          f"{metrics.average_kernel_duration:.0f}",
+                          f"{metrics.average_kernel_stream_length:.0f}",
+                          f"{metrics.average_memory_stream_length:.0f}"])
+        return "\n\n".join([
+            render_table("Table 4: stream operations",
+                         ["app", "kernel", "memory", "total",
+                          "SDR reuse", "MIPS"], rows4),
+            render_table("Table 5: cluster characteristics",
+                         ["app", "kernel cycles", "kernel stream",
+                          "memory stream"], rows5)])
+
+    def table6(self) -> str:
+        rows = [[name,
+                 f"{self.result(name, 'hardware').cycles / 1e6:.3f} M",
+                 f"{self.result(name, 'isim').cycles / 1e6:.3f} M",
+                 f"{self.result(name, 'hardware').cycles / self.result(name, 'isim').cycles:.3f}"]
+                for name in _APP_BUILDERS]
+        return render_table("Table 6: lab vs ISIM",
+                            ["app", "lab", "ISIM", "ratio"], rows)
+
+    def power(self) -> str:
+        rows = [[r.processor, r.pj_per_flop, r.technology]
+                for r in power_efficiency_comparison(self.machine,
+                                                     self.board)]
+        return render_table("Section 5.5: power efficiency",
+                            ["processor", "pJ/FLOP", "technology"],
+                            rows, floatfmt="{:.1f}")
+
+
+#: Section name -> generator method, in the paper's order.
+SECTIONS: dict[str, Callable[[Evaluation], str]] = {
+    "table1": Evaluation.table1,
+    "table2": Evaluation.table2,
+    "figure6": Evaluation.figure6,
+    "figures7_8": Evaluation.figures7_8,
+    "figures9_10": Evaluation.figures9_10,
+    "table3": Evaluation.table3,
+    "figure11": Evaluation.figure11,
+    "tables4_5": Evaluation.tables4_5,
+    "table6": Evaluation.table6,
+    "power": Evaluation.power,
+}
+
+
+def run_full_evaluation(machine: MachineConfig | None = None,
+                        board: BoardConfig | None = None,
+                        sections: list[str] | None = None
+                        ) -> dict[str, str]:
+    """Regenerate the paper's evaluation; returns section -> text."""
+    evaluation = Evaluation(machine, board)
+    chosen = sections or list(SECTIONS)
+    unknown = set(chosen) - set(SECTIONS)
+    if unknown:
+        raise ValueError(f"unknown sections: {sorted(unknown)}")
+    return {name: SECTIONS[name](evaluation) for name in chosen}

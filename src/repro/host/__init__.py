@@ -1,0 +1,14 @@
+"""Host processor and host-interface models.
+
+The host executes the compiled StreamC scalar code and feeds stream
+instructions to Imagine over a bandwidth-limited interface (the
+development board's FPGA bridge sustains ~2 MIPS, ~500 ns per
+instruction, against the chip's 20 MIPS theoretical peak).  Host
+register reads serialize the host on an Imagine round trip -- the RTSL
+overhead of Section 4.2 and the dependency stalls of Section 5.4.
+"""
+
+from repro.host.interface import HostInterface
+from repro.host.processor import HostModel
+
+__all__ = ["HostInterface", "HostModel"]

@@ -1,0 +1,30 @@
+"""Host-interface timing: the path from host CPU to stream controller."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import BoardConfig, MachineConfig
+
+
+@dataclass(frozen=True)
+class HostInterface:
+    """Core-cycle costs of host <-> Imagine interactions."""
+
+    machine: MachineConfig
+    board: BoardConfig
+
+    @property
+    def issue_cycles(self) -> int:
+        """Cycles between successive stream-instruction transfers."""
+        return self.board.host_issue_cycles(self.machine)
+
+    @property
+    def round_trip_cycles(self) -> int:
+        """Host register read-compute-write round trip."""
+        return self.board.host_round_trip_cycles
+
+    @property
+    def achieved_mips(self) -> float:
+        """Sustained instruction bandwidth implied by ``issue_cycles``."""
+        return self.machine.clock_hz / self.issue_cycles / 1e6

@@ -1,0 +1,69 @@
+"""Host-processor dispatch model.
+
+The host walks the compiled stream-instruction sequence (either the
+general dispatcher or the playback dispatcher -- the distinction only
+changes per-instruction cost) and writes each instruction into the
+scoreboard when a slot is free and the interface is ready.  A
+``host_dependency`` instruction blocks the host until the instruction
+completes plus a round-trip delay, modelling StreamC code whose
+control flow reads kernel results (the RTSL pattern).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.host.interface import HostInterface
+from repro.isa.stream_ops import StreamInstruction
+
+
+@dataclass
+class HostModel:
+    """Program-order instruction source with interface rate limiting."""
+
+    interface: HostInterface
+    program: list[StreamInstruction]
+    next_index: int = 0
+    ready_at: float = 0.0
+    #: Instruction index whose completion the host is blocked on.
+    blocked_on: int | None = None
+    issued_instructions: int = field(default=0)
+
+    @property
+    def done(self) -> bool:
+        return self.next_index >= len(self.program)
+
+    def peek(self) -> StreamInstruction | None:
+        if self.done:
+            return None
+        return self.program[self.next_index]
+
+    def can_issue(self, now: float) -> bool:
+        return (not self.done and self.blocked_on is None
+                and now + 1e-9 >= self.ready_at)
+
+    def issue(self, now: float) -> tuple[int, StreamInstruction]:
+        """Hand the next instruction to the scoreboard."""
+        if not self.can_issue(now):
+            raise RuntimeError("host cannot issue now")
+        index = self.next_index
+        instruction = self.program[index]
+        self.next_index += 1
+        self.ready_at = now + self.interface.issue_cycles
+        self.issued_instructions += 1
+        if instruction.host_dependency:
+            self.blocked_on = index
+        return index, instruction
+
+    def notify_completion(self, index: int, now: float) -> None:
+        """Unblock the host after a dependent instruction finishes."""
+        if self.blocked_on == index:
+            self.blocked_on = None
+            self.ready_at = max(self.ready_at,
+                                now + self.interface.round_trip_cycles)
+
+    def next_event_time(self) -> float | None:
+        """When the host can act next, if it is merely rate-limited."""
+        if self.done or self.blocked_on is not None:
+            return None
+        return self.ready_at

@@ -1,0 +1,30 @@
+"""Instruction-set definitions for the Imagine reproduction.
+
+Three layers of "instructions" exist in the Imagine system and each has a
+module here:
+
+* :mod:`repro.isa.kernel_ir` -- the KernelC-like dataflow IR that kernel
+  inner loops are written in before compilation.
+* :mod:`repro.isa.vliw` -- the compiled form: VLIW words and whole-kernel
+  schedules as produced by the kernel compiler.
+* :mod:`repro.isa.stream_ops` -- stream-level instructions issued by the
+  host processor to the stream controller (loads, stores, kernel
+  invocations, descriptor-register writes, ...).
+"""
+
+from repro.isa.kernel_ir import FuClass, KernelBuilder, KernelGraph, Op, OPCODES, OpSpec
+from repro.isa.stream_ops import StreamInstruction, StreamOpType
+from repro.isa.vliw import CompiledKernel, VliwWord
+
+__all__ = [
+    "FuClass",
+    "KernelBuilder",
+    "KernelGraph",
+    "Op",
+    "OPCODES",
+    "OpSpec",
+    "StreamInstruction",
+    "StreamOpType",
+    "CompiledKernel",
+    "VliwWord",
+]

@@ -1,0 +1,390 @@
+"""KernelC-like dataflow intermediate representation.
+
+An Imagine kernel is a loop whose body consumes a fixed number of words
+from each input stream, performs a fixed DAG of arithmetic operations,
+and appends a fixed number of words to each output stream.  The paper's
+KernelC language is replaced here by a Python builder API that produces
+the same thing the real compiler front end produced: a dataflow graph of
+typed operations, possibly with loop-carried dependences (values consumed
+from a previous iteration), ready for modulo scheduling.
+
+Example
+-------
+>>> b = KernelBuilder("saxpy")
+>>> x = b.stream_input("x")
+>>> y = b.stream_input("y")
+>>> a = b.param("a")
+>>> b.stream_output("out", b.op("fadd", b.op("fmul", a, x), y))
+>>> kernel = b.build()
+>>> kernel.op_count("fmul")
+1
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class FuClass(enum.Enum):
+    """Functional-unit classes inside an Imagine arithmetic cluster.
+
+    Each cluster has 3 ADD units, 2 MUL units, 1 DSQ (divide/square
+    root) unit, 1 SP (scratchpad) unit, and 1 COMM (inter-cluster
+    communication) unit.  SB is the pseudo-unit for stream-buffer
+    (SRF port) accesses and BUS models the intra-cluster switch
+    write-back buses used by communication scheduling.
+    """
+
+    ADD = "add"
+    MUL = "mul"
+    DSQ = "dsq"
+    SP = "sp"
+    COMM = "comm"
+    SB = "sb"
+    BUS = "bus"
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Static properties of one opcode.
+
+    Attributes
+    ----------
+    name:
+        Opcode mnemonic.
+    fu:
+        Functional-unit class that executes the opcode.
+    latency:
+        Result latency in cycles.
+    issue_interval:
+        Cycles the unit is busy per issue (1 for fully pipelined
+        units; the DSQ unit is unpipelined).
+    arith_ops:
+        Number of arithmetic operations this opcode counts as for
+        GOPS accounting (packed sub-word opcodes count more than 1).
+    flops:
+        Number of floating-point operations it counts as for GFLOPS.
+    """
+
+    name: str
+    fu: FuClass
+    latency: int
+    issue_interval: int = 1
+    arith_ops: int = 1
+    flops: int = 0
+
+
+def _specs() -> dict[str, OpSpec]:
+    table = [
+        # 32-bit integer / logical ops on the adders.
+        OpSpec("iadd", FuClass.ADD, 2),
+        OpSpec("isub", FuClass.ADD, 2),
+        OpSpec("iabs", FuClass.ADD, 2),
+        OpSpec("iand", FuClass.ADD, 2),
+        OpSpec("ior", FuClass.ADD, 2),
+        OpSpec("ixor", FuClass.ADD, 2),
+        OpSpec("ishl", FuClass.ADD, 2),
+        OpSpec("ishr", FuClass.ADD, 2),
+        OpSpec("icmp", FuClass.ADD, 2),
+        OpSpec("isel", FuClass.ADD, 2),
+        OpSpec("imin", FuClass.ADD, 2),
+        OpSpec("imax", FuClass.ADD, 2),
+        # Packed sub-word ops: four 8-bit lanes or two 16-bit lanes
+        # per 32-bit word on the adders, two 16-bit lanes on the
+        # multipliers.
+        OpSpec("padd8", FuClass.ADD, 2, arith_ops=4),
+        OpSpec("psub8", FuClass.ADD, 2, arith_ops=4),
+        OpSpec("pabs8", FuClass.ADD, 2, arith_ops=4),
+        OpSpec("padd16", FuClass.ADD, 2, arith_ops=2),
+        OpSpec("psub16", FuClass.ADD, 2, arith_ops=2),
+        OpSpec("pabs16", FuClass.ADD, 2, arith_ops=2),
+        OpSpec("pmin16", FuClass.ADD, 2, arith_ops=2),
+        OpSpec("pmax16", FuClass.ADD, 2, arith_ops=2),
+        OpSpec("psad8", FuClass.ADD, 2, arith_ops=4),
+        # Floating-point add-class ops.
+        OpSpec("fadd", FuClass.ADD, 4, flops=1),
+        OpSpec("fsub", FuClass.ADD, 4, flops=1),
+        OpSpec("fabs", FuClass.ADD, 4, flops=1),
+        OpSpec("fcmp", FuClass.ADD, 4, flops=1),
+        OpSpec("fmin", FuClass.ADD, 4, flops=1),
+        OpSpec("fmax", FuClass.ADD, 4, flops=1),
+        OpSpec("ftoi", FuClass.ADD, 4, flops=1),
+        OpSpec("itof", FuClass.ADD, 4, flops=1),
+        # Multiplier ops.
+        OpSpec("imul", FuClass.MUL, 4),
+        OpSpec("pmul16", FuClass.MUL, 4, arith_ops=2),
+        OpSpec("fmul", FuClass.MUL, 4, flops=1),
+        # Unpipelined divide / square-root unit.
+        OpSpec("fdiv", FuClass.DSQ, 17, issue_interval=16, flops=1),
+        OpSpec("fsqrt", FuClass.DSQ, 17, issue_interval=16, flops=1),
+        OpSpec("frsq", FuClass.DSQ, 17, issue_interval=16, flops=1),
+        OpSpec("idiv", FuClass.DSQ, 21, issue_interval=20),
+        # Scratchpad: small indexed storage inside the cluster.  The
+        # scratchpad access itself is not an arithmetic operation.
+        OpSpec("spread", FuClass.SP, 2, arith_ops=0),
+        OpSpec("spwrite", FuClass.SP, 1, arith_ops=0),
+        # Inter-cluster communication: one word exchanged per issue.
+        OpSpec("comm", FuClass.COMM, 2, arith_ops=0),
+        # Stream-buffer (SRF port) accesses.
+        OpSpec("sbread", FuClass.SB, 2, arith_ops=0),
+        OpSpec("sbwrite", FuClass.SB, 1, arith_ops=0),
+        # Value-routing pseudo-op used by copy propagation input.
+        OpSpec("copy", FuClass.ADD, 1, arith_ops=0),
+    ]
+    return {spec.name: spec for spec in table}
+
+
+#: Opcode table keyed by mnemonic.
+OPCODES: dict[str, OpSpec] = _specs()
+
+
+@dataclass(frozen=True)
+class Operand:
+    """Reference to the producer of an input value.
+
+    ``distance`` is the loop-carried distance: 0 means the value is
+    produced by the same iteration, 1 by the previous iteration, and
+    so on.  External values (stream inputs, parameters, constants)
+    are ops themselves, so every operand points at an op.
+    """
+
+    producer: int
+    distance: int = 0
+
+
+@dataclass
+class Op:
+    """One node in the kernel dataflow graph."""
+
+    ident: int
+    opcode: str
+    operands: tuple[Operand, ...] = ()
+    name: str | None = None
+
+    @property
+    def spec(self) -> OpSpec:
+        return OPCODES[self.opcode]
+
+
+# Pseudo opcodes for graph sources that occupy no functional unit.
+_SOURCE_OPCODES = {"input", "param", "const"}
+
+
+@dataclass
+class KernelGraph:
+    """A complete kernel: sources, operation DAG, and outputs.
+
+    The graph describes **one iteration** of the kernel main loop.
+    ``elements_per_iteration`` is how many stream elements each
+    cluster consumes per iteration (usually 1; conv kernels that
+    process pixel pairs use more).
+    """
+
+    name: str
+    ops: list[Op]
+    inputs: list[int]
+    outputs: list[int]
+    params: list[int]
+    consts: list[int]
+    elements_per_iteration: int = 1
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        self._by_id = {op.ident: op for op in self.ops}
+
+    def op(self, ident: int) -> Op:
+        return self._by_id[ident]
+
+    @property
+    def schedulable_ops(self) -> list[Op]:
+        """Ops that occupy a functional-unit slot (excludes sources)."""
+        return [op for op in self.ops if op.opcode not in _SOURCE_OPCODES]
+
+    def op_count(self, opcode: str) -> int:
+        return sum(1 for op in self.ops if op.opcode == opcode)
+
+    def fu_count(self, fu: FuClass) -> int:
+        return sum(1 for op in self.schedulable_ops if op.spec.fu is fu)
+
+    @property
+    def arith_ops_per_iteration(self) -> int:
+        """Arithmetic operations per iteration (for GOPS accounting)."""
+        return sum(op.spec.arith_ops for op in self.schedulable_ops)
+
+    @property
+    def flops_per_iteration(self) -> int:
+        return sum(op.spec.flops for op in self.schedulable_ops)
+
+    @property
+    def instructions_per_iteration(self) -> int:
+        """FU instruction slots occupied per iteration (for IPC)."""
+        return len(self.schedulable_ops)
+
+    @property
+    def words_in_per_iteration(self) -> int:
+        return sum(1 for op in self.ops if op.opcode == "sbread")
+
+    @property
+    def words_out_per_iteration(self) -> int:
+        return sum(1 for op in self.ops if op.opcode == "sbwrite")
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` if the graph is malformed."""
+        ids = set(self._by_id)
+        for op in self.ops:
+            for operand in op.operands:
+                if operand.producer not in ids:
+                    raise ValueError(
+                        f"{self.name}: op {op.ident} reads undefined "
+                        f"value {operand.producer}"
+                    )
+                if operand.distance < 0:
+                    raise ValueError(
+                        f"{self.name}: negative loop-carried distance "
+                        f"on op {op.ident}"
+                    )
+        self._check_acyclic()
+
+    def _check_acyclic(self) -> None:
+        """Same-iteration (distance-0) edges must form a DAG."""
+        state: dict[int, int] = {}
+
+        def visit(ident: int, stack: list[int]) -> None:
+            state[ident] = 1
+            stack.append(ident)
+            for operand in self._by_id[ident].operands:
+                if operand.distance != 0:
+                    continue
+                mark = state.get(operand.producer, 0)
+                if mark == 1:
+                    cycle = stack[stack.index(operand.producer):]
+                    raise ValueError(
+                        f"{self.name}: zero-distance dependence cycle "
+                        f"through ops {cycle}"
+                    )
+                if mark == 0:
+                    visit(operand.producer, stack)
+            stack.pop()
+            state[ident] = 2
+
+        for op in self.ops:
+            if state.get(op.ident, 0) == 0:
+                visit(op.ident, [])
+
+
+class Value:
+    """Handle returned by :class:`KernelBuilder` methods.
+
+    Wraps the producing op id plus a loop-carried distance so the
+    builder API reads naturally: ``b.op("fadd", x, b.prev(acc))``.
+    """
+
+    __slots__ = ("ident", "distance")
+
+    def __init__(self, ident: int, distance: int = 0) -> None:
+        self.ident = ident
+        self.distance = distance
+
+    def as_operand(self) -> Operand:
+        return Operand(self.ident, self.distance)
+
+
+class KernelBuilder:
+    """Builds :class:`KernelGraph` objects, the KernelC stand-in."""
+
+    def __init__(self, name: str, elements_per_iteration: int = 1,
+                 description: str = "") -> None:
+        self.name = name
+        self.elements_per_iteration = elements_per_iteration
+        self.description = description
+        self._ops: list[Op] = []
+        self._inputs: list[int] = []
+        self._outputs: list[int] = []
+        self._params: list[int] = []
+        self._consts: list[int] = []
+
+    def _new(self, opcode: str, operands: tuple[Operand, ...] = (),
+             name: str | None = None) -> Value:
+        ident = len(self._ops)
+        self._ops.append(Op(ident, opcode, operands, name))
+        return Value(ident)
+
+    def stream_input(self, name: str) -> Value:
+        """Read one word from an input stream each iteration."""
+        source = self._new("input", name=name)
+        self._inputs.append(source.ident)
+        return self._new("sbread", (source.as_operand(),), name=name)
+
+    def stream_output(self, name: str, value: Value) -> Value:
+        """Append one word to an output stream each iteration."""
+        out = self._new("sbwrite", (value.as_operand(),), name=name)
+        self._outputs.append(out.ident)
+        return out
+
+    def param(self, name: str) -> Value:
+        """A scalar kernel parameter delivered via a UCR register."""
+        value = self._new("param", name=name)
+        self._params.append(value.ident)
+        return value
+
+    def const(self, name: str = "const") -> Value:
+        """A compile-time constant (costs nothing at run time)."""
+        value = self._new("const", name=name)
+        self._consts.append(value.ident)
+        return value
+
+    def op(self, opcode: str, *args: Value, name: str | None = None) -> Value:
+        if opcode not in OPCODES:
+            raise ValueError(f"unknown opcode {opcode!r}")
+        if opcode in _SOURCE_OPCODES:
+            raise ValueError(f"use the dedicated builder method for {opcode!r}")
+        operands = tuple(arg.as_operand() for arg in args)
+        return self._new(opcode, operands, name)
+
+    def prev(self, value: Value, distance: int = 1) -> Value:
+        """The given value as produced ``distance`` iterations earlier."""
+        return Value(value.ident, value.distance + distance)
+
+    def accumulate(self, opcode: str, value: Value, distance: int = 1,
+                   name: str | None = None) -> Value:
+        """Self-recurrent accumulator: ``acc = op(value, acc@-distance)``.
+
+        Creates the loop-carried cycle that bounds II at
+        ``ceil(latency / distance)`` -- the ILP-limiting recurrences
+        the paper's kernel analysis discusses.
+        """
+        result = self._new(opcode, (value.as_operand(),), name)
+        op = self._ops[result.ident]
+        self._ops[result.ident] = Op(
+            op.ident, op.opcode,
+            op.operands + (Operand(result.ident, distance),), op.name)
+        return result
+
+    def reduce(self, opcode: str, values: list[Value]) -> Value:
+        """Balanced reduction tree over ``values`` with ``opcode``."""
+        if not values:
+            raise ValueError("cannot reduce an empty value list")
+        level = list(values)
+        while len(level) > 1:
+            nxt = []
+            for i in range(0, len(level) - 1, 2):
+                nxt.append(self.op(opcode, level[i], level[i + 1]))
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        return level[0]
+
+    def build(self) -> KernelGraph:
+        graph = KernelGraph(
+            name=self.name,
+            ops=list(self._ops),
+            inputs=list(self._inputs),
+            outputs=list(self._outputs),
+            params=list(self._params),
+            consts=list(self._consts),
+            elements_per_iteration=self.elements_per_iteration,
+            description=self.description,
+        )
+        graph.validate()
+        return graph

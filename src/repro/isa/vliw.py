@@ -1,0 +1,195 @@
+"""Compiled-kernel representation: VLIW words and schedules.
+
+The kernel compiler (:mod:`repro.kernelc`) lowers a
+:class:`~repro.isa.kernel_ir.KernelGraph` into a software-pipelined
+VLIW schedule.  This module holds the result: the per-cycle VLIW words
+of the main loop and the derived static timing facts that the cluster
+model uses to charge cycles (prologue, II, epilogue, per-iteration
+operation counts).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.isa.kernel_ir import FuClass, KernelGraph, OPCODES
+
+
+@dataclass(frozen=True)
+class Slot:
+    """One operation placed in a VLIW word: ``(fu, unit_index, op_id)``."""
+
+    fu: FuClass
+    unit: int
+    op: int
+    opcode: str
+
+
+@dataclass
+class VliwWord:
+    """All operations issued in one cycle of the kernel main loop."""
+
+    cycle: int
+    slots: list[Slot] = field(default_factory=list)
+
+    def occupancy(self) -> int:
+        return len(self.slots)
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Cycle breakdown for one kernel invocation on one stream batch.
+
+    The four categories match Figure 6 of the paper:
+
+    * ``operations`` -- the floor: main-loop FPU work at ideal packing.
+    * ``main_loop_overhead`` -- extra main-loop cycles from limited ILP
+      and load imbalance between FU types (II above the ideal floor).
+    * ``non_main_loop`` -- prologue, epilogue, outer-loop blocks, and
+      pipeline-priming iterations.
+    * ``cluster_stalls`` is accounted separately by the SRF model and
+      is therefore not a field here.
+    """
+
+    iterations: int
+    operations: int
+    main_loop_overhead: int
+    non_main_loop: int
+
+    @property
+    def busy_cycles(self) -> int:
+        return self.operations + self.main_loop_overhead + self.non_main_loop
+
+    @property
+    def main_loop_cycles(self) -> int:
+        return self.operations + self.main_loop_overhead
+
+
+@dataclass
+class CompiledKernel:
+    """Output of the kernel compiler for one kernel.
+
+    Attributes mirror what Imagine's iscd scheduler reported: the
+    initiation interval (II) of the software-pipelined main loop, the
+    number of pipeline stages, prologue/epilogue lengths, microcode
+    footprint, and per-iteration operation/word counts used for GOPS,
+    IPC and bandwidth accounting.
+    """
+
+    name: str
+    graph: KernelGraph
+    ii: int
+    stages: int
+    schedule: list[VliwWord]
+    prologue_cycles: int
+    epilogue_cycles: int
+    outer_overhead_cycles: int
+    microcode_words: int
+    regs_used: dict[FuClass, int]
+    lrf_reads_per_iteration: int
+    lrf_writes_per_iteration: int
+
+    # ------------------------------------------------------------------
+    # Derived per-iteration facts.
+    # ------------------------------------------------------------------
+    @property
+    def arith_ops_per_iteration(self) -> int:
+        return self.graph.arith_ops_per_iteration
+
+    @property
+    def flops_per_iteration(self) -> int:
+        return self.graph.flops_per_iteration
+
+    @property
+    def instructions_per_iteration(self) -> int:
+        return self.graph.instructions_per_iteration
+
+    @property
+    def words_in_per_iteration(self) -> int:
+        return self.graph.words_in_per_iteration
+
+    @property
+    def words_out_per_iteration(self) -> int:
+        return self.graph.words_out_per_iteration
+
+    @property
+    def sp_accesses_per_iteration(self) -> int:
+        return self.graph.fu_count(FuClass.SP)
+
+    @property
+    def comm_ops_per_iteration(self) -> int:
+        return self.graph.fu_count(FuClass.COMM)
+
+    @property
+    def elements_per_iteration(self) -> int:
+        return self.graph.elements_per_iteration
+
+    @property
+    def lrf_accesses_per_iteration(self) -> int:
+        return self.lrf_reads_per_iteration + self.lrf_writes_per_iteration
+
+    def fpu_instructions_per_iteration(self) -> int:
+        """Instructions on the six FPUs (ADD/MUL/DSQ) per iteration."""
+        graph = self.graph
+        return (graph.fu_count(FuClass.ADD) + graph.fu_count(FuClass.MUL)
+                + graph.fu_count(FuClass.DSQ))
+
+    # ------------------------------------------------------------------
+    # Timing.
+    # ------------------------------------------------------------------
+    def iterations_for(self, stream_elements: int, num_clusters: int) -> int:
+        """Main-loop iterations to consume ``stream_elements`` elements."""
+        per_iteration = self.elements_per_iteration * num_clusters
+        return max(1, math.ceil(stream_elements / per_iteration))
+
+    def timing(self, stream_elements: int, num_clusters: int,
+               fpus_per_cluster: int = 6) -> KernelTiming:
+        """Cycle breakdown for an invocation over ``stream_elements``.
+
+        ``operations`` is the Figure-6 floor: the kernel's FPU
+        instructions executed at one instruction per FPU per cycle.
+        Everything the real schedule adds on top of that inside the
+        main loop is ``main_loop_overhead``; prologue, epilogue,
+        priming iterations and the outer-loop block are
+        ``non_main_loop``.
+        """
+        iterations = self.iterations_for(stream_elements, num_clusters)
+        main_cycles = iterations * self.ii
+        floor = math.ceil(
+            iterations * self.fpu_instructions_per_iteration()
+            / fpus_per_cluster
+        )
+        floor = min(floor, main_cycles)
+        return KernelTiming(
+            iterations=iterations,
+            operations=floor,
+            main_loop_overhead=main_cycles - floor,
+            non_main_loop=(self.prologue_cycles + self.epilogue_cycles
+                           + self.outer_overhead_cycles),
+        )
+
+    def validate(self) -> None:
+        """Check schedule structural invariants (used by tests)."""
+        if self.ii < 1:
+            raise ValueError(f"{self.name}: II must be positive")
+        if len(self.schedule) != self.ii:
+            raise ValueError(
+                f"{self.name}: schedule has {len(self.schedule)} words "
+                f"but II={self.ii}"
+            )
+        seen: set[tuple[FuClass, int, int]] = set()
+        for word in self.schedule:
+            for slot in word.slots:
+                key = (slot.fu, slot.unit, word.cycle)
+                if key in seen:
+                    raise ValueError(
+                        f"{self.name}: unit {slot.fu}/{slot.unit} "
+                        f"double-booked at cycle {word.cycle}"
+                    )
+                seen.add(key)
+                if OPCODES[slot.opcode].fu is not slot.fu:
+                    raise ValueError(
+                        f"{self.name}: op {slot.op} ({slot.opcode}) "
+                        f"scheduled on wrong unit class {slot.fu}"
+                    )

@@ -1,0 +1,29 @@
+"""The kernel compiler: KernelC IR -> software-pipelined VLIW microcode.
+
+Pass pipeline (mirroring the paper's Section 2.3 description of the
+KernelC compiler):
+
+1. :mod:`repro.kernelc.optimize` -- copy propagation, dead-code
+   elimination, loop unrolling.
+2. :mod:`repro.kernelc.scheduling` -- modulo scheduling onto the
+   cluster's functional-unit mix (the paper's "automatic software
+   pipelining" and "schedules arithmetic operations on functional
+   units").
+3. :mod:`repro.kernelc.commsched` -- communication scheduling: routing
+   each result over the intra-cluster switch's write-back buses.
+4. :mod:`repro.kernelc.regalloc` -- LRF register allocation.
+
+:func:`repro.kernelc.compiler.compile_kernel` drives all of them and
+produces a :class:`repro.isa.vliw.CompiledKernel`.
+"""
+
+from repro.kernelc.compiler import CompileError, compile_kernel
+from repro.kernelc.scheduling import ClusterResources, ModuloSchedule, modulo_schedule
+
+__all__ = [
+    "CompileError",
+    "compile_kernel",
+    "ClusterResources",
+    "ModuloSchedule",
+    "modulo_schedule",
+]

@@ -1,0 +1,69 @@
+"""Communication scheduling: intra-cluster switch routing.
+
+The paper's kernel compiler "specifies the data movement between ALUs
+and LRFs" (communication scheduling, Mattson et al.).  The modulo
+scheduler already reserves one write-back bus per produced result; this
+pass extracts the concrete routes and validates that no bus carries two
+results in the same cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.kernel_ir import FuClass, KernelGraph
+from repro.kernelc.scheduling import ModuloSchedule, _NO_WRITEBACK
+
+
+class RoutingError(Exception):
+    """Raised when switch routing is infeasible (bus oversubscribed)."""
+
+
+@dataclass(frozen=True)
+class Route:
+    """One result's path over the intra-cluster switch.
+
+    ``slot`` is the modulo cycle at which the value appears on
+    ``bus`` and is written into the LRFs of ``consumer_classes``.
+    """
+
+    op: int
+    bus: int
+    slot: int
+    consumer_classes: tuple[FuClass, ...]
+
+
+def route(graph: KernelGraph, schedule: ModuloSchedule) -> list[Route]:
+    """Build and validate the switch route table for a schedule."""
+    by_id = {op.ident: op for op in graph.ops}
+    consumer_classes: dict[int, set[FuClass]] = {}
+    for op in graph.schedulable_ops:
+        for operand in op.operands:
+            consumer_classes.setdefault(operand.producer, set()).add(
+                op.spec.fu)
+
+    routes = []
+    occupancy: dict[tuple[int, int], int] = {}
+    for ident, time in schedule.times.items():
+        op = by_id[ident]
+        if op.opcode in _NO_WRITEBACK:
+            continue
+        bus = schedule.bus_assignment.get(ident, -1)
+        if bus < 0:
+            raise RoutingError(
+                f"{graph.name}: op {ident} has a result but no bus")
+        slot = (time + op.spec.latency) % schedule.ii
+        key = (bus, slot)
+        if key in occupancy:
+            raise RoutingError(
+                f"{graph.name}: bus {bus} carries ops "
+                f"{occupancy[key]} and {ident} in slot {slot}")
+        occupancy[key] = ident
+        routes.append(Route(
+            op=ident,
+            bus=bus,
+            slot=slot,
+            consumer_classes=tuple(sorted(
+                consumer_classes.get(ident, set()), key=lambda f: f.value)),
+        ))
+    return routes

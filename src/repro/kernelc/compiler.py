@@ -1,0 +1,96 @@
+"""Top-level kernel compiler driver.
+
+``compile_kernel`` runs the full pass pipeline -- copy propagation,
+dead-code elimination, optional unrolling, modulo scheduling,
+communication scheduling, register allocation -- and packages the
+result as a :class:`repro.isa.vliw.CompiledKernel` ready for the
+cluster model to execute.
+"""
+
+from __future__ import annotations
+
+from repro.isa.kernel_ir import KernelGraph
+from repro.isa.vliw import CompiledKernel, Slot, VliwWord
+from repro.kernelc import commsched, optimize, regalloc
+from repro.kernelc.scheduling import (
+    ClusterResources,
+    ModuloSchedule,
+    ScheduleError,
+    modulo_schedule,
+)
+
+
+class CompileError(Exception):
+    """Any failure in the kernel compilation pipeline."""
+
+
+#: Fixed cycles of loop-setup code before the software pipeline starts
+#: filling (constant loads, stream-buffer configuration).
+SETUP_CYCLES = 16
+#: Fixed cycles in the kernel's outer-loop block per invocation.
+OUTER_OVERHEAD_CYCLES = 8
+#: Microcode words for setup / outer-loop blocks.
+OVERHEAD_MICROCODE_WORDS = 16
+
+
+def compile_kernel(graph: KernelGraph,
+                   resources: ClusterResources | None = None,
+                   unroll_factor: int = 1,
+                   lrf_entries_per_fu: int = 16) -> CompiledKernel:
+    """Compile a kernel graph to a software-pipelined VLIW schedule."""
+    resources = resources or ClusterResources()
+    lowered = optimize.copy_propagate(graph)
+    lowered = optimize.eliminate_dead_code(lowered)
+    if unroll_factor > 1:
+        lowered = optimize.unroll(lowered, unroll_factor)
+    try:
+        schedule = modulo_schedule(lowered, resources)
+    except ScheduleError as exc:
+        raise CompileError(str(exc)) from exc
+    try:
+        commsched.route(lowered, schedule)
+        allocation = regalloc.allocate(lowered, schedule, lrf_entries_per_fu)
+    except (commsched.RoutingError,
+            regalloc.RegisterPressureError) as exc:
+        raise CompileError(str(exc)) from exc
+
+    words = _main_loop_words(lowered, schedule)
+    stages = schedule.stages
+    ii = schedule.ii
+    prologue = SETUP_CYCLES + (stages - 1) * ii
+    epilogue = (stages - 1) * ii
+    microcode = (2 * stages - 1) * ii + OVERHEAD_MICROCODE_WORDS
+
+    compiled = CompiledKernel(
+        name=lowered.name,
+        graph=lowered,
+        ii=ii,
+        stages=stages,
+        schedule=words,
+        prologue_cycles=prologue,
+        epilogue_cycles=epilogue,
+        outer_overhead_cycles=OUTER_OVERHEAD_CYCLES,
+        microcode_words=microcode,
+        regs_used=allocation.regs_used,
+        lrf_reads_per_iteration=allocation.lrf_reads_per_iteration,
+        lrf_writes_per_iteration=allocation.lrf_writes_per_iteration,
+    )
+    compiled.validate()
+    return compiled
+
+
+def _main_loop_words(graph: KernelGraph,
+                     schedule: ModuloSchedule) -> list[VliwWord]:
+    """Fold the flat schedule into the II steady-state VLIW words."""
+    by_id = {op.ident: op for op in graph.ops}
+    words = [VliwWord(cycle) for cycle in range(schedule.ii)]
+    for ident, time in schedule.times.items():
+        op = by_id[ident]
+        slot = time % schedule.ii
+        words[slot].slots.append(Slot(
+            fu=op.spec.fu,
+            unit=schedule.unit_assignment.get(ident, 0),
+            op=ident,
+            opcode=op.opcode,
+        ))
+    return words

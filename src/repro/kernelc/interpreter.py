@@ -1,0 +1,303 @@
+"""Kernel interpreters: execute dataflow graphs and VLIW schedules.
+
+Two executable semantics for the same kernel:
+
+* :func:`run_reference` evaluates the dataflow graph iteration by
+  iteration in dependency order -- the meaning of the program.
+* :func:`run_scheduled` executes the compiled modulo schedule cycle
+  by cycle: an operation issued at cycle ``t`` produces its result at
+  ``t + latency``, and reading a value before it exists raises.
+
+If the scheduler is correct, both produce identical output streams
+for any input -- the strongest check we have on the kernel compiler,
+and the property test in ``tests/test_interpreter.py`` runs it over
+randomly generated kernels.
+
+Operator semantics are simple deterministic functions over
+lane-vectors (one lane per cluster); they do not bit-match Imagine's
+ALUs, but equivalence checking only needs both interpreters to agree.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.isa.kernel_ir import KernelGraph, OPCODES
+from repro.isa.vliw import CompiledKernel
+
+_SOURCE_OPCODES = {"input", "param", "const"}
+LANES = 8
+
+
+class InterpreterError(Exception):
+    """A schedule read a value before the producing op finished."""
+
+
+def _binary(fn):
+    return lambda state, a, b=None: fn(a, a if b is None else b)
+
+
+def _comm(state, a, b=None):
+    return np.roll(a, 1)
+
+
+def _spwrite(state, a, b=None):
+    state.scratchpad = a.copy()
+    return a
+
+
+def _spread(state, a, b=None):
+    return state.scratchpad + 0.25 * a
+
+
+_SEMANTICS = {
+    "iadd": _binary(lambda a, b: a + b),
+    "isub": _binary(lambda a, b: a - b),
+    "iabs": _binary(lambda a, b: np.abs(a)),
+    "iand": _binary(lambda a, b: np.float64(1.0) * ((a != 0) & (b != 0))),
+    "ior": _binary(lambda a, b: a + b / 3.0),
+    "ixor": _binary(lambda a, b: a - b / 3.0),
+    "ishl": _binary(lambda a, b: 2.0 * a + 0.5 * b),
+    "ishr": _binary(lambda a, b: 0.5 * a + 0.25 * b),
+    "icmp": _binary(lambda a, b: (a < b) * 1.0),
+    "isel": _binary(lambda a, b: np.where(a != 0, b, -b)),
+    "imin": _binary(np.minimum),
+    "imax": _binary(np.maximum),
+    "padd8": _binary(lambda a, b: a + b),
+    "psub8": _binary(lambda a, b: a - b),
+    "pabs8": _binary(lambda a, b: np.abs(a)),
+    "padd16": _binary(lambda a, b: a + b),
+    "psub16": _binary(lambda a, b: a - b),
+    "pabs16": _binary(lambda a, b: np.abs(a)),
+    "pmin16": _binary(np.minimum),
+    "pmax16": _binary(np.maximum),
+    "psad8": _binary(lambda a, b: np.abs(a - b)),
+    "fadd": _binary(lambda a, b: a + b),
+    "fsub": _binary(lambda a, b: a - b),
+    "fabs": _binary(lambda a, b: np.abs(a)),
+    "fcmp": _binary(lambda a, b: (a < b) * 1.0),
+    "fmin": _binary(np.minimum),
+    "fmax": _binary(np.maximum),
+    "ftoi": _binary(lambda a, b: np.floor(a)),
+    "itof": _binary(lambda a, b: a * 1.0),
+    "imul": _binary(lambda a, b: a * b),
+    "pmul16": _binary(lambda a, b: a * b),
+    "fmul": _binary(lambda a, b: a * b),
+    "fdiv": _binary(lambda a, b: a / np.where(np.abs(b) < 1e-9, 1.0, b)),
+    "fsqrt": _binary(lambda a, b: np.sqrt(np.abs(a))),
+    "frsq": _binary(lambda a, b: 1.0 / np.sqrt(np.abs(a) + 1e-9)),
+    "idiv": _binary(lambda a, b: np.floor(
+        a / np.where(np.abs(b) < 1e-9, 1.0, b))),
+    "spread": _spread,
+    "spwrite": _spwrite,
+    "comm": _comm,
+    "copy": _binary(lambda a, b: a),
+    "sbread": None,     # handled specially
+    "sbwrite": None,    # handled specially
+}
+
+
+@dataclass
+class _LaneState:
+    scratchpad: np.ndarray = field(
+        default_factory=lambda: np.zeros(LANES))
+
+
+@dataclass
+class KernelRun:
+    """Output streams plus per-iteration values (for debugging)."""
+
+    outputs: dict[int, np.ndarray]
+
+    def output_matrix(self) -> np.ndarray:
+        return np.stack([self.outputs[k]
+                         for k in sorted(self.outputs)])
+
+
+def _prepare_inputs(graph: KernelGraph, iterations: int,
+                    seed: int) -> tuple[dict, dict]:
+    """Deterministic input streams and parameter values."""
+    rng = np.random.default_rng(seed)
+    streams = {}
+    for position, source in enumerate(graph.inputs):
+        streams[source] = rng.uniform(
+            0.5, 4.0, size=(iterations, LANES))
+    scalars = {}
+    for source in graph.params + graph.consts:
+        scalars[source] = np.full(LANES, rng.uniform(0.5, 2.0))
+    return streams, scalars
+
+
+def run_reference(graph: KernelGraph, iterations: int,
+                  seed: int = 0) -> KernelRun:
+    """Evaluate the graph in dependency order, iteration by iteration."""
+    streams, scalars = _prepare_inputs(graph, iterations, seed)
+    order = _topological_order(graph)
+    history: dict[int, list[np.ndarray]] = defaultdict(list)
+    state = _LaneState()
+    outputs: dict[int, list[np.ndarray]] = {o: [] for o in graph.outputs}
+
+    def value_of(producer: int, distance: int, iteration: int):
+        target = iteration - distance
+        if target < 0:
+            return np.zeros(LANES)
+        return history[producer][target]
+
+    for iteration in range(iterations):
+        for ident in order:
+            op = graph.op(ident)
+            if op.opcode in _SOURCE_OPCODES:
+                continue
+            operands = [value_of(o.producer, o.distance, iteration)
+                        if graph.op(o.producer).opcode
+                        not in _SOURCE_OPCODES
+                        else _source_value(graph, o.producer, streams,
+                                           scalars, iteration)
+                        for o in op.operands]
+            result = _apply(op.opcode, state, operands)
+            history[ident].append(result)
+            if ident in outputs:
+                outputs[ident].append(result)
+    return KernelRun(outputs={
+        k: np.stack(v) if v else np.zeros((0, LANES))
+        for k, v in outputs.items()})
+
+
+def run_scheduled(graph: KernelGraph, kernel: CompiledKernel,
+                  schedule_times: dict[int, int], iterations: int,
+                  seed: int = 0) -> KernelRun:
+    """Execute the modulo schedule cycle by cycle on real data.
+
+    Raises :class:`InterpreterError` if any operation reads an operand
+    that has not yet been produced -- i.e. if the schedule violates a
+    dependence with real latencies.
+    """
+    streams, scalars = _prepare_inputs(graph, iterations, seed)
+    ii = kernel.ii
+    state = _LaneState()
+    ready_at: dict[tuple[int, int], int] = {}
+    values: dict[tuple[int, int], np.ndarray] = {}
+    outputs: dict[int, list] = {o: [] for o in graph.outputs}
+
+    issue_order = sorted(
+        ((schedule_times[op.ident] + iteration * ii, iteration,
+          op.ident)
+         for op in graph.schedulable_ops
+         for iteration in range(iterations)))
+
+    for time, iteration, ident in issue_order:
+        op = graph.op(ident)
+        operands = []
+        for operand in op.operands:
+            producer = graph.op(operand.producer)
+            if producer.opcode in _SOURCE_OPCODES:
+                operands.append(_source_value(
+                    graph, operand.producer, streams, scalars,
+                    iteration))
+                continue
+            key = (operand.producer, iteration - operand.distance)
+            if key[1] < 0:
+                operands.append(np.zeros(LANES))
+                continue
+            if key not in values:
+                raise InterpreterError(
+                    f"{graph.name}: op {ident}@iter{iteration} reads "
+                    f"{key} which was never produced")
+            if ready_at[key] > time:
+                raise InterpreterError(
+                    f"{graph.name}: op {ident} issued at {time} reads "
+                    f"value of op {key[0]} ready at {ready_at[key]}")
+            operands.append(values[key])
+        result = _apply(op.opcode, state, operands)
+        key = (ident, iteration)
+        values[key] = result
+        ready_at[key] = time + op.spec.latency
+        if ident in outputs:
+            outputs[ident].append((time, result))
+
+    return KernelRun(outputs={
+        k: (np.stack([r for _, r in sorted(v, key=lambda p: p[0])])
+            if v else np.zeros((0, LANES)))
+        for k, v in outputs.items()})
+
+
+def check_equivalence(graph: KernelGraph, kernel: CompiledKernel,
+                      schedule_times: dict[int, int],
+                      iterations: int = 6, seed: int = 0,
+                      atol: float = 1e-9) -> None:
+    """Assert schedule execution matches the reference semantics.
+
+    Note: the scratchpad is a shared register, so kernels with SP ops
+    whose relative order the schedule may legally permute are compared
+    per-output-shape only.
+    """
+    reference = run_reference(graph, iterations, seed)
+    scheduled = run_scheduled(graph, kernel, schedule_times,
+                              iterations, seed)
+    has_sp = any(op.opcode in ("spread", "spwrite")
+                 for op in graph.schedulable_ops)
+    for ident in reference.outputs:
+        ref = reference.outputs[ident]
+        got = scheduled.outputs[ident]
+        if ref.shape != got.shape:
+            raise AssertionError(
+                f"{graph.name}: output {ident} shape mismatch "
+                f"{ref.shape} vs {got.shape}")
+        if has_sp:
+            continue
+        if not np.allclose(ref, got, atol=atol):
+            raise AssertionError(
+                f"{graph.name}: output {ident} diverges "
+                f"(max err {np.abs(ref - got).max():.3g})")
+
+
+# ----------------------------------------------------------------------
+# Helpers.
+# ----------------------------------------------------------------------
+
+def _apply(opcode: str, state: _LaneState,
+           operands: list[np.ndarray]) -> np.ndarray:
+    if opcode == "sbread":
+        return operands[0]
+    if opcode == "sbwrite":
+        return operands[0]
+    fn = _SEMANTICS[opcode]
+    if len(operands) == 0:
+        raise InterpreterError(f"{opcode} with no operands")
+    if len(operands) == 1:
+        return fn(state, operands[0])
+    return fn(state, operands[0], operands[1])
+
+
+def _source_value(graph: KernelGraph, ident: int, streams: dict,
+                  scalars: dict, iteration: int) -> np.ndarray:
+    if ident in streams:
+        return streams[ident][iteration]
+    return scalars[ident]
+
+
+def _topological_order(graph: KernelGraph) -> list[int]:
+    """Order respecting zero-distance edges only."""
+    indegree: dict[int, int] = {op.ident: 0
+                                for op in graph.schedulable_ops}
+    consumers: dict[int, list[int]] = defaultdict(list)
+    for op in graph.schedulable_ops:
+        for operand in op.operands:
+            if operand.distance == 0 and operand.producer in indegree:
+                indegree[op.ident] += 1
+                consumers[operand.producer].append(op.ident)
+    frontier = sorted(i for i, d in indegree.items() if d == 0)
+    order = []
+    while frontier:
+        ident = frontier.pop(0)
+        order.append(ident)
+        for consumer in consumers[ident]:
+            indegree[consumer] -= 1
+            if indegree[consumer] == 0:
+                frontier.append(consumer)
+    if len(order) != len(indegree):
+        raise InterpreterError(f"{graph.name}: graph has a 0-cycle")
+    return order

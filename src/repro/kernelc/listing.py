@@ -1,0 +1,55 @@
+"""Microcode listing: render a compiled kernel like iscd's output.
+
+One line per VLIW word of the steady-state main loop, one column per
+functional unit, so a schedule can be inspected the way the Imagine
+tools presented kernel microcode.
+"""
+
+from __future__ import annotations
+
+from repro.isa.kernel_ir import FuClass
+from repro.isa.vliw import CompiledKernel
+
+#: Column layout: (class, unit index, header) per cluster slot.
+_COLUMNS = (
+    [(FuClass.ADD, i, f"ADD{i}") for i in range(3)]
+    + [(FuClass.MUL, i, f"MUL{i}") for i in range(2)]
+    + [(FuClass.DSQ, 0, "DSQ"), (FuClass.SP, 0, "SP"),
+       (FuClass.COMM, 0, "COMM"), (FuClass.SB, 0, "SB0"),
+       (FuClass.SB, 1, "SB1")]
+)
+
+
+def render_listing(kernel: CompiledKernel) -> str:
+    """Text listing of the kernel's main-loop VLIW words."""
+    width = max(8, max((len(slot.opcode) + 4
+                        for word in kernel.schedule
+                        for slot in word.slots), default=8))
+    header = "cyc | " + " | ".join(
+        name.ljust(width) for _, _, name in _COLUMNS)
+    rule = "-" * len(header)
+    lines = [
+        f"kernel {kernel.name}: II={kernel.ii}, "
+        f"{kernel.stages} stages, prologue {kernel.prologue_cycles}, "
+        f"epilogue {kernel.epilogue_cycles}, "
+        f"{kernel.microcode_words} microcode words",
+        f"regs: " + ", ".join(
+            f"{fu.value}={n}" for fu, n in sorted(
+                kernel.regs_used.items(), key=lambda kv: kv[0].value)),
+        rule, header, rule,
+    ]
+    for word in kernel.schedule:
+        cells = []
+        for fu, unit, _ in _COLUMNS:
+            slot = next((s for s in word.slots
+                         if s.fu is fu and s.unit == unit), None)
+            text = f"{slot.opcode}.{slot.op}" if slot else "."
+            cells.append(text.ljust(width))
+        lines.append(f"{word.cycle:3d} | " + " | ".join(cells))
+    lines.append(rule)
+    occupancy = (sum(w.occupancy() for w in kernel.schedule)
+                 / (kernel.ii * len(_COLUMNS)))
+    lines.append(f"slot occupancy {occupancy * 100:.0f}%  "
+                 f"({kernel.instructions_per_iteration} ops / "
+                 f"{kernel.ii} cycles x {len(_COLUMNS)} units)")
+    return "\n".join(lines)

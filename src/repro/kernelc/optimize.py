@@ -1,0 +1,145 @@
+"""High-level kernel optimizations: copy propagation, DCE, unrolling.
+
+These correspond to the "high-level optimizations such as
+copy-propagation [and] loop unrolling" the paper attributes to the
+KernelC compiler.  All passes are pure: they take a
+:class:`~repro.isa.kernel_ir.KernelGraph` and return a new one.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.isa.kernel_ir import KernelGraph, Op, Operand
+
+_SOURCE_OPCODES = {"input", "param", "const"}
+_SIDE_EFFECT_OPCODES = {"sbwrite", "spwrite", "comm"}
+
+
+def copy_propagate(graph: KernelGraph) -> KernelGraph:
+    """Rewire consumers of ``copy`` ops to read the copied value."""
+    resolved: dict[int, Operand] = {}
+
+    def resolve(operand: Operand) -> Operand:
+        total_distance = operand.distance
+        producer = operand.producer
+        while graph.op(producer).opcode == "copy":
+            inner = graph.op(producer).operands[0]
+            total_distance += inner.distance
+            producer = inner.producer
+        return Operand(producer, total_distance)
+
+    new_ops = []
+    for op in graph.ops:
+        if op.opcode == "copy":
+            continue
+        operands = tuple(resolve(o) for o in op.operands)
+        new_ops.append(Op(op.ident, op.opcode, operands, op.name))
+    return _rebuild(graph, new_ops)
+
+
+def eliminate_dead_code(graph: KernelGraph) -> KernelGraph:
+    """Drop ops whose results never reach an output or side effect."""
+    live: set[int] = set()
+    worklist = [op.ident for op in graph.ops
+                if op.opcode in _SIDE_EFFECT_OPCODES]
+    while worklist:
+        ident = worklist.pop()
+        if ident in live:
+            continue
+        live.add(ident)
+        for operand in graph.op(ident).operands:
+            worklist.append(operand.producer)
+    new_ops = [op for op in graph.ops
+               if op.ident in live or op.opcode in _SOURCE_OPCODES]
+    return _rebuild(graph, new_ops)
+
+
+def unroll(graph: KernelGraph, factor: int) -> KernelGraph:
+    """Unroll the kernel loop body ``factor`` times.
+
+    Instance ``k`` of op ``u`` at loop-carried distance ``d`` is read
+    by instance ``k`` of a consumer as instance ``k - d`` when that is
+    non-negative (same unrolled iteration) or as instance
+    ``(k - d) mod factor`` of ``ceil((d - k) / factor)`` unrolled
+    iterations earlier.
+    """
+    if factor < 1:
+        raise ValueError("unroll factor must be >= 1")
+    if factor == 1:
+        return graph
+
+    # Sources are shared across unrolled instances (a parameter is the
+    # same value every iteration); stream accesses and arithmetic are
+    # replicated.
+    id_map: dict[tuple[int, int], int] = {}
+    new_ops: list[Op] = []
+
+    # Two passes: assign ids first, then build ops.
+    counter = 0
+    for op in graph.ops:
+        instances = 1 if op.opcode in _SOURCE_OPCODES else factor
+        for k in range(instances):
+            id_map[(op.ident, k)] = counter
+            counter += 1
+    for op in graph.ops:
+        if op.opcode in _SOURCE_OPCODES:
+            new_ops.append(Op(id_map[(op.ident, 0)], op.opcode, (), op.name))
+            continue
+        for k in range(factor):
+            operands = []
+            for operand in op.operands:
+                producer_op = graph.op(operand.producer)
+                if producer_op.opcode in _SOURCE_OPCODES:
+                    operands.append(Operand(id_map[(operand.producer, 0)], 0))
+                    continue
+                shifted = k - operand.distance
+                if shifted >= 0:
+                    operands.append(
+                        Operand(id_map[(operand.producer, shifted)], 0))
+                else:
+                    new_distance = math.ceil(-shifted / factor)
+                    instance = shifted + new_distance * factor
+                    operands.append(
+                        Operand(id_map[(operand.producer, instance)],
+                                new_distance))
+            new_ops.append(Op(id_map[(op.ident, k)], op.opcode,
+                              tuple(operands), op.name))
+
+    def remap_list(idents: list[int], replicated: bool) -> list[int]:
+        out = []
+        for ident in idents:
+            if replicated and graph.op(ident).opcode not in _SOURCE_OPCODES:
+                out.extend(id_map[(ident, k)] for k in range(factor))
+            else:
+                out.append(id_map[(ident, 0)])
+        return out
+
+    result = KernelGraph(
+        name=graph.name,
+        ops=new_ops,
+        inputs=remap_list(graph.inputs, replicated=False),
+        outputs=remap_list(graph.outputs, replicated=True),
+        params=remap_list(graph.params, replicated=False),
+        consts=remap_list(graph.consts, replicated=False),
+        elements_per_iteration=graph.elements_per_iteration * factor,
+        description=graph.description,
+    )
+    result.validate()
+    return result
+
+
+def _rebuild(graph: KernelGraph, ops: list[Op]) -> KernelGraph:
+    kept = {op.ident for op in ops}
+    result = KernelGraph(
+        name=graph.name,
+        ops=ops,
+        inputs=[i for i in graph.inputs if i in kept],
+        outputs=[i for i in graph.outputs if i in kept],
+        params=[i for i in graph.params if i in kept],
+        consts=[i for i in graph.consts if i in kept],
+        elements_per_iteration=graph.elements_per_iteration,
+        description=graph.description,
+    )
+    result.validate()
+    return result

@@ -1,0 +1,112 @@
+"""LRF register allocation for modulo-scheduled kernels.
+
+In Imagine every functional-unit input port is fed by its own small
+two-port local register file (LRF); a result is routed over the
+intra-cluster switch and written into the LRF of each consumer.  The
+allocator therefore works per consuming FU class: each live value
+occupies one LRF entry in each class that reads it, from the cycle the
+value is produced until that class's last read.  In a software-
+pipelined loop several iterations are in flight, so a value whose
+lifetime exceeds the II needs one register per in-flight copy — the
+classic modulo-variable-expansion pressure this module computes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.kernel_ir import FuClass, KernelGraph
+from repro.kernelc.scheduling import ModuloSchedule
+
+_SOURCE_OPCODES = {"input", "param", "const"}
+
+
+class RegisterPressureError(Exception):
+    """Raised when a kernel needs more LRF entries than the cluster has."""
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """Result of register allocation.
+
+    Attributes
+    ----------
+    regs_used:
+        Peak simultaneously-live LRF entries per consuming FU class.
+    lrf_reads_per_iteration:
+        Operand fetches per main-loop iteration.
+    lrf_writes_per_iteration:
+        LRF write events per iteration (one per consuming op; the
+        switch broadcasts a result to every consumer's LRF).
+    """
+
+    regs_used: dict[FuClass, int]
+    lrf_reads_per_iteration: int
+    lrf_writes_per_iteration: int
+
+
+def allocate(graph: KernelGraph, schedule: ModuloSchedule,
+             lrf_entries_per_fu: int = 16,
+             check_capacity: bool = True) -> Allocation:
+    """Compute register pressure and LRF traffic for a schedule."""
+    by_id = {op.ident: op for op in graph.ops}
+    ii = schedule.ii
+    times = schedule.times
+
+    # Lifetime per (value, consuming FU class).
+    lifetimes: dict[tuple[int, FuClass], tuple[int, int]] = {}
+    reads = 0
+    writes = 0
+    for op in graph.schedulable_ops:
+        consume_time = times[op.ident]
+        for operand in op.operands:
+            producer = by_id[operand.producer]
+            reads += 1
+            if producer.opcode in _SOURCE_OPCODES:
+                # Parameters and constants sit in dedicated registers
+                # loaded at kernel start; they are read, not allocated.
+                continue
+            birth = times[operand.producer] + producer.spec.latency
+            death = consume_time + ii * operand.distance + 1
+            key = (operand.producer, op.spec.fu)
+            if key in lifetimes:
+                old_birth, old_death = lifetimes[key]
+                lifetimes[key] = (old_birth, max(old_death, death))
+            else:
+                lifetimes[key] = (birth, death)
+
+    # One LRF write per (value, consuming op).
+    consumers: dict[int, int] = {}
+    for op in graph.schedulable_ops:
+        seen_this_op: set[int] = set()
+        for operand in op.operands:
+            producer = by_id[operand.producer]
+            if producer.opcode in _SOURCE_OPCODES:
+                continue
+            if operand.producer not in seen_this_op:
+                consumers[operand.producer] = (
+                    consumers.get(operand.producer, 0) + 1)
+                seen_this_op.add(operand.producer)
+    writes = sum(consumers.values())
+
+    # Pressure per class: overlay all lifetimes onto the II window.
+    pressure: dict[FuClass, list[int]] = {}
+    for (value, fu), (birth, death) in lifetimes.items():
+        if death <= birth:
+            death = birth + 1
+        row = pressure.setdefault(fu, [0] * ii)
+        for cycle in range(birth, death):
+            row[cycle % ii] += 1
+
+    regs_used = {fu: max(row) for fu, row in pressure.items()}
+    if check_capacity:
+        resources = schedule.resources
+        for fu, used in regs_used.items():
+            # Two input-port LRFs per unit of the class.
+            capacity = resources.units(fu) * 2 * lrf_entries_per_fu
+            if used > capacity:
+                raise RegisterPressureError(
+                    f"{graph.name}: {fu.value} consumers need {used} LRF "
+                    f"entries but only {capacity} exist"
+                )
+    return Allocation(regs_used, reads, writes)

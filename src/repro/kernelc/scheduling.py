@@ -1,0 +1,372 @@
+"""Modulo scheduling of kernel loops onto the cluster FU mix.
+
+Implements iterative modulo scheduling (Rau-style): compute the
+resource-constrained and recurrence-constrained lower bounds on the
+initiation interval (II), then place operations into a modulo
+reservation table at the smallest feasible II, evicting and retrying
+when slots conflict.  The result is the software-pipelined main loop
+the paper's kernel compiler produced, including the intra-cluster
+switch write-back buses as a scheduled resource (communication
+scheduling, see :mod:`repro.kernelc.commsched`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.isa.kernel_ir import FuClass, KernelGraph, Op, OPCODES
+
+_SOURCE_OPCODES = {"input", "param", "const"}
+#: Opcodes whose results are not routed over a write-back bus.
+_NO_WRITEBACK = {"sbwrite", "spwrite"}
+
+
+@dataclass(frozen=True)
+class ClusterResources:
+    """Schedulable units per FU class inside one cluster."""
+
+    adders: int = 3
+    multipliers: int = 2
+    dsq_units: int = 1
+    scratchpads: int = 1
+    comm_units: int = 1
+    stream_buffer_ports: int = 2
+    writeback_buses: int = 8
+
+    def units(self, fu: FuClass) -> int:
+        return {
+            FuClass.ADD: self.adders,
+            FuClass.MUL: self.multipliers,
+            FuClass.DSQ: self.dsq_units,
+            FuClass.SP: self.scratchpads,
+            FuClass.COMM: self.comm_units,
+            FuClass.SB: self.stream_buffer_ports,
+            FuClass.BUS: self.writeback_buses,
+        }[fu]
+
+    @property
+    def fpus(self) -> int:
+        return self.adders + self.multipliers + self.dsq_units
+
+
+@dataclass(frozen=True)
+class DepEdge:
+    """Dependence ``src -> dst`` with result latency and iteration distance."""
+
+    src: int
+    dst: int
+    latency: int
+    distance: int
+
+
+@dataclass
+class ModuloSchedule:
+    """A feasible modulo schedule.
+
+    ``times`` maps op id to its absolute issue cycle; the modulo slot
+    is ``times[op] % ii`` and the pipeline stage is ``times[op] // ii``.
+    """
+
+    ii: int
+    times: dict[int, int]
+    unit_assignment: dict[int, int]
+    bus_assignment: dict[int, int]
+    resources: ClusterResources
+
+    @property
+    def stages(self) -> int:
+        if not self.times:
+            return 1
+        return max(self.times.values()) // self.ii + 1
+
+    @property
+    def span(self) -> int:
+        if not self.times:
+            return 0
+        return max(self.times.values()) + 1
+
+
+class ScheduleError(Exception):
+    """Raised when no schedule exists within the II search limit."""
+
+
+def dependence_edges(graph: KernelGraph) -> list[DepEdge]:
+    """Extract scheduling dependences among schedulable ops."""
+    schedulable = {op.ident for op in graph.schedulable_ops}
+    edges = []
+    for op in graph.schedulable_ops:
+        for operand in op.operands:
+            if operand.producer not in schedulable:
+                continue
+            producer = graph.op(operand.producer)
+            edges.append(DepEdge(
+                src=operand.producer,
+                dst=op.ident,
+                latency=producer.spec.latency,
+                distance=operand.distance,
+            ))
+    return edges
+
+
+def resource_mii(graph: KernelGraph, resources: ClusterResources) -> int:
+    """Resource-constrained lower bound on II."""
+    busy: dict[FuClass, int] = {}
+    for op in graph.schedulable_ops:
+        spec = op.spec
+        busy[spec.fu] = busy.get(spec.fu, 0) + spec.issue_interval
+        if op.opcode not in _NO_WRITEBACK:
+            busy[FuClass.BUS] = busy.get(FuClass.BUS, 0) + 1
+    mii = 1
+    for fu, cycles in busy.items():
+        mii = max(mii, math.ceil(cycles / resources.units(fu)))
+    return mii
+
+
+def recurrence_mii(graph: KernelGraph, ii_limit: int = 4096) -> int:
+    """Recurrence-constrained lower bound on II.
+
+    Found by binary search on II: an II is feasible for recurrences
+    iff the graph with edge weights ``latency - II * distance`` has no
+    positive-weight cycle.
+    """
+    edges = dependence_edges(graph)
+    if not any(e.distance > 0 for e in edges):
+        return 1
+    nodes = sorted({op.ident for op in graph.schedulable_ops})
+
+    def feasible(ii: int) -> bool:
+        return not _has_positive_cycle(nodes, edges, ii)
+
+    low, high = 1, ii_limit
+    if not feasible(high):
+        raise ScheduleError(
+            f"{graph.name}: recurrence MII exceeds limit {ii_limit}")
+    while low < high:
+        mid = (low + high) // 2
+        if feasible(mid):
+            high = mid
+        else:
+            low = mid + 1
+    return low
+
+
+def _has_positive_cycle(nodes: list[int], edges: list[DepEdge],
+                        ii: int) -> bool:
+    """Bellman-Ford longest-path positive-cycle detection."""
+    dist = {n: 0 for n in nodes}
+    for iteration in range(len(nodes)):
+        changed = False
+        for edge in edges:
+            weight = edge.latency - ii * edge.distance
+            candidate = dist[edge.src] + weight
+            if candidate > dist[edge.dst]:
+                dist[edge.dst] = candidate
+                changed = True
+        if not changed:
+            return False
+    return True
+
+
+def modulo_schedule(graph: KernelGraph,
+                    resources: ClusterResources | None = None,
+                    ii_search_limit: int = 512,
+                    budget_factor: int = 8) -> ModuloSchedule:
+    """Schedule ``graph`` at the smallest feasible II.
+
+    Raises :class:`ScheduleError` if no II up to
+    ``mii + ii_search_limit`` admits a schedule.
+    """
+    resources = resources or ClusterResources()
+    ops = graph.schedulable_ops
+    if not ops:
+        return ModuloSchedule(1, {}, {}, {}, resources)
+    edges = dependence_edges(graph)
+    mii = max(resource_mii(graph, resources), recurrence_mii(graph))
+    for ii in range(mii, mii + ii_search_limit):
+        schedule = _try_schedule(graph, ops, edges, resources, ii,
+                                 budget_factor)
+        if schedule is not None:
+            return schedule
+    raise ScheduleError(
+        f"{graph.name}: no schedule found for II in "
+        f"[{mii}, {mii + ii_search_limit})")
+
+
+def _heights(ops: list[Op], edges: list[DepEdge], ii: int) -> dict[int, int]:
+    """Priority: longest latency-weighted path from each op to a sink."""
+    height = {op.ident: 0 for op in ops}
+    # Relax repeatedly; distances > 0 contribute negative II terms so
+    # this converges (no positive cycles at a feasible II).
+    for iteration in range(len(ops)):
+        changed = False
+        for edge in edges:
+            candidate = height[edge.dst] + edge.latency - ii * edge.distance
+            if candidate > height[edge.src]:
+                height[edge.src] = candidate
+                changed = True
+        if not changed:
+            break
+    return height
+
+
+@dataclass
+class _ReservationTable:
+    """Modulo reservation table for one candidate II."""
+
+    ii: int
+    resources: ClusterResources
+    slots: dict[tuple[FuClass, int, int], int] = field(default_factory=dict)
+
+    def _footprint(self, op: Op, time: int) -> list[tuple[FuClass, int]]:
+        """(fu, modulo-slot) pairs the op occupies when issued at time."""
+        spec = op.spec
+        cells = [(spec.fu, (time + k) % self.ii)
+                 for k in range(min(spec.issue_interval, self.ii))]
+        if op.opcode not in _NO_WRITEBACK:
+            cells.append((FuClass.BUS, (time + spec.latency) % self.ii))
+        return cells
+
+    def place(self, op: Op, time: int) -> dict[FuClass, int] | None:
+        """Try to place ``op`` at ``time``; return unit choices or None."""
+        chosen: dict[FuClass, int] = {}
+        for fu, slot in self._footprint(op, time):
+            unit = self._free_unit(fu, slot, chosen.get(fu))
+            if unit is None:
+                return None
+            chosen[fu] = unit
+        for fu, slot in self._footprint(op, time):
+            self.slots[(fu, chosen[fu], slot)] = op.ident
+        return chosen
+
+    def _free_unit(self, fu: FuClass, slot: int,
+                   pinned: int | None) -> int | None:
+        candidates = [pinned] if pinned is not None else (
+            range(self.resources.units(fu)))
+        for unit in candidates:
+            if (fu, unit, slot) not in self.slots:
+                return unit
+        return None
+
+    def conflicting_ops(self, op: Op, time: int) -> set[int]:
+        """Ops currently occupying any cell ``op``@``time`` needs."""
+        out = set()
+        for fu, slot in self._footprint(op, time):
+            for unit in range(self.resources.units(fu)):
+                holder = self.slots.get((fu, unit, slot))
+                if holder is not None:
+                    out.add(holder)
+        return out
+
+    def evict(self, op: Op, time: int) -> None:
+        for fu, slot in self._footprint(op, time):
+            for unit in range(self.resources.units(fu)):
+                if self.slots.get((fu, unit, slot)) == op.ident:
+                    del self.slots[(fu, unit, slot)]
+
+    def units_of(self, op: Op, time: int) -> tuple[int, int]:
+        """(fu unit, bus unit) holding ``op`` at ``time``."""
+        fu_unit = bus_unit = -1
+        spec = op.spec
+        for unit in range(self.resources.units(spec.fu)):
+            if self.slots.get((spec.fu, unit, time % self.ii)) == op.ident:
+                fu_unit = unit
+                break
+        if op.opcode not in _NO_WRITEBACK:
+            slot = (time + spec.latency) % self.ii
+            for unit in range(self.resources.units(FuClass.BUS)):
+                if self.slots.get((FuClass.BUS, unit, slot)) == op.ident:
+                    bus_unit = unit
+                    break
+        return fu_unit, bus_unit
+
+
+def _try_schedule(graph: KernelGraph, ops: list[Op], edges: list[DepEdge],
+                  resources: ClusterResources, ii: int,
+                  budget_factor: int) -> ModuloSchedule | None:
+    by_id = {op.ident: op for op in ops}
+    height = _heights(ops, edges, ii)
+    preds: dict[int, list[DepEdge]] = {op.ident: [] for op in ops}
+    for edge in edges:
+        preds[edge.dst].append(edge)
+
+    table = _ReservationTable(ii, resources)
+    times: dict[int, int] = {}
+    prev_time: dict[int, int] = {}
+    worklist = sorted(height, key=lambda o: -height[o])
+    budget = budget_factor * len(ops) * ii
+
+    while worklist:
+        if budget <= 0:
+            return None
+        budget -= 1
+        # Highest-priority unscheduled op first.
+        worklist.sort(key=lambda o: -height[o])
+        ident = worklist.pop(0)
+        op = by_id[ident]
+        estart = 0
+        for edge in preds[ident]:
+            if edge.src in times:
+                estart = max(estart,
+                             times[edge.src] + edge.latency
+                             - ii * edge.distance)
+        placed = False
+        for time in range(max(0, estart), max(0, estart) + ii):
+            if table.place(op, time) is not None:
+                times[ident] = time
+                placed = True
+                break
+        if not placed:
+            force_time = max(0, estart)
+            if ident in prev_time:
+                force_time = max(force_time, prev_time[ident] + 1)
+            victims = table.conflicting_ops(op, force_time)
+            for victim in victims:
+                table.evict(by_id[victim], times[victim])
+                prev_time[victim] = times[victim]
+                del times[victim]
+                worklist.append(victim)
+            if table.place(op, force_time) is None:
+                return None
+            times[ident] = force_time
+        prev_time[ident] = times[ident]
+        # Re-queue successors whose dependence constraints now break.
+        for edge in edges:
+            if edge.src == ident and edge.dst in times:
+                if (times[edge.dst] + ii * edge.distance
+                        < times[ident] + edge.latency):
+                    table.evict(by_id[edge.dst], times[edge.dst])
+                    prev_time[edge.dst] = times[edge.dst]
+                    del times[edge.dst]
+                    worklist.append(edge.dst)
+
+    # Normalize so the earliest issue is cycle 0.
+    offset = min(times.values())
+    times = {k: v - offset for k, v in times.items()}
+    unit_assignment: dict[int, int] = {}
+    bus_assignment: dict[int, int] = {}
+    # Rebuild the table at normalized times to read unit choices.
+    final = _ReservationTable(ii, resources)
+    for ident in sorted(times, key=times.get):
+        if final.place(by_id[ident], times[ident]) is None:
+            return None
+        fu_unit, bus_unit = final.units_of(by_id[ident], times[ident])
+        unit_assignment[ident] = fu_unit
+        bus_assignment[ident] = bus_unit
+    schedule = ModuloSchedule(ii, times, unit_assignment, bus_assignment,
+                              resources)
+    _verify(graph, edges, schedule)
+    return schedule
+
+
+def _verify(graph: KernelGraph, edges: list[DepEdge],
+            schedule: ModuloSchedule) -> None:
+    """Assert all dependences hold; raise if the scheduler misbehaved."""
+    for edge in edges:
+        produced = schedule.times[edge.src] + edge.latency
+        consumed = schedule.times[edge.dst] + schedule.ii * edge.distance
+        if consumed < produced:
+            raise ScheduleError(
+                f"{graph.name}: dependence {edge.src}->{edge.dst} violated "
+                f"(ready at {produced}, read at {consumed}, "
+                f"II={schedule.ii})")

@@ -1,0 +1,15 @@
+"""Media and scientific kernel library.
+
+Each module defines one kernel (or family) as a
+:class:`~repro.streamc.program.KernelSpec`: a KernelC-style dataflow
+graph (compiled by :mod:`repro.kernelc` into a software-pipelined VLIW
+schedule) plus a numpy reference model used for functional execution.
+These are the kernels of Table 2: 2D DCT, blocksearch, RLE, conv7x7,
+blocksad, house, update2 and GROMACS, plus helpers (conv3x3, bitonic
+sort for the inter-cluster micro-benchmark, stream copy for the SRF
+micro-benchmark).
+"""
+
+from repro.kernels.library import KERNEL_LIBRARY, get_kernel
+
+__all__ = ["KERNEL_LIBRARY", "get_kernel"]

@@ -1,0 +1,38 @@
+"""Registry of all kernels in the reproduction."""
+
+from __future__ import annotations
+
+from repro.kernels.blocksearch import BLOCKSEARCH
+from repro.kernels.conv import CONV3X3, CONV7X7
+from repro.kernels.copy import COLORCONV, SPLIT, SRFCOPY
+from repro.kernels.dct import DCT8X8, IDCT8X8, QUANTZIG
+from repro.kernels.gromacs import GROMACS
+from repro.kernels.house import HOUSE
+from repro.kernels.rle import RLE, VLC
+from repro.kernels.sad import BLOCKSAD, SADMIN, VSUM7
+from repro.kernels.shading import FRAGSHADE, RASTERIZE, SHADE, XFORM
+from repro.kernels.sort import SORT32
+from repro.kernels.update2 import UPDATE2
+from repro.streamc.program import KernelSpec
+
+#: All kernels, keyed by name.
+KERNEL_LIBRARY: dict[str, KernelSpec] = {
+    spec.name: spec
+    for spec in (
+        DCT8X8, BLOCKSEARCH, RLE, CONV7X7, CONV3X3, BLOCKSAD, VSUM7,
+        SADMIN, HOUSE, UPDATE2, GROMACS, SORT32, SRFCOPY, COLORCONV,
+        XFORM, SHADE, RASTERIZE, FRAGSHADE, QUANTZIG, VLC, IDCT8X8, SPLIT,
+    )
+}
+
+#: The eight kernels of Table 2, in the paper's row order.
+TABLE2_KERNELS = ("dct8x8", "blocksearch", "rle", "conv7x7",
+                  "blocksad", "house", "update2", "gromacs")
+
+
+def get_kernel(name: str) -> KernelSpec:
+    if name not in KERNEL_LIBRARY:
+        raise KeyError(
+            f"unknown kernel {name!r}; available: "
+            f"{sorted(KERNEL_LIBRARY)}")
+    return KERNEL_LIBRARY[name]

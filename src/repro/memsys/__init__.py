@@ -1,0 +1,32 @@
+"""Memory-system substrate: SDRAM channels, address generators, controller.
+
+Imagine's memory system has two address generators (AGs) feeding a
+memory controller with a small on-chip reorder/cache structure in front
+of four 100 MHz SDRAM channels (1.6 GB/s peak).  This package models
+all of it at the fidelity the paper's memory experiments need:
+per-bank open-row timing, channel interleaving, the controller's small
+cache that captures narrow indexed ranges, and the hardware precharge
+bug of Section 3.3.
+"""
+
+from repro.memsys.address_gen import AddressGenerator, expand_pattern
+from repro.memsys.controller import MemorySystem, StreamMeasurement
+from repro.memsys.dram import DramModel
+from repro.memsys.patterns import (
+    AccessPattern,
+    indexed,
+    strided,
+    unit_stride,
+)
+
+__all__ = [
+    "AddressGenerator",
+    "expand_pattern",
+    "MemorySystem",
+    "StreamMeasurement",
+    "DramModel",
+    "AccessPattern",
+    "indexed",
+    "strided",
+    "unit_stride",
+]

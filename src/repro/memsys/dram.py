@@ -1,0 +1,152 @@
+"""SDRAM channel timing model.
+
+Models Imagine's four 100 MHz SDRAM channels with per-bank open-row
+state: a row hit transfers one word per memory-bus cycle; a row miss
+pays precharge + activate + CAS latency, overlappable with transfers
+on other banks.  Words interleave across channels (``addr % channels``)
+so unit-stride streams engage all four channels while a stride-2 word
+stream only engages two -- the effect Figure 9 measures.
+
+The "performance bug in the on-chip memory controller which causes
+unnecessary DRAM precharges between some accesses to the same DRAM
+row" (Section 3.3) is modeled by forcing a precharge after every
+``precharge_bug_interval`` consecutive same-row accesses to a bank when
+the model runs in hardware mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import DramConfig
+
+
+@dataclass(frozen=True)
+class DramStats:
+    """Outcome of servicing one address sequence."""
+
+    words: int
+    mem_cycles: int
+    row_hits: int
+    row_misses: int
+    forced_precharges: int
+
+    @property
+    def words_per_mem_cycle(self) -> float:
+        if self.mem_cycles == 0:
+            return 0.0
+        return self.words / self.mem_cycles
+
+
+class DramModel:
+    """Services in-order word-address sequences, channel by channel."""
+
+    def __init__(self, config: DramConfig,
+                 precharge_bug: bool = False) -> None:
+        self.config = config
+        self.precharge_bug = precharge_bug
+
+    # ------------------------------------------------------------------
+    # Address mapping.
+    # ------------------------------------------------------------------
+    def map_addresses(self, addresses: np.ndarray
+                      ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Split word addresses into (channel, bank, row) coordinates."""
+        config = self.config
+        channel = addresses % config.channels
+        within = addresses // config.channels
+        row_id = within // config.row_words
+        bank = row_id % config.banks_per_channel
+        return channel, bank, row_id
+
+    # ------------------------------------------------------------------
+    # Timing.
+    # ------------------------------------------------------------------
+    def service(self, addresses: np.ndarray,
+                reorder_window: int | None = None) -> DramStats:
+        """Memory cycles to service ``addresses`` in (reordered) order.
+
+        The controller's reorder window groups accesses to the same
+        (bank, row) within a sliding window, as real stream memory
+        controllers do to raise row-hit rates.
+        """
+        if len(addresses) == 0:
+            return DramStats(0, 0, 0, 0, 0)
+        config = self.config
+        window = (config.reorder_window if reorder_window is None
+                  else reorder_window)
+        channel, bank, row_id = self.map_addresses(np.asarray(addresses))
+        total_cycles = 0
+        hits = misses = forced = 0
+        for ch in range(config.channels):
+            mask = channel == ch
+            if not mask.any():
+                continue
+            banks = bank[mask]
+            rows = row_id[mask]
+            if window > 1:
+                banks, rows = _reorder(banks, rows, window)
+            cycles, ch_hits, ch_misses, ch_forced = self._channel_cycles(
+                banks, rows)
+            total_cycles = max(total_cycles, cycles)
+            hits += ch_hits
+            misses += ch_misses
+            forced += ch_forced
+        return DramStats(len(addresses), total_cycles, hits, misses, forced)
+
+    def _channel_cycles(self, banks: np.ndarray, rows: np.ndarray
+                        ) -> tuple[int, int, int, int]:
+        config = self.config
+        nbanks = config.banks_per_channel
+        miss_latency = config.t_rp + config.t_rcd + config.t_cl
+        first_latency = config.t_rcd + config.t_cl
+        bus = 0
+        bank_ready = [0] * nbanks
+        open_row = [-1] * nbanks
+        run_length = [0] * nbanks
+        hits = misses = forced = 0
+        bug = self.precharge_bug
+        closed_page = config.page_policy == "closed"
+        interval = config.precharge_bug_interval
+        for b, r in zip(banks.tolist(), rows.tolist()):
+            hit = open_row[b] == r and not closed_page
+            if hit and bug and run_length[b] >= interval:
+                hit = False
+                forced += 1
+                run_length[b] = 0
+            if hit:
+                start = max(bus, bank_ready[b])
+                bus = start + 1
+                bank_ready[b] = bus
+                run_length[b] += 1
+                hits += 1
+            else:
+                latency = miss_latency if open_row[b] >= 0 else first_latency
+                ready = bank_ready[b] + latency
+                start = max(ready, bus)
+                bus = start + 1
+                bank_ready[b] = bus
+                # Closed-page: the bank auto-precharges after the
+                # access, so the next one pays activate+CAS again.
+                open_row[b] = -1 if closed_page else r
+                run_length[b] = 1
+                misses += 1
+        return bus, hits, misses, forced
+
+
+def _reorder(banks: np.ndarray, rows: np.ndarray,
+             window: int) -> tuple[np.ndarray, np.ndarray]:
+    """Stable same-row grouping within a sliding window."""
+    order = []
+    n = len(banks)
+    start = 0
+    while start < n:
+        end = min(n, start + window)
+        chunk = list(range(start, end))
+        chunk.sort(key=lambda i: (banks[i], rows[i], i))
+        order.extend(chunk)
+        start = end
+    index = np.asarray(order)
+    return banks[index], rows[index]

@@ -1,0 +1,61 @@
+"""Compiled stream-program image.
+
+The output of the stream compiler: the ordered stream-instruction
+sequence with encoded dependencies, the compiled kernels it references,
+the functional outputs computed at build time, and the descriptor-file
+statistics Table 4 reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.isa.stream_ops import StreamInstruction, histogram
+from repro.isa.vliw import CompiledKernel
+
+
+@dataclass
+class StreamProgramImage:
+    """Everything ``StreamProgram.build()`` produces."""
+
+    name: str
+    instructions: list[StreamInstruction]
+    kernels: dict[str, CompiledKernel]
+    outputs: dict[str, np.ndarray] = field(default_factory=dict)
+    sdr_writes: int = 0
+    sdr_references: int = 0
+    mar_writes: int = 0
+    mar_references: int = 0
+    ucr_writes: int = 0
+    playback: bool = True
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def histogram(self) -> dict[str, int]:
+        """Table 4 columns for this program."""
+        return histogram(self.instructions)
+
+    @property
+    def sdr_reuse(self) -> float:
+        if self.sdr_writes == 0:
+            return 0.0
+        return self.sdr_references / self.sdr_writes
+
+    def validate(self) -> None:
+        """Structural invariants: deps point backwards and exist."""
+        for position, instr in enumerate(self.instructions):
+            if instr.index != position:
+                raise AssertionError(
+                    f"{self.name}: instruction {position} mis-indexed "
+                    f"as {instr.index}")
+            for dep in instr.deps:
+                if not 0 <= dep < position:
+                    raise AssertionError(
+                        f"{self.name}: instruction {position} depends "
+                        f"on {dep} (not strictly earlier)")
+            if instr.op.is_kernel and instr.kernel not in self.kernels:
+                raise AssertionError(
+                    f"{self.name}: unknown kernel {instr.kernel!r}")

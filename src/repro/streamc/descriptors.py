@@ -1,0 +1,52 @@
+"""Descriptor register files: SDRs, MARs and the reuse they enable.
+
+Imagine holds stream length/location state in 32 stream descriptor
+registers (SDRs) and 8 memory address registers (MARs) so that stream
+instructions can refer to a descriptor index instead of re-encoding
+the full descriptor, slashing host instruction bandwidth.  Section 5.3
+quantifies the effect: DEPTH reuses each SDR 717 times; without that
+reuse it would exceed the host interface's bandwidth.
+
+:class:`DescriptorFile` models one such file: referencing a descriptor
+value that is already resident is free; a new value evicts the LRU
+entry and costs one register-write stream instruction.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Hashable
+
+
+@dataclass
+class DescriptorFile:
+    """LRU-managed register file mapping descriptor values to slots."""
+
+    name: str
+    slots: int
+    _resident: OrderedDict = field(default_factory=OrderedDict)
+    writes: int = 0
+    references: int = 0
+
+    def reference(self, value: Hashable) -> tuple[int, bool]:
+        """Use ``value``; returns ``(slot, newly_written)``."""
+        self.references += 1
+        if value in self._resident:
+            slot = self._resident[value]
+            self._resident.move_to_end(value)
+            return slot, False
+        if len(self._resident) < self.slots:
+            slot = len(self._resident)
+        else:
+            _, slot = self._resident.popitem(last=False)
+        self._resident[value] = slot
+        self.writes += 1
+        return slot, True
+
+    @property
+    def reuse(self) -> float:
+        """Average references per write (Table 4's "Reuse" column)."""
+        if self.writes == 0:
+            return 0.0
+        return self.references / self.writes

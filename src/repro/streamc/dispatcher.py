@@ -1,0 +1,55 @@
+"""Stream dispatchers.
+
+At run time the paper's system drives Imagine through one of two
+dispatchers: the general **stream dispatcher** (intermediate C++ code
+preserving StreamC control flow, one scoreboard write per instruction)
+and the lightweight **playback dispatcher**, usable when control flow
+is data-independent, which replays a pre-recorded instruction sequence.
+
+In this reproduction both deliver the same instruction list to the
+simulator; the difference is the host-side cost per instruction, which
+these classes expose so experiments can model a slower general
+dispatcher.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import BoardConfig, MachineConfig
+from repro.streamc.compiler import StreamProgramImage
+
+
+@dataclass(frozen=True)
+class StreamDispatcher:
+    """General dispatcher: host executes StreamC control flow."""
+
+    #: Extra host cycles of scalar work per dispatched instruction.
+    per_instruction_overhead_cycles: int = 40
+
+    def host_board(self, machine: MachineConfig,
+                   board: BoardConfig) -> BoardConfig:
+        """Board config with the dispatcher's host cost folded in."""
+        base_cycles = board.host_issue_cycles(machine)
+        cycles = base_cycles + self.per_instruction_overhead_cycles
+        mips = machine.clock_hz / cycles / 1e6
+        return board.with_host_mips(mips)
+
+    def instructions(self, image: StreamProgramImage):
+        return list(image.instructions)
+
+
+@dataclass(frozen=True)
+class PlaybackDispatcher:
+    """Playback dispatcher: replays the recorded sequence verbatim."""
+
+    def host_board(self, machine: MachineConfig,
+                   board: BoardConfig) -> BoardConfig:
+        return board
+
+    def instructions(self, image: StreamProgramImage):
+        if not image.playback:
+            raise ValueError(
+                f"{image.name}: program was not compiled for playback "
+                f"(data-dependent control flow)")
+        return list(image.instructions)

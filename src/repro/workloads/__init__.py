@@ -1,0 +1,17 @@
+"""Synthetic workloads: Table-1 micro-benchmarks and length sweeps."""
+
+from repro.workloads.microbench import (
+    MicrobenchResult,
+    run_all_microbenchmarks,
+)
+from repro.workloads.streamlen import (
+    kernel_length_sweep,
+    memory_length_sweep,
+)
+
+__all__ = [
+    "MicrobenchResult",
+    "run_all_microbenchmarks",
+    "kernel_length_sweep",
+    "memory_length_sweep",
+]

@@ -1,0 +1,110 @@
+"""Tests for the analysis layer: breakdowns, reporting, power study."""
+
+import pytest
+
+from repro.analysis import (
+    kernel_breakdown,
+    measure_kernel,
+    power_efficiency_comparison,
+)
+from repro.analysis.breakdown import (
+    APPLICATION_STREAM_ELEMENTS,
+    application_breakdown,
+    application_overhead,
+)
+from repro.analysis.power_compare import (
+    PAPER_IMAGINE_PJ,
+    PAPER_IMAGINE_PJ_NORMALIZED,
+    imagine_pj_per_flop,
+)
+from repro.analysis.report import render_breakdown, render_table
+from repro.kernels import KERNEL_LIBRARY
+from repro.kernels.library import TABLE2_KERNELS
+
+
+class TestKernelBreakdown:
+    def test_fractions_sum_to_one(self):
+        for name in TABLE2_KERNELS:
+            breakdown = kernel_breakdown(KERNEL_LIBRARY[name])
+            assert sum(breakdown.values()) == pytest.approx(1.0)
+            assert all(v >= 0 for v in breakdown.values())
+
+    def test_rle_dominated_by_main_loop_overhead(self):
+        """Fig. 6: RLE has the worst main-loop occupancy."""
+        breakdown = kernel_breakdown(KERNEL_LIBRARY["rle"])
+        assert (breakdown["kernel main loop overhead"]
+                > breakdown["operations"])
+
+    def test_conv7x7_operations_dominant(self):
+        breakdown = kernel_breakdown(KERNEL_LIBRARY["conv7x7"])
+        assert breakdown["operations"] > 0.4
+
+    def test_short_streams_raise_non_main_loop_share(self):
+        spec = KERNEL_LIBRARY["conv7x7"]
+        short = kernel_breakdown(spec, stream_elements=64)
+        long = kernel_breakdown(spec, stream_elements=8192)
+        assert (short["kernel non-main loop overhead"]
+                > long["kernel non-main loop overhead"])
+
+    def test_average_near_paper_43_percent(self):
+        """Paper: kernels sustain ~43% of peak on average."""
+        values = [kernel_breakdown(KERNEL_LIBRARY[n])["operations"]
+                  for n in TABLE2_KERNELS]
+        average = sum(values) / len(values)
+        assert 0.25 < average < 0.60
+
+    def test_all_table2_lengths_defined(self):
+        for name in TABLE2_KERNELS:
+            assert name in APPLICATION_STREAM_ELEMENTS
+
+
+class TestApplicationBreakdown:
+    def test_from_run_result(self):
+        from repro.apps import depth, run_app
+
+        bundle = depth.build(height=24, width=64, disparities=4)
+        result = run_app(bundle)
+        breakdown = application_breakdown(result)
+        assert sum(breakdown.values()) == pytest.approx(1.0, abs=1e-3)
+        assert 0 <= application_overhead(result) <= 1
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        text = render_table("T", ["a", "bbbb"], [[1, 2.5], [10, 3.25]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1
+
+    def test_render_breakdown_percentages(self):
+        text = render_breakdown(
+            "B", {"x": {"ops": 0.25, "stall": 0.75}})
+        assert "25.0%" in text
+        assert "75.0%" in text
+
+
+class TestPowerComparison:
+    def test_imagine_near_paper_value(self):
+        pj = imagine_pj_per_flop()
+        assert pj == pytest.approx(PAPER_IMAGINE_PJ, rel=0.15)
+
+    def test_normalized_beats_dsp_and_cpu(self):
+        rows = {r.processor: r for r in power_efficiency_comparison()}
+        imagine = rows["Imagine (normalized)"]
+        assert imagine.pj_per_flop == pytest.approx(
+            PAPER_IMAGINE_PJ_NORMALIZED, rel=0.15)
+        # Paper: 3x-13x better than contemporary programmable parts.
+        dsp = imagine.advantage_over(rows["TI C67x DSP (225 MHz)"])
+        cpu = imagine.advantage_over(rows["Pentium M (1.2 GHz)"])
+        assert 2.0 < dsp < 5.0
+        assert 8.0 < cpu < 16.0
+
+
+class TestTable2Rows:
+    def test_units_assigned_correctly(self):
+        float_kernels = {"house", "update2", "gromacs"}
+        for name in TABLE2_KERNELS:
+            row = measure_kernel(KERNEL_LIBRARY[name])
+            expected = "GFLOPS" if name in float_kernels else "GOPS"
+            assert row.rate_unit == expected

@@ -1,0 +1,135 @@
+"""Tests for the kernel compiler driver, regalloc and comm scheduling."""
+
+import pytest
+
+from repro.isa.kernel_ir import FuClass, KernelBuilder
+from repro.kernelc import CompileError, compile_kernel
+from repro.kernelc import commsched, regalloc
+from repro.kernelc.scheduling import ClusterResources, modulo_schedule
+
+
+def saxpy_graph():
+    b = KernelBuilder("saxpy")
+    x = b.stream_input("x")
+    y = b.stream_input("y")
+    a = b.param("a")
+    b.stream_output("out", b.op("fadd", b.op("fmul", a, x), y))
+    return b.build()
+
+
+class TestCompileKernel:
+    def test_produces_valid_compiled_kernel(self):
+        kernel = compile_kernel(saxpy_graph())
+        kernel.validate()
+        assert kernel.ii >= 2          # 3 SB accesses over 2 ports
+        assert kernel.stages >= 1
+        assert kernel.prologue_cycles > 0
+        assert kernel.microcode_words > kernel.ii
+
+    def test_unrolling_amortizes(self):
+        base = compile_kernel(saxpy_graph())
+        unrolled = compile_kernel(saxpy_graph(), unroll_factor=4)
+        assert unrolled.elements_per_iteration == 4
+        # Cycles per element must not get worse.
+        assert (unrolled.ii / unrolled.elements_per_iteration
+                <= base.ii / base.elements_per_iteration + 1e-9)
+
+    def test_schedule_word_count_matches_ii(self):
+        kernel = compile_kernel(saxpy_graph())
+        assert len(kernel.schedule) == kernel.ii
+
+    def test_every_schedulable_op_in_schedule(self):
+        kernel = compile_kernel(saxpy_graph())
+        scheduled = {slot.op for word in kernel.schedule
+                     for slot in word.slots}
+        assert scheduled == {op.ident
+                             for op in kernel.graph.schedulable_ops}
+
+    def test_lrf_traffic_positive(self):
+        kernel = compile_kernel(saxpy_graph())
+        assert kernel.lrf_reads_per_iteration >= 4
+        assert kernel.lrf_writes_per_iteration >= 1
+
+
+class TestTiming:
+    def test_timing_scales_with_stream_length(self):
+        kernel = compile_kernel(saxpy_graph())
+        short = kernel.timing(64, 8)
+        long = kernel.timing(4096, 8)
+        assert long.iterations == 64 * short.iterations
+        assert long.busy_cycles > short.busy_cycles
+        # Non-main-loop cost is per invocation, not per element.
+        assert long.non_main_loop == short.non_main_loop
+
+    def test_operations_floor_below_main_loop(self):
+        kernel = compile_kernel(saxpy_graph())
+        timing = kernel.timing(1024, 8)
+        assert timing.operations <= timing.main_loop_cycles
+        assert timing.operations > 0
+
+    def test_minimum_one_iteration(self):
+        kernel = compile_kernel(saxpy_graph())
+        assert kernel.timing(1, 8).iterations == 1
+
+
+class TestRegalloc:
+    def test_pressure_counts_in_flight_copies(self):
+        b = KernelBuilder("longlive")
+        x = b.stream_input("x")
+        # A value consumed 3 iterations later stays live 3*II cycles.
+        late = b.op("fadd", x, b.prev(x, 3))
+        b.stream_output("o", late)
+        graph = b.build()
+        schedule = modulo_schedule(graph)
+        allocation = regalloc.allocate(graph, schedule)
+        assert allocation.regs_used[FuClass.ADD] >= 3
+
+    def test_capacity_violation_raises(self):
+        b = KernelBuilder("pressure")
+        x = b.stream_input("x")
+        last = x
+        for i in range(4):
+            last = b.op("iadd", last, b.prev(x, 40))
+        b.stream_output("o", last)
+        graph = b.build()
+        schedule = modulo_schedule(graph)
+        with pytest.raises(regalloc.RegisterPressureError):
+            regalloc.allocate(graph, schedule, lrf_entries_per_fu=1)
+
+    def test_reads_count_operands(self):
+        graph = saxpy_graph()
+        schedule = modulo_schedule(graph)
+        allocation = regalloc.allocate(graph, schedule)
+        total_operands = sum(len(op.operands)
+                             for op in graph.schedulable_ops)
+        assert allocation.lrf_reads_per_iteration == total_operands
+
+
+class TestCommScheduling:
+    def test_routes_cover_all_producing_ops(self):
+        graph = saxpy_graph()
+        schedule = modulo_schedule(graph)
+        routes = commsched.route(graph, schedule)
+        producing = [op for op in graph.schedulable_ops
+                     if op.opcode not in ("sbwrite", "spwrite")]
+        assert len(routes) == len(producing)
+
+    def test_no_bus_carries_two_results_per_slot(self):
+        from repro.kernels import KERNEL_LIBRARY
+
+        for spec in list(KERNEL_LIBRARY.values())[:6]:
+            graph = spec.compiled().graph
+            schedule = modulo_schedule(graph)
+            routes = commsched.route(graph, schedule)
+            seen = set()
+            for route in routes:
+                key = (route.bus, route.slot)
+                assert key not in seen
+                seen.add(key)
+
+    def test_consumer_classes_recorded(self):
+        graph = saxpy_graph()
+        schedule = modulo_schedule(graph)
+        routes = {r.op: r for r in commsched.route(graph, schedule)}
+        mul = [op for op in graph.ops if op.opcode == "fmul"][0]
+        assert FuClass.ADD in routes[mul.ident].consumer_classes

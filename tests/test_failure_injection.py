@@ -1,0 +1,147 @@
+"""Failure injection: the simulator must fail loudly, never wedge.
+
+Deadlocks, capacity violations, malformed programs and corrupted
+schedules should all surface as typed exceptions with useful
+messages, not hangs or silent misaccounting.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BoardConfig, ImagineProcessor, MachineConfig
+from repro.core.microcontroller import MicrocodeStoreError
+from repro.core.processor import SimulationError
+from repro.core.srf import SrfAllocationError
+from repro.isa.kernel_ir import KernelBuilder
+from repro.isa.stream_ops import StreamInstruction, StreamOpType
+from repro.kernelc import CompileError, compile_kernel
+from repro.memsys.patterns import unit_stride
+from repro.streamc import StreamProgram
+from repro.streamc.program import KernelSpec
+
+
+def tiny_spec(name="tiny"):
+    b = KernelBuilder(name)
+    x = b.stream_input("x")
+    b.stream_output("o", b.op("fadd", x, x))
+    return KernelSpec(name, b.build(), lambda ins, p: [2 * ins[0]])
+
+
+class TestDeadlockDetection:
+    def test_forward_dependency_deadlocks(self):
+        """An instruction depending on a later one can never issue."""
+        instructions = [
+            StreamInstruction(StreamOpType.SYNC, deps=[1], index=0),
+            StreamInstruction(StreamOpType.SYNC, deps=[], index=1),
+        ]
+        # Only instruction 0 fits program order; with one scoreboard
+        # slot its dep (1) can never become resident.
+        from dataclasses import replace
+
+        machine = replace(MachineConfig(), scoreboard_slots=1)
+        processor = ImagineProcessor(machine=machine)
+        with pytest.raises(SimulationError, match="deadlock"):
+            processor.run(instructions, name="deadlock")
+
+    def test_self_dependency_deadlocks(self):
+        instructions = [
+            StreamInstruction(StreamOpType.SYNC, deps=[0], index=0),
+        ]
+        processor = ImagineProcessor()
+        with pytest.raises(SimulationError, match="deadlock"):
+            processor.run(instructions, name="self")
+
+
+class TestCapacityViolations:
+    def test_srf_overflow_at_build_time(self):
+        program = StreamProgram("overflow")
+        data = program.array("big", np.zeros(40000))
+        with pytest.raises(SrfAllocationError):
+            # One 40K-word stream cannot fit the 32K-word SRF.
+            program.load(data)
+            program.build()
+
+    def test_too_many_live_streams(self):
+        program = StreamProgram("livelock")
+        data = program.array("d", np.zeros(30000))
+        spec = tiny_spec()
+        streams = [program.load(data, start=0, words=8000,
+                                name=f"s{i}")
+                   for i in range(20)]
+        # A final kernel consuming every stream keeps all twenty
+        # (160K words) live at once -- 5x the SRF.
+        program.kernel(spec, streams)
+        with pytest.raises(SrfAllocationError):
+            program.build()
+
+    def test_oversized_microcode_rejected(self):
+        machine_store = MachineConfig().microcode_store_words
+        b = KernelBuilder("monster")
+        x = b.stream_input("x")
+        last = x
+        for i in range(1200):
+            last = b.op("iadd", last, x)
+        b.stream_output("o", last)
+        kernel = compile_kernel(b.build())
+        if kernel.microcode_words <= machine_store:
+            pytest.skip("kernel unexpectedly fits")
+        from repro.core.microcontroller import Microcontroller
+
+        with pytest.raises(MicrocodeStoreError):
+            Microcontroller(MachineConfig()).load(
+                "monster", kernel.microcode_words)
+
+
+class TestCompilerFailures:
+    def test_impossible_register_pressure(self):
+        b = KernelBuilder("hot")
+        x = b.stream_input("x")
+        last = x
+        for i in range(6):
+            last = b.op("iadd", last, b.prev(x, 30))
+        b.stream_output("o", last)
+        with pytest.raises(CompileError):
+            compile_kernel(b.build(), lrf_entries_per_fu=1)
+
+    def test_functional_model_errors_propagate(self):
+        def broken(ins, params):
+            raise ValueError("model exploded")
+
+        b = KernelBuilder("broken")
+        x = b.stream_input("x")
+        b.stream_output("o", b.op("fadd", x, x))
+        spec = KernelSpec("broken", b.build(), broken)
+        program = StreamProgram("p")
+        data = program.array("d", np.zeros(64))
+        s = program.load(data)
+        with pytest.raises(ValueError, match="model exploded"):
+            program.kernel(spec, [s])
+
+
+class TestAccountingUnderStress:
+    @pytest.mark.parametrize("mips", [0.25, 1.0, 20.0])
+    def test_conservation_across_host_rates(self, mips):
+        spec = tiny_spec()
+        program = StreamProgram("stress")
+        data = program.array("d", np.zeros(2048))
+        s = program.load(data)
+        for _ in range(8):
+            s = program.kernel1(spec, [s])
+        image = program.build()
+        board = BoardConfig.hardware(host_mips=mips)
+        processor = ImagineProcessor(board=board,
+                                     kernels=image.kernels)
+        result = processor.run(image)
+        result.metrics.check_conservation(1e-3)
+
+    def test_conservation_with_contended_memory(self):
+        instructions = []
+        for i in range(12):
+            instructions.append(StreamInstruction(
+                StreamOpType.MEM_LOAD,
+                pattern=unit_stride(2048, start=4096 * i),
+                words=2048, index=i))
+        processor = ImagineProcessor(board=BoardConfig.hardware())
+        result = processor.run(instructions, name="memstress")
+        result.metrics.check_conservation(1e-3)
+        assert result.metrics.mem_words == 12 * 2048

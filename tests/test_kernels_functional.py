@@ -1,0 +1,303 @@
+"""Functional tests: every kernel's numpy model against an oracle."""
+
+import numpy as np
+import pytest
+import scipy.fft
+import scipy.signal
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels.blocksearch import BLOCKSEARCH
+from repro.kernels.conv import CONV3X3, CONV7X7, binomial_taps
+from repro.kernels.copy import COLORCONV, SPLIT, SRFCOPY
+from repro.kernels.dct import (
+    DCT8X8,
+    IDCT8X8,
+    QUANTZIG,
+    dct_blocks,
+    dequantize_zigzag,
+)
+from repro.kernels.gromacs import GROMACS
+from repro.kernels.house import HOUSE, deinterleave, interleave
+from repro.kernels.pixelmath import clamp_u16, pack16, unpack16
+from repro.kernels.rle import RLE, rle_decode, rle_encode, vlc_code_lengths
+from repro.kernels.sad import BLOCKSAD, make_sad7x7
+from repro.kernels.sort import SORT32
+from repro.kernels.update2 import UPDATE2
+
+
+class TestPixelMath:
+    def test_round_trip(self):
+        pixels = np.arange(0, 1000, dtype=float) % 65536
+        assert np.array_equal(unpack16(pack16(pixels)), pixels)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 65535), min_size=2, max_size=64)
+           .filter(lambda v: len(v) % 2 == 0))
+    def test_round_trip_property(self, values):
+        pixels = np.asarray(values, dtype=float)
+        assert np.array_equal(unpack16(pack16(pixels)), pixels)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            pack16(np.array([0.0, 70000.0]))
+        with pytest.raises(ValueError):
+            pack16(np.array([0.0, -1.0]))
+        with pytest.raises(ValueError):
+            pack16(np.array([0.5, 1.0]))
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(ValueError):
+            pack16(np.array([1.0]))
+
+    def test_clamp(self):
+        assert list(clamp_u16(np.array([-5.0, 70000.0, 42.4]))) == [
+            0.0, 65535.0, 42.0]
+
+
+class TestConvolution:
+    def test_conv7x7_matches_scipy_interior(self):
+        rng = np.random.default_rng(0)
+        rows = rng.integers(0, 256, size=(7, 64)).astype(float)
+        out = unpack16(CONV7X7.apply_fn(
+            [pack16(r) for r in rows], {})[0])
+        kernel2d = np.outer(binomial_taps(7), binomial_taps(7))
+        expected = scipy.signal.correlate2d(
+            rows, kernel2d, mode="valid")[0] / kernel2d.sum()
+        # Interior pixels (border handling differs).
+        assert np.allclose(out[3:-3], clamp_u16(expected), atol=1.0)
+
+    def test_conv3x3_shape_and_range(self):
+        rows = [pack16(np.full(32, 100.0)) for _ in range(3)]
+        out = CONV3X3.apply_fn(rows, {})[0]
+        assert len(out) == 16
+        assert np.array_equal(unpack16(out), np.full(32, 100.0))
+
+    def test_constant_image_invariant(self):
+        rows = [pack16(np.full(64, 77.0)) for _ in range(7)]
+        out = unpack16(CONV7X7.apply_fn(rows, {})[0])
+        assert np.array_equal(out, np.full(64, 77.0))
+
+
+class TestDctPipeline:
+    def blocks(self, n=4, seed=1):
+        rng = np.random.default_rng(seed)
+        return rng.integers(-500, 500, size=n * 64).astype(float)
+
+    def test_dct_matches_scipy(self):
+        values = self.blocks()
+        packed = pack16(values + 32768)
+        out = dct_blocks(DCT8X8.apply_fn([packed], {})[0])
+        expected = scipy.fft.dctn(values.reshape(-1, 8, 8),
+                                  axes=(1, 2), norm="ortho")
+        assert np.allclose(out, np.round(expected), atol=0.51)
+
+    def test_dct_idct_round_trip(self):
+        values = self.blocks()
+        packed = pack16(values + 32768)
+        coef = DCT8X8.apply_fn([packed], {})[0]
+        back = IDCT8X8.apply_fn([coef], {})[0]
+        assert np.allclose(unpack16(back) - 32768, values, atol=2.0)
+
+    def test_quantzig_round_trip(self):
+        values = self.blocks()
+        packed = pack16(values + 32768)
+        coef = DCT8X8.apply_fn([packed], {})[0]
+        quantized = QUANTZIG.apply_fn([coef], {"qstep": 8.0})[0]
+        restored = dequantize_zigzag(quantized, 8.0)
+        original = dct_blocks(coef)
+        assert np.abs(restored - original).max() <= 4.0 + 1e-9
+
+    def test_full_codec_chain(self):
+        values = self.blocks(n=8, seed=3)
+        packed = pack16(values + 32768)
+        coef = DCT8X8.apply_fn([packed], {})[0]
+        quantized = QUANTZIG.apply_fn([coef], {"qstep": 4.0})[0]
+        decoded = IDCT8X8.apply_fn(
+            [quantized], {"qstep": 4.0, "zigzagged": True})[0]
+        error = np.abs((unpack16(decoded) - 32768) - values)
+        assert error.max() < 16.0   # bounded by quantization
+
+
+class TestRle:
+    def test_round_trip(self):
+        values = np.array([5, 5, 5, 2, 2, 9, 9, 9, 9, 0], dtype=float)
+        assert np.array_equal(rle_decode(rle_encode(values)), values)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=200))
+    def test_round_trip_property(self, values):
+        array = np.asarray(values, dtype=float)
+        assert np.array_equal(rle_decode(rle_encode(array)), array)
+
+    def test_compresses_runs(self):
+        constant = np.zeros(1000)
+        assert len(rle_encode(constant)) == 2
+
+    def test_empty(self):
+        assert len(rle_encode(np.zeros(0))) == 0
+
+    def test_kernel_spec_wraps_encode(self):
+        values = np.array([1.0, 1.0, 2.0])
+        assert np.array_equal(RLE.apply_fn([values], {})[0],
+                              rle_encode(values))
+
+    def test_vlc_lengths_positive_and_monotone(self):
+        small = vlc_code_lengths(np.array([1.0, 1.0]))
+        large = vlc_code_lengths(np.array([1000.0, 1.0]))
+        assert (small > 0).all()
+        assert large[0] > small[0]
+
+
+class TestSort:
+    def test_sorts_chunks(self):
+        rng = np.random.default_rng(2)
+        values = rng.permutation(64).astype(float)
+        out = SORT32.apply_fn([values], {})[0]
+        assert np.array_equal(out[:32], np.sort(values[:32]))
+        assert np.array_equal(out[32:], np.sort(values[32:]))
+
+    def test_rejects_partial_chunks(self):
+        with pytest.raises(ValueError):
+            SORT32.apply_fn([np.zeros(33)], {})
+
+
+class TestHouseholder:
+    def test_reflector_annihilates(self):
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal(16) + 1j * rng.standard_normal(16)
+        v_words, aux = HOUSE.apply_fn([interleave(x)], {})
+        v = deinterleave(v_words)
+        beta = aux[0]
+        reflected = x - beta * v * np.vdot(v, x)
+        assert abs(abs(reflected[0]) - np.linalg.norm(x)) < 1e-10
+        assert np.allclose(reflected[1:], 0, atol=1e-10)
+
+    def test_skip_leaves_head_untouched(self):
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal(16) + 1j * rng.standard_normal(16)
+        v_words, aux = HOUSE.apply_fn([interleave(x)], {"skip": 4})
+        v = deinterleave(v_words)
+        assert np.allclose(v[:4], 0)
+        beta = aux[0]
+        reflected = x - beta * v * np.vdot(v, x)
+        assert np.allclose(reflected[:4], x[:4])
+        assert np.allclose(reflected[5:], 0, atol=1e-10)
+
+    def test_zero_vector(self):
+        v_words, aux = HOUSE.apply_fn([np.zeros(8)], {})
+        assert aux[0] == 0.0
+
+
+class TestUpdate2:
+    def test_rank_one_update(self):
+        rng = np.random.default_rng(6)
+        n, m = 12, 5
+        v = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        block = rng.standard_normal((n, m)) + 1j * rng.standard_normal(
+            (n, m))
+        beta = 0.37
+        out = UPDATE2.apply_fn(
+            [interleave(v), interleave(block.T.reshape(-1))],
+            {"beta": beta, "columns": m})[0]
+        result = deinterleave(out).reshape(m, n).T
+        expected = block - beta * np.outer(v, v.conj() @ block)
+        assert np.allclose(result, expected)
+
+    def test_bad_column_count_rejected(self):
+        with pytest.raises(ValueError):
+            UPDATE2.apply_fn([np.zeros(4), np.zeros(10)],
+                             {"beta": 1.0, "columns": 3})
+
+
+class TestGromacs:
+    def test_newtons_third_law(self):
+        rng = np.random.default_rng(7)
+        pair = rng.uniform(0, 3, size=18)
+        swapped = np.concatenate([pair[9:], pair[:9]])
+        f_ab = GROMACS.apply_fn([pair], {})[0].reshape(3, 3)
+        f_ba = GROMACS.apply_fn([swapped], {})[0].reshape(3, 3)
+        assert np.allclose(f_ab.sum(axis=0), -f_ba.sum(axis=0))
+
+    def test_force_points_away_at_close_range(self):
+        # Two molecules almost on top of each other repel (LJ r^-12).
+        a = np.zeros((3, 3))
+        a[1] = [0.1, 0, 0]
+        a[2] = [0, 0.1, 0]
+        b = a + np.array([0.5, 0, 0])
+        pair = np.concatenate([a.reshape(-1), b.reshape(-1)])
+        force = GROMACS.apply_fn([pair], {})[0].reshape(3, 3)
+        assert force.sum(axis=0)[0] < 0   # pushed away from b (at +x)
+
+    def test_rejects_partial_pairs(self):
+        with pytest.raises(ValueError):
+            GROMACS.apply_fn([np.zeros(17)], {})
+
+
+class TestSadKernels:
+    def test_blocksad_absolute_difference(self):
+        a = pack16(np.array([10.0, 20.0]))
+        b = pack16(np.array([13.0, 12.0]))
+        out = unpack16(BLOCKSAD.apply_fn([a, b], {})[0])
+        assert list(out) == [3.0, 8.0]
+
+    def test_blocksad_residual_and_add_invert(self):
+        rng = np.random.default_rng(8)
+        a = pack16(rng.integers(0, 256, 64).astype(float))
+        b = pack16(rng.integers(0, 256, 64).astype(float))
+        residual = BLOCKSAD.apply_fn([a, b], {"mode": "residual"})[0]
+        restored = BLOCKSAD.apply_fn([residual, b], {"mode": "add"})[0]
+        assert np.array_equal(restored, a)
+
+    def test_sad7x7_finds_known_shift(self):
+        rng = np.random.default_rng(9)
+        width = 64
+        sad = make_sad7x7()
+        best_score = pack16(np.full(width, 65535.0))
+        best_disp = pack16(np.zeros(width))
+        rows = [np.round(rng.uniform(0, 255, width)) for _ in range(9)]
+        true_shift = 4
+        for row in rows:
+            left = pack16(row)
+            right = pack16(np.roll(row, true_shift))
+            for d in (0, 2, 4, 6):
+                best_score, best_disp = sad.apply_fn(
+                    [left, right, best_score, best_disp],
+                    {"disparity": float(d)})
+        disp = unpack16(best_disp)
+        assert (disp[8:-8] == true_shift).mean() > 0.9
+
+
+class TestBlocksearch:
+    def test_finds_known_offset(self):
+        rng = np.random.default_rng(10)
+        ref = np.round(rng.uniform(0, 255, 1024))
+        cur = np.roll(ref, -256)
+        mv, predicted = BLOCKSEARCH.apply_fn(
+            [pack16(cur), pack16(ref)],
+            {"block": 256, "offsets": (-512, -256, 0, 256, 512)})
+        vectors = unpack16(mv)[:4] - 32768
+        assert (vectors[1:3] == 256).all()
+        assert np.array_equal(unpack16(predicted)[256:768],
+                              cur[256:768])
+
+
+class TestUtilityKernels:
+    def test_srfcopy_identity(self):
+        a, b = np.arange(8.0), np.arange(8.0, 16.0)
+        out = SRFCOPY.apply_fn([a, b], {})
+        assert np.array_equal(out[0], a)
+        assert np.array_equal(out[1], b)
+
+    def test_split(self):
+        data = np.arange(10.0)
+        head, tail = SPLIT.apply_fn([data], {"head_words": 4})
+        assert np.array_equal(head, data[:4])
+        assert np.array_equal(tail, data[4:])
+
+    def test_colorconv_weights(self):
+        r = pack16(np.full(8, 100.0))
+        g = pack16(np.full(8, 100.0))
+        b = pack16(np.full(8, 100.0))
+        out = unpack16(COLORCONV.apply_fn(
+            [r, g, b], {"wr": 0.299, "wg": 0.587, "wb": 0.114})[0])
+        assert np.allclose(out, 100.0)

@@ -1,0 +1,115 @@
+"""Regression bands: pin the reproduced numbers to the paper's shape.
+
+These tests freeze the headline results inside generous bands so that
+future model changes cannot silently drift away from the paper.  Each
+band states the paper value it protects.  Application runs reuse
+module-scoped results to keep the suite fast.
+"""
+
+import pytest
+
+from repro.apps import depth, mpeg, qrd, rtsl, run_app
+from repro.core import BoardConfig
+from repro.core.metrics import CycleCategory
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for module in (depth, mpeg, qrd, rtsl):
+        bundle = module.build()
+        out[bundle.name] = (bundle,
+                            run_app(bundle,
+                                    board=BoardConfig.hardware()))
+    return out
+
+
+class TestTable3Bands:
+    def test_depth_gops(self, results):
+        # Paper 4.91 GOPS.
+        assert 3.5 < results["DEPTH"][1].metrics.gops < 8.5
+
+    def test_mpeg_gops(self, results):
+        # Paper 7.36 GOPS.
+        assert 4.0 < results["MPEG"][1].metrics.gops < 9.0
+
+    def test_qrd_gflops(self, results):
+        # Paper 4.81 GFLOPS.
+        assert 3.0 < results["QRD"][1].metrics.gflops < 6.0
+
+    def test_rtsl_gops(self, results):
+        # Paper 1.30 GOPS.
+        assert 0.4 < results["RTSL"][1].metrics.gops < 2.0
+
+    def test_qrd_throughput(self, results):
+        # Paper 326 QRD/s at the same 192x96 matrix.
+        bundle, result = results["QRD"]
+        assert 200 < bundle.throughput(result.seconds) < 450
+
+    def test_power_band(self, results):
+        # Paper 5.91-7.49 W across applications.
+        for bundle, result in results.values():
+            assert 5.0 < result.power.watts < 8.0
+
+    def test_utilization_band(self, results):
+        """Paper: applications sustain 16%-60% of peak (8.13 GFLOPS
+        equivalent); we accept 8%-70%."""
+        machine = results["QRD"][1].metrics.machine
+        for name, (bundle, result) in results.items():
+            alu = (result.metrics.gflops if name == "QRD"
+                   else result.metrics.gops)
+            fraction = alu / machine.peak_gflops
+            assert 0.08 < fraction < 0.90, name
+
+
+class TestOrderings:
+    def test_qrd_has_highest_ipc(self, results):
+        ipcs = {name: r.metrics.ipc
+                for name, (_, r) in results.items()}
+        assert max(ipcs, key=ipcs.get) == "QRD"
+
+    def test_rtsl_lowest_everything(self, results):
+        gops = {name: r.metrics.gops
+                for name, (_, r) in results.items()}
+        ipcs = {name: r.metrics.ipc
+                for name, (_, r) in results.items()}
+        assert min(gops, key=gops.get) == "RTSL"
+        assert min(ipcs, key=ipcs.get) == "RTSL"
+
+    def test_depth_shortest_streams(self, results):
+        lengths = {name: r.metrics.average_kernel_stream_length
+                   for name, (_, r) in results.items()}
+        assert min(lengths, key=lengths.get) == "DEPTH"
+
+    def test_rtsl_highest_overhead(self, results):
+        def overhead(result):
+            fractions = result.metrics.cycle_fractions()
+            return sum(fractions[c] for c in (
+                CycleCategory.MICROCODE_LOAD_STALL,
+                CycleCategory.MEMORY_STALL,
+                CycleCategory.STREAM_CONTROLLER_OVERHEAD,
+                CycleCategory.HOST_BANDWIDTH_STALL))
+
+        overheads = {name: overhead(r)
+                     for name, (_, r) in results.items()}
+        assert max(overheads, key=overheads.get) == "RTSL"
+        assert overheads["RTSL"] > 0.30      # paper: > 30%
+        assert overheads["DEPTH"] < 0.12     # paper: < 10%
+
+    def test_three_video_apps_beyond_realtime(self, results):
+        for name in ("DEPTH", "MPEG", "RTSL"):
+            bundle, result = results[name]
+            assert bundle.throughput(result.seconds) > 30
+
+
+class TestBandwidthHierarchy:
+    def test_each_level_order_of_magnitude(self, results):
+        for name, (_, result) in results.items():
+            metrics = result.metrics
+            assert metrics.lrf_gbytes > 4 * metrics.srf_gbytes, name
+            assert metrics.srf_gbytes > 2 * metrics.mem_gbytes, name
+
+    def test_depth_lrf_dram_ratio(self, results):
+        metrics = results["DEPTH"][1].metrics
+        # Paper: > 350:1 average; DEPTH carries the claim.
+        assert metrics.lrf_gbytes / metrics.mem_gbytes > 250

@@ -1,0 +1,174 @@
+"""Tests for the modulo scheduler, including property-based checks."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.kernel_ir import FuClass, KernelBuilder, OPCODES
+from repro.kernelc.scheduling import (
+    ClusterResources,
+    dependence_edges,
+    modulo_schedule,
+    recurrence_mii,
+    resource_mii,
+)
+
+RES = ClusterResources()
+
+
+def schedule_of(builder: KernelBuilder):
+    return modulo_schedule(builder.build(), RES)
+
+
+class TestResourceBounds:
+    def test_mul_bound(self):
+        b = KernelBuilder("muls")
+        x = b.stream_input("x")
+        last = x
+        for _ in range(6):
+            last = b.op("fmul", last, x)
+        b.stream_output("o", last)
+        # 6 muls over 2 units -> II >= 3.
+        assert schedule_of(b).ii >= 3
+
+    def test_add_bound(self):
+        b = KernelBuilder("adds")
+        x = b.stream_input("x")
+        last = x
+        for _ in range(9):
+            last = b.op("iadd", last, x)
+        b.stream_output("o", last)
+        assert schedule_of(b).ii >= 3
+
+    def test_dsq_unpipelined_bound(self):
+        b = KernelBuilder("dsq")
+        x = b.stream_input("x")
+        d = b.op("frsq", x)
+        b.stream_output("o", b.op("fadd", d, x))
+        assert schedule_of(b).ii >= 16
+
+    def test_sb_port_bound(self):
+        b = KernelBuilder("sb")
+        ins = [b.stream_input(f"x{i}") for i in range(6)]
+        b.stream_output("o", b.reduce("iadd", ins))
+        # 6 reads + 1 write over 2 ports -> II >= 4.
+        assert schedule_of(b).ii >= 4
+
+    def test_resource_mii_formula(self):
+        b = KernelBuilder("m")
+        x = b.stream_input("x")
+        last = x
+        for _ in range(7):
+            last = b.op("fmul", last, x)
+        b.stream_output("o", last)
+        graph = b.build()
+        assert resource_mii(graph, RES) == math.ceil(7 / 2)
+
+
+class TestRecurrenceBounds:
+    def test_accumulator_recurrence(self):
+        b = KernelBuilder("acc")
+        x = b.stream_input("x")
+        acc = b.accumulate("fadd", x)     # latency 4, distance 1
+        b.stream_output("o", acc)
+        graph = b.build()
+        assert recurrence_mii(graph) == 4
+        assert modulo_schedule(graph, RES).ii >= 4
+
+    def test_distance_two_halves_recurrence(self):
+        b = KernelBuilder("acc2")
+        x = b.stream_input("x")
+        acc = b.accumulate("fadd", x, distance=2)
+        b.stream_output("o", acc)
+        assert recurrence_mii(b.build()) == 2
+
+    def test_no_recurrence_gives_one(self):
+        b = KernelBuilder("flat")
+        x = b.stream_input("x")
+        b.stream_output("o", b.op("fadd", x, x))
+        assert recurrence_mii(b.build()) == 1
+
+
+def assert_valid_schedule(graph, schedule):
+    """All dependences met; no FU cell double-booked."""
+    resources = schedule.resources
+    edges = dependence_edges(graph)
+    for edge in edges:
+        ready = schedule.times[edge.src] + edge.latency
+        read = schedule.times[edge.dst] + schedule.ii * edge.distance
+        assert read >= ready, f"dep {edge} violated"
+    occupancy = {}
+    by_id = {op.ident: op for op in graph.schedulable_ops}
+    for ident, time in schedule.times.items():
+        spec = by_id[ident].spec
+        unit = schedule.unit_assignment[ident]
+        assert 0 <= unit < resources.units(spec.fu)
+        for k in range(min(spec.issue_interval, schedule.ii)):
+            cell = (spec.fu, unit, (time + k) % schedule.ii)
+            assert cell not in occupancy, f"double booking {cell}"
+            occupancy[cell] = ident
+
+
+class TestScheduleValidity:
+    def test_library_kernels_schedule_validly(self):
+        from repro.kernels import KERNEL_LIBRARY
+
+        for spec in KERNEL_LIBRARY.values():
+            graph = spec.compiled().graph
+            schedule = modulo_schedule(graph, RES)
+            assert_valid_schedule(graph, schedule)
+
+    def test_all_ops_scheduled(self):
+        b = KernelBuilder("k")
+        x = b.stream_input("x")
+        b.stream_output("o", b.op("imul", b.op("iadd", x, x), x))
+        graph = b.build()
+        schedule = modulo_schedule(graph, RES)
+        assert set(schedule.times) == {
+            op.ident for op in graph.schedulable_ops}
+
+
+@st.composite
+def random_kernel(draw):
+    """A random dependency-correct kernel graph."""
+    b = KernelBuilder("random")
+    values = [b.stream_input("x"), b.stream_input("y")]
+    opcodes = ["iadd", "fadd", "imul", "fmul", "ishl", "imin",
+               "pmul16", "padd8", "spread", "comm"]
+    n_ops = draw(st.integers(min_value=1, max_value=24))
+    for i in range(n_ops):
+        opcode = draw(st.sampled_from(opcodes))
+        a = values[draw(st.integers(0, len(values) - 1))]
+        bval = values[draw(st.integers(0, len(values) - 1))]
+        distance = draw(st.integers(0, 2))
+        if distance:
+            bval = b.prev(bval, distance)
+        if OPCODES[opcode].fu in (FuClass.SP,):
+            values.append(b.op(opcode, a))
+        else:
+            values.append(b.op(opcode, a, bval))
+    b.stream_output("out", values[-1])
+    return b.build()
+
+
+class TestSchedulerProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(random_kernel())
+    def test_random_graphs_schedule_validly(self, graph):
+        schedule = modulo_schedule(graph, RES)
+        assert_valid_schedule(graph, schedule)
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_kernel())
+    def test_ii_at_least_both_bounds(self, graph):
+        schedule = modulo_schedule(graph, RES)
+        assert schedule.ii >= resource_mii(graph, RES)
+        assert schedule.ii >= recurrence_mii(graph)
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_kernel())
+    def test_schedule_deterministic(self, graph):
+        first = modulo_schedule(graph, RES)
+        second = modulo_schedule(graph, RES)
+        assert first.times == second.times

@@ -1,0 +1,189 @@
+"""Tests for trace/timeline, kernel profiling, DVFS, and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    kernel_profile,
+    render_kernel_profile,
+    render_timeline,
+)
+from repro.apps import depth, run_app
+from repro.cli import main as cli_main
+from repro.core import BoardConfig, EnergyModel, ImagineProcessor, MachineConfig
+from repro.core.power import EnergyConstants
+
+
+@pytest.fixture(scope="module")
+def depth_result():
+    bundle = depth.build(height=24, width=64, disparities=4)
+    return bundle, run_app(bundle, board=BoardConfig.hardware())
+
+
+class TestTrace:
+    def test_every_instruction_traced(self, depth_result):
+        bundle, result = depth_result
+        assert len(result.trace) == len(bundle.image.instructions)
+
+    def test_lifetimes_ordered(self, depth_result):
+        _, result = depth_result
+        for event in result.trace:
+            assert event.resident_at <= event.started_at + 1e-6
+            assert event.started_at <= event.finished_at + 1e-6
+
+    def test_program_order_residency(self, depth_result):
+        _, result = depth_result
+        times = [e.resident_at for e in result.trace]
+        assert times == sorted(times)
+
+    def test_render_timeline(self, depth_result):
+        _, result = depth_result
+        text = render_timeline(result, kinds=("kernel",), limit=10)
+        assert "=" in text
+        assert "timeline" in text
+
+    def test_render_timeline_empty_filter(self, depth_result):
+        _, result = depth_result
+        assert "no matching" in render_timeline(result,
+                                                kinds=("sync",))
+
+
+class TestKernelProfile:
+    def test_shares_sum_to_one(self, depth_result):
+        _, result = depth_result
+        rows = kernel_profile(result)
+        assert sum(r.share_of_busy for r in rows) == pytest.approx(1.0)
+
+    def test_sorted_by_share(self, depth_result):
+        _, result = depth_result
+        rows = kernel_profile(result)
+        shares = [r.share_of_busy for r in rows]
+        assert shares == sorted(shares, reverse=True)
+
+    def test_depth_dominated_by_sad(self, depth_result):
+        _, result = depth_result
+        rows = kernel_profile(result)
+        assert rows[0].kernel in ("sad7x7", "conv7x7")
+
+    def test_render(self, depth_result):
+        _, result = depth_result
+        assert "Kernel profile" in render_kernel_profile(result)
+
+
+class TestDvfs:
+    def test_energy_scaling_quadratic(self):
+        base = EnergyConstants()
+        scaled = base.at_voltage(0.9)
+        assert scaled.flop == pytest.approx(base.flop * 0.25)
+        assert scaled.volts == 0.9
+
+    def test_half_speed_quarter_power(self):
+        """Section 4.1: half performance at about one-fourth power."""
+        from repro.apps import qrd
+
+        bundle = qrd.build(rows=64, cols=32, block_columns=8)
+        results = {}
+        for label, hz, volts in (("nominal", 200e6, 1.8),
+                                 ("scaled", 100e6, 1.32)):
+            machine = MachineConfig().at_frequency(hz)
+            constants = EnergyConstants().at_voltage(
+                volts, clock_ratio=hz / 200e6)
+            processor = ImagineProcessor(
+                machine=machine, board=BoardConfig.hardware(),
+                kernels=bundle.kernels,
+                energy=EnergyModel(machine, constants))
+            results[label] = processor.run(bundle.image)
+        perf = (results["scaled"].metrics.gflops
+                / results["nominal"].metrics.gflops)
+        power = (results["scaled"].power.watts
+                 / results["nominal"].power.watts)
+        # On this deliberately small matrix the fixed-real-time host
+        # path shrinks in cycles at the lower clock, so performance
+        # lands a little above the ideal 0.5x; the full-size QRD/MPEG
+        # runs in bench_ablation_dvfs hit 0.50x / 0.27x exactly.
+        assert 0.45 <= perf <= 0.70
+        assert 0.20 < power < 0.40
+
+    def test_frequency_scaling_preserves_cycles(self):
+        from repro.apps import qrd
+
+        bundle = qrd.build(rows=64, cols=32, block_columns=8)
+        cycles = {}
+        for hz in (200e6, 100e6):
+            machine = MachineConfig().at_frequency(hz)
+            processor = ImagineProcessor(
+                machine=machine, board=BoardConfig.hardware(),
+                kernels=bundle.kernels)
+            cycles[hz] = processor.run(bundle.image).cycles
+        # Same cycle count; the host interface is a fixed-time path so
+        # it costs *fewer* cycles at the lower clock, never more.
+        assert cycles[100e6] <= cycles[200e6] * 1.01
+
+
+class TestAblationKnobs:
+    def test_small_sdr_file_grows_instruction_stream(self):
+        from dataclasses import replace
+
+        baseline = depth.build(height=24, width=64, disparities=4)
+        machine = replace(MachineConfig(), num_sdrs=2)
+        starved = depth.build(height=24, width=64, disparities=4,
+                              machine=machine)
+        assert (len(starved.image.instructions)
+                > 1.5 * len(baseline.image.instructions))
+        assert starved.image.sdr_reuse < baseline.image.sdr_reuse
+
+    def test_tiny_scoreboard_slows_execution(self):
+        from dataclasses import replace
+
+        bundle = depth.build(height=24, width=64, disparities=4)
+        results = {}
+        for slots in (32, 2):
+            machine = replace(MachineConfig(), scoreboard_slots=slots)
+            processor = ImagineProcessor(
+                machine=machine, board=BoardConfig.hardware(),
+                kernels=bundle.kernels)
+            results[slots] = processor.run(bundle.image).cycles
+        assert results[2] > results[32]
+
+    def test_rotation_depth_controls_memory_overlap(self):
+        from repro.apps import mpeg
+        import repro.streamc.program as sp
+
+        cycles = {}
+        for depth_value in (1, 4):
+            original = sp.StreamProgram.__init__
+
+            def patched(self, name, machine=None, _d=depth_value,
+                        **kw):
+                kw["srf_rotation_depth"] = _d
+                original(self, name, machine, **kw)
+
+            sp.StreamProgram.__init__ = patched
+            try:
+                bundle = mpeg.build(height=48, width=128, frames=2)
+            finally:
+                sp.StreamProgram.__init__ = original
+            processor = ImagineProcessor(
+                board=BoardConfig.hardware(), kernels=bundle.kernels)
+            cycles[depth_value] = processor.run(bundle.image).cycles
+        assert cycles[4] < cycles[1]
+
+
+class TestCli:
+    def test_kernels_command(self, capsys):
+        assert cli_main(["kernels"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "Figure 6" in out
+
+    def test_app_command(self, capsys):
+        assert cli_main(["app", "rtsl"]) == 0
+        out = capsys.readouterr().out
+        assert "Kernel profile" in out
+
+    def test_unknown_app_errors(self, capsys):
+        assert cli_main(["app", "doom"]) == 2
+
+    def test_memory_command(self, capsys):
+        assert cli_main(["memory", "--ags", "2"]) == 0
+        assert "stride" in capsys.readouterr().out
