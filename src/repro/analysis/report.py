@@ -1,12 +1,18 @@
-"""Fixed-width text table rendering for benchmark output.
+"""Benchmark output rendering: text tables and JSON run reports.
 
 Every benchmark prints its table/figure through :func:`render_table`
-so the regenerated evaluation reads like the paper's tables.
+so the regenerated evaluation reads like the paper's tables;
+:func:`run_report` is the machine-readable equivalent for one
+application run (the ``--json`` CLI surface), documented in
+``docs/observability.md``.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.processor import RunResult
 
 
 def render_table(title: str, headers: Sequence[str],
@@ -44,6 +50,62 @@ def render_breakdown(title: str,
         for name, fractions in breakdowns.items()
     ]
     return render_table(title, headers, rows)
+
+
+def run_report(result: "RunResult", bundle=None) -> dict:
+    """Machine-readable report for one finished run.
+
+    The document (schema ``repro.run-report/1``) contains the run
+    manifest, a summary block, per-category cycle fractions
+    (normalised over attributed cycles, so they sum to exactly 1.0),
+    the full counter-registry snapshot with paper-target drift flags,
+    the per-kernel profile, and the stream-instruction histogram.
+    """
+    from repro.analysis.timeline import kernel_profile
+    from repro.obs.manifest import REPORT_SCHEMA
+    from repro.obs.registry import registry_from_result
+
+    metrics = result.metrics
+    registry = registry_from_result(result)
+    report = {
+        "schema": REPORT_SCHEMA,
+        "name": result.name,
+        "manifest": (result.manifest.as_dict()
+                     if result.manifest is not None else None),
+        "summary": {
+            "cycles": metrics.total_cycles,
+            "seconds": metrics.seconds,
+            "gops": metrics.gops,
+            "gflops": metrics.gflops,
+            "ipc": metrics.ipc,
+            "watts": result.power.watts,
+            "host_instructions": metrics.host_instructions,
+        },
+        "cycle_fractions": {
+            category.value: fraction
+            for category, fraction
+            in metrics.attributed_fractions().items()
+        },
+        "counters": registry.snapshot(),
+        "drift": [probe.name for probe in registry.drifted()],
+        "instruction_histogram": dict(result.instruction_histogram),
+        "kernel_profile": [
+            {"kernel": row.kernel,
+             "invocations": row.invocations,
+             "busy_cycles": row.busy_cycles,
+             "stall_cycles": row.stall_cycles,
+             "share_of_busy": row.share_of_busy,
+             "sustained_rate": row.sustained_rate,
+             "rate_unit": row.rate_unit}
+            for row in kernel_profile(result)
+        ],
+    }
+    if bundle is not None:
+        report["throughput"] = {
+            "value": bundle.throughput(result.seconds),
+            "unit": f"{bundle.work_name}/s",
+        }
+    return report
 
 
 def _format(cell: object, floatfmt: str) -> str:

@@ -41,11 +41,14 @@ def render_timeline(result: RunResult, width: int = 72,
              f"(0 .. {span:.0f} cycles; . = queued, = = executing)"]
     for event in events:
         bar = [" "] * width
-        for i in range(column(event.resident_at),
-                       column(event.started_at)):
+        start_col = column(event.started_at)
+        # Clamp so every event renders at least one execution cell,
+        # even when started_at == finished_at (zero-duration ops) or
+        # the columns collapse at this resolution.
+        end_col = max(column(event.finished_at), start_col)
+        for i in range(column(event.resident_at), start_col):
             bar[i] = "."
-        for i in range(column(event.started_at),
-                       column(event.finished_at) + 1):
+        for i in range(start_col, end_col + 1):
             bar[i] = "="
         label = (event.tag or event.kernel or event.op)[:18]
         lines.append(f"{event.index:5d} {event.op[:9]:9s} "

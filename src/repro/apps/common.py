@@ -35,8 +35,13 @@ class AppBundle:
 
 def run_app(bundle: AppBundle,
             board: BoardConfig | None = None,
-            machine: MachineConfig | None = None) -> RunResult:
-    """Build a processor for ``bundle`` and simulate it."""
+            machine: MachineConfig | None = None,
+            tracer=None) -> RunResult:
+    """Build a processor for ``bundle`` and simulate it.
+
+    Pass a :class:`repro.obs.Tracer` to capture a cross-layer
+    execution trace of the run (see ``docs/observability.md``).
+    """
     processor = ImagineProcessor(machine=machine, board=board,
-                                 kernels=bundle.kernels)
+                                 kernels=bundle.kernels, tracer=tracer)
     return processor.run(bundle.image)

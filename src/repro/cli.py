@@ -6,25 +6,51 @@ Mirrors the paper's evaluation flow from a shell:
 * ``kernels``    -- Table 2 kernel rates and the Figure 6 breakdown;
 * ``app NAME``   -- run DEPTH / MPEG / QRD / RTSL and print the
   Table-3 summary, Figure-11 breakdown and per-kernel profile;
+* ``trace NAME`` -- run one application with the cross-layer tracer
+  and export a Chrome/Perfetto ``trace_event`` JSON;
 * ``memory``     -- Figure 9/10 pattern sweep;
 * ``power``      -- the Section 5.5 efficiency comparison.
+
+``microbench``, ``kernels`` and ``app`` accept ``--json`` for
+machine-readable reports (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.core import BoardConfig
+
+
+def _app_builders():
+    from repro.apps import depth, mpeg, qrd, rtsl
+
+    return {"depth": depth.build, "mpeg": mpeg.build,
+            "qrd": qrd.build, "rtsl": rtsl.build}
 
 
 def _cmd_microbench(args) -> int:
     from repro.analysis.report import render_table
     from repro.workloads.microbench import run_all_microbenchmarks
 
+    results = run_all_microbenchmarks(board=_board(args))
+    if args.json:
+        print(json.dumps({
+            "schema": "repro.microbench-report/1",
+            "rows": [{"component": r.component,
+                      "achieved": r.achieved,
+                      "theoretical": r.theoretical,
+                      "unit": r.unit,
+                      "power_watts": r.power_watts,
+                      "efficiency": r.efficiency}
+                     for r in results],
+        }, indent=2))
+        return 0
     rows = [[r.component, r.achieved, r.theoretical, r.unit,
              r.power_watts, f"{r.efficiency * 100:.1f}%"]
-            for r in run_all_microbenchmarks(board=_board(args))]
+            for r in results]
     print(render_table("Table 1: component peaks",
                        ["component", "achieved", "theoretical",
                         "unit", "W", "efficiency"], rows))
@@ -37,9 +63,25 @@ def _cmd_kernels(args) -> int:
     from repro.kernels import KERNEL_LIBRARY
     from repro.kernels.library import TABLE2_KERNELS
 
+    measured = {name: measure_kernel(KERNEL_LIBRARY[name])
+                for name in TABLE2_KERNELS}
+    if args.json:
+        print(json.dumps({
+            "schema": "repro.kernels-report/1",
+            "rows": [{"kernel": name,
+                      "rate": row.rate,
+                      "rate_unit": row.rate_unit,
+                      "lrf_gbytes": row.lrf_gbytes,
+                      "srf_gbytes": row.srf_gbytes,
+                      "ipc": row.ipc,
+                      "power_watts": row.power_watts,
+                      "breakdown": kernel_breakdown(
+                          KERNEL_LIBRARY[name])}
+                     for name, row in measured.items()],
+        }, indent=2))
+        return 0
     rows = []
-    for name in TABLE2_KERNELS:
-        row = measure_kernel(KERNEL_LIBRARY[name])
+    for name, row in measured.items():
         rows.append([name, f"{row.rate:.2f} {row.rate_unit}",
                      row.lrf_gbytes, row.srf_gbytes,
                      f"{row.ipc:.1f}", row.power_watts])
@@ -62,11 +104,10 @@ def _cmd_kernels(args) -> int:
 def _cmd_app(args) -> int:
     from repro.analysis import render_kernel_profile, render_timeline
     from repro.analysis.breakdown import application_breakdown
-    from repro.analysis.report import render_breakdown
-    from repro.apps import depth, mpeg, qrd, rtsl, run_app
+    from repro.analysis.report import render_breakdown, run_report
+    from repro.apps import run_app
 
-    builders = {"depth": depth.build, "mpeg": mpeg.build,
-                "qrd": qrd.build, "rtsl": rtsl.build}
+    builders = _app_builders()
     name = args.name.lower()
     if name not in builders:
         print(f"unknown application {args.name!r}; "
@@ -74,6 +115,9 @@ def _cmd_app(args) -> int:
         return 2
     bundle = builders[name]()
     result = run_app(bundle, board=_board(args))
+    if args.json:
+        print(json.dumps(run_report(result, bundle=bundle), indent=2))
+        return 0
     print(result.summary())
     print(f"throughput: {bundle.throughput(result.seconds):.1f} "
           f"{bundle.work_name}/s")
@@ -87,6 +131,38 @@ def _cmd_app(args) -> int:
         print()
         print(render_timeline(result, kinds=("kernel", "restart",
                                              "mem_load", "mem_store")))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.apps import run_app
+    from repro.obs import Tracer, counters_csv, write_chrome_trace
+
+    builders = _app_builders()
+    name = args.name.lower()
+    if name not in builders:
+        print(f"unknown application {args.name!r}; "
+              f"choose from {sorted(builders)}", file=sys.stderr)
+        return 2
+    tracer = Tracer()
+    bundle = builders[name]()
+    result = run_app(bundle, board=_board(args), tracer=tracer)
+    try:
+        document = write_chrome_trace(
+            tracer, args.out,
+            clock_hz=result.metrics.machine.clock_hz,
+            label=f"imagine/{result.name}")
+        if args.counters_csv:
+            with open(args.counters_csv, "w") as handle:
+                handle.write(counters_csv(tracer))
+    except OSError as error:
+        print(f"cannot write trace: {error}", file=sys.stderr)
+        return 2
+    print(result.summary())
+    print(f"wrote {args.out}: {len(document['traceEvents'])} events "
+          f"on {len(tracer.tracks())} tracks "
+          f"({', '.join(tracer.tracks())})")
+    print("open in https://ui.perfetto.dev or about://tracing")
     return 0
 
 
@@ -182,12 +258,28 @@ def main(argv: list[str] | None = None) -> int:
                         help="override host-interface bandwidth")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("microbench", help="Table 1 component peaks")
-    sub.add_parser("kernels", help="Table 2 + Figure 6")
+    microbench = sub.add_parser("microbench",
+                                help="Table 1 component peaks")
+    microbench.add_argument("--json", action="store_true",
+                            help="emit a machine-readable report")
+    kernels = sub.add_parser("kernels", help="Table 2 + Figure 6")
+    kernels.add_argument("--json", action="store_true",
+                         help="emit a machine-readable report")
     app = sub.add_parser("app", help="run one application")
     app.add_argument("name", help="depth | mpeg | qrd | rtsl")
     app.add_argument("--timeline", action="store_true",
                      help="print the instruction timeline")
+    app.add_argument("--json", action="store_true",
+                     help="emit the machine-readable run report "
+                          "(manifest + counter registry)")
+    trace = sub.add_parser(
+        "trace", help="run one application with the cross-layer "
+                      "tracer and export a Chrome/Perfetto trace")
+    trace.add_argument("name", help="depth | mpeg | qrd | rtsl")
+    trace.add_argument("--out", required=True,
+                       help="output path for the trace-event JSON")
+    trace.add_argument("--counters-csv", default=None,
+                       help="also dump counter samples as CSV")
     memory = sub.add_parser("memory", help="Figure 9/10 sweep")
     memory.add_argument("--ags", type=int, default=1, choices=(1, 2))
     sub.add_parser("power", help="Section 5.5 comparison")
@@ -207,6 +299,7 @@ def main(argv: list[str] | None = None) -> int:
         "microbench": _cmd_microbench,
         "kernels": _cmd_kernels,
         "app": _cmd_app,
+        "trace": _cmd_trace,
         "memory": _cmd_memory,
         "power": _cmd_power,
         "kernel": _cmd_kernel,

@@ -76,6 +76,8 @@ class Metrics:
     flops: float = 0.0
     instructions: float = 0.0
     comm_ops: float = 0.0
+    sp_accesses: float = 0.0
+    dsq_ops: float = 0.0
     lrf_words: float = 0.0
     srf_words: float = 0.0
     mem_words: float = 0.0
@@ -102,6 +104,8 @@ class Metrics:
         self.flops += record.flops
         self.instructions += record.instructions
         self.comm_ops += record.comm_ops
+        self.sp_accesses += record.sp_accesses
+        self.dsq_ops += record.dsq_ops
         self.lrf_words += record.lrf_words
         self.srf_words += record.srf_words
 
@@ -137,6 +141,11 @@ class Metrics:
         return self.machine.gbytes_per_sec(self.mem_words, self.total_cycles)
 
     @property
+    def sp_gbytes(self) -> float:
+        return self.machine.gbytes_per_sec(self.sp_accesses,
+                                           self.total_cycles)
+
+    @property
     def host_mips(self) -> float:
         return self.host_instructions / max(self.seconds, 1e-30) / 1e6
 
@@ -144,6 +153,18 @@ class Metrics:
         """Figure 11 rows: fraction of execution time per category."""
         total = max(self.total_cycles, 1e-30)
         return {cat: self.cycles.get(cat, 0.0) / total
+                for cat in CycleCategory}
+
+    def attributed_fractions(self) -> dict[CycleCategory, float]:
+        """Per-category fractions of *attributed* cycles.
+
+        Normalised over the attributed sum rather than
+        ``total_cycles``, so the fractions sum to exactly 1.0 even in
+        the presence of sub-tolerance accounting residue -- the form
+        machine-readable reports emit.
+        """
+        attributed = max(sum(self.cycles.values()), 1e-30)
+        return {cat: self.cycles.get(cat, 0.0) / attributed
                 for cat in CycleCategory}
 
     def check_conservation(self, tolerance: float = 1e-6) -> None:

@@ -13,6 +13,7 @@ from __future__ import annotations
 from collections import OrderedDict
 
 from repro.core.config import MachineConfig
+from repro.obs.tracer import NULL_TRACER, TRACK_MICRO, Tracer
 
 
 class MicrocodeStoreError(Exception):
@@ -22,8 +23,10 @@ class MicrocodeStoreError(Exception):
 class Microcontroller:
     """Residency tracking for kernel microcode (LRU) plus UCRs."""
 
-    def __init__(self, machine: MachineConfig) -> None:
+    def __init__(self, machine: MachineConfig,
+                 tracer: Tracer = NULL_TRACER) -> None:
         self.machine = machine
+        self.tracer = tracer
         self.capacity_words = machine.microcode_store_words
         self._resident: OrderedDict[str, int] = OrderedDict()
         self.ucr: dict[int, float] = {}
@@ -51,11 +54,21 @@ class Microcontroller:
             self._resident.move_to_end(kernel)
             return 0.0
         while self.resident_words() + words > self.capacity_words:
-            self._resident.popitem(last=False)
+            evicted, evicted_words = self._resident.popitem(last=False)
             self.evictions += 1
+            if self.tracer.enabled:
+                self.tracer.instant(TRACK_MICRO, f"evict {evicted}",
+                                    words=evicted_words)
         self._resident[kernel] = words
         self.loads += 1
-        return words * self.machine.microcode_load_cycles_per_word
+        duration = words * self.machine.microcode_load_cycles_per_word
+        if self.tracer.enabled:
+            self.tracer.span(TRACK_MICRO, f"load {kernel}",
+                             self.tracer.clock,
+                             self.tracer.clock + duration,
+                             words=words,
+                             store_words=self.resident_words())
+        return duration
 
     def write_ucr(self, index: int, value: float) -> None:
         self.ucr[index] = value

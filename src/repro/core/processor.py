@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from dataclasses import dataclass, field
 
 from repro.core.cluster import ClusterArray, InvocationResult
@@ -30,7 +31,17 @@ from repro.host.interface import HostInterface
 from repro.host.processor import HostModel
 from repro.isa.stream_ops import StreamInstruction, StreamOpType, histogram
 from repro.isa.vliw import CompiledKernel
+from repro.memsys.address_gen import AddressGenerator
 from repro.memsys.controller import MemorySystem, SharedMemoryServer
+from repro.obs.manifest import RunManifest, build_manifest
+from repro.obs.tracer import (
+    NULL_TRACER,
+    TRACK_ACCOUNTING,
+    TRACK_CLUSTERS,
+    TRACK_CONTROLLER,
+    TRACK_HOST,
+    Tracer,
+)
 
 _EPS = 1e-6
 #: Extra non-main-loop cycles charged to a RESTART continuation
@@ -73,6 +84,7 @@ class RunResult:
     instruction_histogram: dict[str, int]
     board: BoardConfig
     trace: list[TraceEvent] = field(default_factory=list)
+    manifest: RunManifest | None = None
 
     @property
     def cycles(self) -> float:
@@ -106,16 +118,25 @@ class ImagineProcessor:
     def __init__(self, machine: MachineConfig | None = None,
                  board: BoardConfig | None = None,
                  kernels: dict[str, CompiledKernel] | None = None,
-                 energy: EnergyModel | None = None) -> None:
+                 energy: EnergyModel | None = None,
+                 tracer: Tracer | None = None) -> None:
         self.machine = machine or MachineConfig()
         self.board = board or BoardConfig()
         self.kernels = dict(kernels or {})
         self.energy = energy or EnergyModel(self.machine)
+        self.tracer = NULL_TRACER if tracer is None else tracer
         self.srf = StreamRegisterFile(self.machine)
         self.clusters = ClusterArray(self.machine, self.srf)
-        self.microcontroller = Microcontroller(self.machine)
+        self.microcontroller = Microcontroller(self.machine,
+                                               tracer=self.tracer)
         self.memory = MemorySystem(self.machine,
-                                   precharge_bug=self.board.precharge_bug)
+                                   precharge_bug=self.board.precharge_bug,
+                                   tracer=self.tracer)
+        self.ags = [
+            AddressGenerator(i, self.machine.ag_peak_words_per_cycle,
+                             tracer=self.tracer)
+            for i in range(self.machine.num_ags)
+        ]
 
     def register_kernel(self, kernel: CompiledKernel) -> None:
         self.kernels[kernel.name] = kernel
@@ -137,13 +158,16 @@ class ImagineProcessor:
         if not instructions:
             raise SimulationError("empty stream program")
 
+        wall_start = time.perf_counter()
         machine = self.machine
+        tracer = self.tracer
+        tracer.clock = 0.0
         metrics = Metrics(machine)
         metrics.sdr_writes = sdr_writes
         metrics.sdr_references = sdr_references
         interface = HostInterface(machine, self.board)
         host = HostModel(interface, instructions)
-        scoreboard = Scoreboard(machine.scoreboard_slots)
+        scoreboard = Scoreboard(machine.scoreboard_slots, tracer=tracer)
         server = SharedMemoryServer(self.memory)
         states = [_InstructionState(instr) for instr in instructions]
         kernel_indices = [i for i, instr in enumerate(instructions)
@@ -158,7 +182,8 @@ class ImagineProcessor:
         loader_busy_until = 0.0
         controller_busy_until = 0.0
         next_kernel_pos = 0
-        total_dsq_ops = 0.0
+        free_ags = list(range(len(self.ags)))
+        mem_lanes: dict[int, tuple[int, float]] = {}
 
         def push_completion(time: float, index: int) -> None:
             heapq.heappush(completions, (time, next(tiebreak), index))
@@ -173,11 +198,13 @@ class ImagineProcessor:
             return True
 
         def begin(index: int, t: float) -> None:
-            nonlocal cluster_busy_until, loader_busy_until, total_dsq_ops
+            nonlocal cluster_busy_until, loader_busy_until
             state = states[index]
             instr = state.instruction
             state.status = "running"
             state.start_time = t
+            if tracer.enabled:
+                tracer.clock = t
             if instr.op.is_kernel:
                 # The issue window [decision, t] kept the clusters
                 # idle; charge it so cycle accounting stays exact.
@@ -200,15 +227,24 @@ class ImagineProcessor:
                 if instr.op is StreamOpType.RESTART:
                     result = _restart_adjusted(result)
                 state.invocation = result
-                total_dsq_ops += result.record.dsq_ops
                 finish = t + extra + result.total_cycles
                 cluster_busy_until = finish
+                if tracer.enabled:
+                    tracer.span(
+                        TRACK_CLUSTERS, kernel.name, t, finish,
+                        index=index,
+                        stream_elements=instr.stream_elements,
+                        busy_cycles=result.record.busy_cycles,
+                        stall_cycles=result.record.stall_cycles,
+                        microcode_load_cycles=extra)
                 push_completion(finish, index)
             elif instr.op.is_memory:
                 measurement = self.memory.measure(instr.pattern)
                 server.start(index, measurement)
                 metrics.mem_words += measurement.words
                 metrics.memory_stream_words.append(measurement.words)
+                if tracer.enabled and free_ags:
+                    mem_lanes[index] = (free_ags.pop(0), t)
             elif instr.op is StreamOpType.MICROCODE_LOAD:
                 kernel = self._lookup_kernel(instr)
                 duration = self.microcontroller.load(
@@ -222,9 +258,19 @@ class ImagineProcessor:
             state = states[index]
             state.status = "done"
             state.finish_time = t
+            if tracer.enabled:
+                tracer.clock = t
             scoreboard.complete(index)
             host.notify_completion(index, t)
             instr = state.instruction
+            if index in mem_lanes:
+                lane, started = mem_lanes.pop(index)
+                free_ags.append(lane)
+                free_ags.sort()
+                self.ags[lane].trace_stream(
+                    instr.tag or instr.op.value, started, t,
+                    index=index, words=instr.pattern.words,
+                    kind=instr.pattern.kind)
             if instr.op.is_kernel and state.invocation is not None:
                 timing = state.invocation.timing
                 record = state.invocation.record
@@ -292,6 +338,11 @@ class ImagineProcessor:
                 progressed = False
                 while host.can_issue(now) and scoreboard.has_free_slot():
                     index, instr = host.issue(now)
+                    if tracer.enabled:
+                        tracer.instant(
+                            TRACK_HOST,
+                            f"issue {instr.tag or instr.op.value}",
+                            ts=now, index=index)
                     scoreboard.insert(index, instr)
                     states[index].status = "resident"
                     states[index].resident_time = now
@@ -307,6 +358,11 @@ class ImagineProcessor:
                         if not resource_free(instr, now):
                             continue
                         controller_busy_until = now + issue_overhead
+                        if tracer.enabled:
+                            tracer.span(
+                                TRACK_CONTROLLER,
+                                f"issue {instr.tag or instr.op.value}",
+                                now, controller_busy_until, index=index)
                         begin(index, now + issue_overhead)
                         progressed = True
                         break
@@ -347,6 +403,14 @@ class ImagineProcessor:
             if target > idle_start + _EPS:
                 cause = idle_cause(idle_start)
                 metrics.add_cycles(cause, target - idle_start)
+                if tracer.enabled:
+                    tracer.span(TRACK_ACCOUNTING, cause.value,
+                                idle_start, target)
+                    tracer.counter(
+                        TRACK_ACCOUNTING, "cycles by category",
+                        {cat.value: metrics.cycles.get(cat, 0.0)
+                         for cat in CycleCategory},
+                        ts=target)
                 if next_kernel_pos < len(kernel_indices):
                     blocker = states[kernel_indices[next_kernel_pos]]
                     tag = (f"{cause.value}<-"
@@ -362,13 +426,15 @@ class ImagineProcessor:
                 _, _, index = heapq.heappop(completions)
                 complete(index, target)
             now = target
+            if tracer.enabled:
+                tracer.clock = now
         else:
             raise SimulationError(
                 f"{name}: event budget exhausted at cycle {now:.0f}")
 
         metrics.total_cycles = now
         metrics.check_conservation(tolerance=1e-3)
-        power = self.energy.report(metrics, dsq_ops=total_dsq_ops)
+        power = self.energy.report(metrics, dsq_ops=metrics.dsq_ops)
         trace = [
             TraceEvent(
                 index=i,
@@ -381,6 +447,9 @@ class ImagineProcessor:
             )
             for i, state in enumerate(states)
         ]
+        manifest = build_manifest(
+            name, machine, self.board,
+            wall_time_s=time.perf_counter() - wall_start)
         return RunResult(
             name=name,
             metrics=metrics,
@@ -388,6 +457,7 @@ class ImagineProcessor:
             instruction_histogram=histogram(instructions),
             board=self.board,
             trace=trace,
+            manifest=manifest,
         )
 
     def _lookup_kernel(self, instr: StreamInstruction) -> CompiledKernel:

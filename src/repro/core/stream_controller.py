@@ -9,9 +9,10 @@ the event-driven issue logic lives in :mod:`repro.core.processor`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.isa.stream_ops import StreamInstruction
+from repro.obs.tracer import NULL_TRACER, TRACK_CONTROLLER, Tracer
 
 
 class ScoreboardError(Exception):
@@ -23,11 +24,16 @@ class Scoreboard:
     """Fixed-capacity in-flight window of stream instructions."""
 
     slots: int = 32
+    tracer: Tracer = field(default=NULL_TRACER, repr=False)
 
     def __post_init__(self) -> None:
         self._resident: dict[int, StreamInstruction] = {}
         self._completed: set[int] = set()
         self.peak_occupancy = 0
+
+    def _sample_occupancy(self) -> None:
+        self.tracer.counter(TRACK_CONTROLLER, "scoreboard",
+                            {"occupancy": float(self.occupancy)})
 
     # ------------------------------------------------------------------
     # Host side.
@@ -46,6 +52,8 @@ class Scoreboard:
             raise ScoreboardError(f"instruction {index} already seen")
         self._resident[index] = instruction
         self.peak_occupancy = max(self.peak_occupancy, self.occupancy)
+        if self.tracer.enabled:
+            self._sample_occupancy()
 
     # ------------------------------------------------------------------
     # Controller side.
@@ -65,6 +73,8 @@ class Scoreboard:
                 f"completing non-resident instruction {index}")
         del self._resident[index]
         self._completed.add(index)
+        if self.tracer.enabled:
+            self._sample_occupancy()
 
     def resident_instructions(self) -> list[tuple[int, StreamInstruction]]:
         return sorted(self._resident.items())

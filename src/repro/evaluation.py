@@ -181,6 +181,28 @@ class Evaluation:
                             ["processor", "pJ/FLOP", "technology"],
                             rows, floatfmt="{:.1f}")
 
+    def targets(self) -> str:
+        """Counter-registry probes vs their paper targets, per app."""
+        from repro.obs.registry import registry_from_result
+
+        rows = []
+        for name in _APP_BUILDERS:
+            registry = registry_from_result(self.result(name))
+            for probe in registry:
+                if probe.target is None:
+                    continue
+                rows.append([
+                    name, probe.name,
+                    f"{probe.value:.2f} {probe.unit}",
+                    f"{probe.target.expected:.2f}",
+                    f"±{probe.target.rel_tolerance * 100:.0f}%",
+                    probe.target.source,
+                    "ok" if probe.within_target else "DRIFT"])
+        return render_table(
+            "Paper targets: measured vs expected",
+            ["app", "probe", "measured", "expected", "tolerance",
+             "source", "status"], rows)
+
 
 #: Section name -> generator method, in the paper's order.
 SECTIONS: dict[str, Callable[[Evaluation], str]] = {
@@ -194,6 +216,7 @@ SECTIONS: dict[str, Callable[[Evaluation], str]] = {
     "tables4_5": Evaluation.tables4_5,
     "table6": Evaluation.table6,
     "power": Evaluation.power,
+    "targets": Evaluation.targets,
 }
 
 

@@ -8,11 +8,12 @@ materialises the exact address sequence an AG produces for a pattern.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.memsys.patterns import AccessPattern
+from repro.obs.tracer import NULL_TRACER, Tracer, ag_track
 
 
 def expand_pattern(pattern: AccessPattern,
@@ -47,7 +48,18 @@ class AddressGenerator:
 
     ident: int
     peak_words_per_cycle: float = 2.0
+    tracer: Tracer = field(default=NULL_TRACER, repr=False)
+
+    @property
+    def track(self) -> str:
+        return ag_track(self.ident)
 
     def generation_cycles(self, words: int) -> float:
         """Core cycles the AG itself needs to emit ``words`` addresses."""
         return words / self.peak_words_per_cycle
+
+    def trace_stream(self, name: str, start: float, end: float,
+                     **args) -> None:
+        """Record one stream this AG walked, as a span on its track."""
+        if self.tracer.enabled:
+            self.tracer.span(self.track, name, start, end, **args)

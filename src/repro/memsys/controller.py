@@ -23,6 +23,7 @@ from repro.core.config import MachineConfig
 from repro.memsys.address_gen import expand_pattern
 from repro.memsys.dram import DramModel
 from repro.memsys.patterns import AccessPattern
+from repro.obs.tracer import NULL_TRACER, TRACK_DRAM, TRACK_MEMCTRL, Tracer
 
 #: Words sampled from very long streams; beyond this the steady-state
 #: rate is extrapolated (the sampled prefix includes all cold misses,
@@ -60,13 +61,32 @@ class MemorySystem:
     """Pattern measurement against the DRAM model, with caching."""
 
     def __init__(self, machine: MachineConfig,
-                 precharge_bug: bool = False) -> None:
+                 precharge_bug: bool = False,
+                 tracer: Tracer = NULL_TRACER) -> None:
         self.machine = machine
+        self.tracer = tracer
         self.dram = DramModel(machine.dram, precharge_bug=precharge_bug)
-        self._rate_cache: dict[tuple, tuple[float, float]] = {}
+        self._rate_cache: dict[tuple,
+                               tuple[float, float, dict | None]] = {}
 
     def measure(self, pattern: AccessPattern) -> StreamMeasurement:
-        rate, dram_fraction = self._steady_behaviour(pattern)
+        rate, dram_fraction, dram_sample = self._steady_behaviour(pattern)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                TRACK_MEMCTRL, f"measure {pattern.kind}",
+                words=pattern.words,
+                rate_words_per_cycle=rate,
+                dram_fraction=dram_fraction)
+            if dram_sample is not None:
+                self.tracer.counter(
+                    TRACK_DRAM, "channel busy (sampled mem cycles)",
+                    {f"ch{i}": float(cycles) for i, cycles
+                     in enumerate(dram_sample["per_channel_cycles"])})
+                self.tracer.instant(
+                    TRACK_DRAM, f"rows {pattern.kind}",
+                    row_hits=dram_sample["row_hits"],
+                    row_misses=dram_sample["row_misses"],
+                    forced_precharges=dram_sample["forced_precharges"])
         return StreamMeasurement(
             words=pattern.words,
             dram_words=round(pattern.words * dram_fraction),
@@ -84,22 +104,29 @@ class MemorySystem:
     # Internals.
     # ------------------------------------------------------------------
     def _steady_behaviour(self, pattern: AccessPattern
-                          ) -> tuple[float, float]:
+                          ) -> tuple[float, float, dict | None]:
         key = pattern.signature() + (min(pattern.words, _SAMPLE_WORDS),)
         if key in self._rate_cache:
             return self._rate_cache[key]
         addresses = expand_pattern(pattern, max_words=_SAMPLE_WORDS)
         dram_addresses = self._filter_cache(pattern, addresses)
         dram_core_cycles = 0.0
+        dram_sample: dict | None = None
         if len(dram_addresses):
             stats = self.dram.service(dram_addresses)
             dram_core_cycles = stats.mem_cycles * self.machine.dram.clock_ratio
+            dram_sample = {
+                "row_hits": stats.row_hits,
+                "row_misses": stats.row_misses,
+                "forced_precharges": stats.forced_precharges,
+                "per_channel_cycles": stats.per_channel_cycles,
+            }
         ag_cycles = len(addresses) / self.machine.ag_peak_words_per_cycle
         controller_cycles = len(addresses) / self.controller_peak
         cycles = max(dram_core_cycles, ag_cycles, controller_cycles)
         rate = len(addresses) / max(cycles, 1e-9)
         dram_fraction = len(dram_addresses) / len(addresses)
-        result = (rate, dram_fraction)
+        result = (rate, dram_fraction, dram_sample)
         self._rate_cache[key] = result
         return result
 

@@ -32,6 +32,9 @@ class DramStats:
     row_hits: int
     row_misses: int
     forced_precharges: int
+    #: Busy memory-bus cycles per channel (index = channel id); the
+    #: service time is their max since channels run in parallel.
+    per_channel_cycles: tuple[int, ...] = ()
 
     @property
     def words_per_mem_cycle(self) -> float:
@@ -80,6 +83,7 @@ class DramModel:
         channel, bank, row_id = self.map_addresses(np.asarray(addresses))
         total_cycles = 0
         hits = misses = forced = 0
+        per_channel = [0] * config.channels
         for ch in range(config.channels):
             mask = channel == ch
             if not mask.any():
@@ -90,11 +94,13 @@ class DramModel:
                 banks, rows = _reorder(banks, rows, window)
             cycles, ch_hits, ch_misses, ch_forced = self._channel_cycles(
                 banks, rows)
+            per_channel[ch] = cycles
             total_cycles = max(total_cycles, cycles)
             hits += ch_hits
             misses += ch_misses
             forced += ch_forced
-        return DramStats(len(addresses), total_cycles, hits, misses, forced)
+        return DramStats(len(addresses), total_cycles, hits, misses,
+                         forced, tuple(per_channel))
 
     def _channel_cycles(self, banks: np.ndarray, rows: np.ndarray
                         ) -> tuple[int, int, int, int]:

@@ -1,0 +1,69 @@
+"""Observability: tracing, counter registry, run manifests, exports.
+
+The paper's evaluation *is* observability -- every figure comes from
+attributing cycles and reading instruction timelines.  This package
+gives the reproduction the same instruments as first-class, exportable
+artifacts:
+
+* :mod:`repro.obs.tracer` -- zero-cost-when-disabled span/event
+  tracer threaded through the stream controller, memory system,
+  micro-controller and clusters;
+* :mod:`repro.obs.export` -- Chrome/Perfetto ``trace_event`` JSON and
+  counter CSV exporters, plus the trace schema validator;
+* :mod:`repro.obs.registry` -- named, self-describing counters with
+  units and paper-target (expected value + tolerance) annotations;
+* :mod:`repro.obs.manifest` -- the provenance record attached to
+  every :class:`~repro.core.RunResult`.
+"""
+
+from repro.obs.export import (
+    TraceValidationError,
+    counters_csv,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.manifest import (
+    REPORT_SCHEMA,
+    RunManifest,
+    build_manifest,
+    machine_summary,
+)
+from repro.obs.registry import (
+    PAPER_TARGETS,
+    PaperTarget,
+    Probe,
+    ProbeRegistry,
+    registry_from_result,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    CounterSample,
+    InstantEvent,
+    NullTracer,
+    SpanEvent,
+    Tracer,
+)
+
+__all__ = [
+    "TraceValidationError",
+    "counters_csv",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "REPORT_SCHEMA",
+    "RunManifest",
+    "build_manifest",
+    "machine_summary",
+    "PAPER_TARGETS",
+    "PaperTarget",
+    "Probe",
+    "ProbeRegistry",
+    "registry_from_result",
+    "NULL_TRACER",
+    "CounterSample",
+    "InstantEvent",
+    "NullTracer",
+    "SpanEvent",
+    "Tracer",
+]

@@ -1,0 +1,155 @@
+"""Chrome trace-event / Perfetto export and counter CSV dumps.
+
+:func:`to_chrome_trace` turns a :class:`~repro.obs.tracer.Tracer` into
+the Trace Event Format consumed by ``about://tracing`` and
+https://ui.perfetto.dev: one process ("imagine"), one thread per
+track, complete ("X") events for spans, instant ("i") events, and
+counter ("C") events.  Timestamps are microseconds of simulated wall
+time (cycles / clock); the original cycle timestamps are preserved in
+each event's ``args``.
+
+:func:`validate_chrome_trace` is the schema check used by the tests
+and the CI smoke job; :func:`counters_csv` flattens counter samples
+for spreadsheet-side analysis.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.obs.tracer import Tracer
+
+#: Fields every trace event must carry, per the Trace Event Format.
+_REQUIRED_FIELDS = ("name", "ph", "ts", "pid", "tid")
+_KNOWN_PHASES = {"X", "i", "I", "C", "M", "B", "E"}
+
+_PID = 1
+
+
+def _us(cycles: float, clock_hz: float) -> float:
+    return cycles / clock_hz * 1e6
+
+
+def to_chrome_trace(tracer: Tracer, clock_hz: float = 200e6,
+                    label: str = "imagine") -> dict[str, Any]:
+    """Render the tracer's events as a Chrome trace-event document."""
+    tracks = tracer.tracks()
+    tid_of = {track: tid for tid, track in enumerate(tracks)}
+    events: list[dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "ts": 0,
+        "pid": _PID, "tid": 0, "args": {"name": label},
+    }]
+    for track, tid in tid_of.items():
+        events.append({
+            "name": "thread_name", "ph": "M", "ts": 0,
+            "pid": _PID, "tid": tid, "args": {"name": track},
+        })
+    for span in tracer.spans:
+        events.append({
+            "name": span.name,
+            "cat": span.track,
+            "ph": "X",
+            "ts": _us(span.start, clock_hz),
+            "dur": _us(span.duration, clock_hz),
+            "pid": _PID,
+            "tid": tid_of[span.track],
+            "args": {"start_cycle": span.start,
+                     "end_cycle": span.end, **span.args},
+        })
+    for instant in tracer.instants:
+        events.append({
+            "name": instant.name,
+            "cat": instant.track,
+            "ph": "i",
+            "s": "t",
+            "ts": _us(instant.ts, clock_hz),
+            "pid": _PID,
+            "tid": tid_of[instant.track],
+            "args": {"cycle": instant.ts, **instant.args},
+        })
+    for sample in tracer.counters:
+        events.append({
+            "name": sample.name,
+            "cat": sample.track,
+            "ph": "C",
+            "ts": _us(sample.ts, clock_hz),
+            "pid": _PID,
+            "tid": tid_of[sample.track],
+            "args": dict(sample.values),
+        })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock_hz": clock_hz, "tracks": tracks},
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path: str,
+                       clock_hz: float = 200e6,
+                       label: str = "imagine") -> dict[str, Any]:
+    """Export and write the trace JSON; returns the document."""
+    document = to_chrome_trace(tracer, clock_hz, label)
+    with open(path, "w") as handle:
+        json.dump(document, handle)
+    return document
+
+
+class TraceValidationError(ValueError):
+    """The document does not conform to the trace-event format."""
+
+
+def validate_chrome_trace(document: Any) -> list[str]:
+    """Validate a trace-event document; return its track names.
+
+    Checks the structural invariants the exporter guarantees: a
+    ``traceEvents`` list whose entries carry name/ph/ts/pid/tid, known
+    phase codes, non-negative timestamps, ``dur`` on complete events,
+    and thread-name metadata for every tid referenced.
+    """
+    if not isinstance(document, dict):
+        raise TraceValidationError("trace document must be an object")
+    events = document.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise TraceValidationError("traceEvents must be a non-empty list")
+    named_tids: dict[int, str] = {}
+    used_tids: set[int] = set()
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise TraceValidationError(f"event {i} is not an object")
+        for fld in _REQUIRED_FIELDS:
+            if fld not in event:
+                raise TraceValidationError(f"event {i} missing {fld!r}")
+        phase = event["ph"]
+        if phase not in _KNOWN_PHASES:
+            raise TraceValidationError(
+                f"event {i} has unknown phase {phase!r}")
+        ts = event["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise TraceValidationError(f"event {i} has bad ts {ts!r}")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise TraceValidationError(
+                    f"complete event {i} has bad dur {dur!r}")
+            used_tids.add(event["tid"])
+        elif phase in ("i", "I", "C"):
+            used_tids.add(event["tid"])
+        elif phase == "M" and event["name"] == "thread_name":
+            named_tids[event["tid"]] = event["args"]["name"]
+    unnamed = used_tids - set(named_tids)
+    if unnamed:
+        raise TraceValidationError(
+            f"tids {sorted(unnamed)} carry events but have no "
+            f"thread_name metadata")
+    return [named_tids[tid] for tid in sorted(named_tids)]
+
+
+def counters_csv(tracer: Tracer) -> str:
+    """Flatten counter samples to ``track,name,series,cycle,value``."""
+    lines = ["track,name,series,cycle,value"]
+    for sample in tracer.counters:
+        for series, value in sample.values.items():
+            lines.append(f"{sample.track},{sample.name},{series},"
+                         f"{sample.ts:.6g},{value:.10g}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,144 @@
+"""Cross-layer span/event tracer.
+
+The paper's methodology (Section 4.2) is built on attributing every
+cycle and reading instruction-lifetime timelines; this module gives the
+simulator the same instrument.  Components emit three kinds of
+structured events onto named *tracks* (one track per hardware unit:
+stream controller, clusters, micro-controller, each address generator,
+the memory controller, the DRAM channels):
+
+* :class:`SpanEvent` -- an interval of activity (a kernel invocation,
+  a memory stream, a microcode load, a stream-controller issue window);
+* :class:`InstantEvent` -- a point occurrence (a host issue, a
+  microcode eviction, a stream measurement);
+* :class:`CounterSample` -- named numeric series sampled over time
+  (scoreboard occupancy, per-category cycle totals, DRAM channel
+  cycles).
+
+Tracing is strictly opt-in: the default :data:`NULL_TRACER` records
+nothing and every instrumentation site is guarded by
+``tracer.enabled``, so a normal run pays only an attribute read.
+
+The simulator drives :attr:`Tracer.clock` forward as the event loop
+advances; components that do not know the current simulation time emit
+at the clock (e.g. the memory controller measuring a stream pattern).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Canonical track names used by the instrumented components.
+TRACK_HOST = "host interface"
+TRACK_CONTROLLER = "stream controller"
+TRACK_MICRO = "micro-controller"
+TRACK_CLUSTERS = "clusters"
+TRACK_MEMCTRL = "memory controller"
+TRACK_DRAM = "dram channels"
+TRACK_ACCOUNTING = "cycle accounting"
+
+
+def ag_track(ident: int) -> str:
+    """Track name for one address generator (memory channel lane)."""
+    return f"memory/AG{ident}"
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """An interval of activity on one track, in core cycles."""
+
+    track: str
+    name: str
+    start: float
+    end: float
+    args: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class InstantEvent:
+    """A point occurrence on one track."""
+
+    track: str
+    name: str
+    ts: float
+    args: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CounterSample:
+    """A sample of one named counter series at one time."""
+
+    track: str
+    name: str
+    ts: float
+    values: dict[str, float] = field(default_factory=dict)
+
+
+class Tracer:
+    """Collects structured events from every instrumented component."""
+
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self.spans: list[SpanEvent] = []
+        self.instants: list[InstantEvent] = []
+        self.counters: list[CounterSample] = []
+        #: Current simulation time (core cycles); the event loop
+        #: advances this so deep components can timestamp events.
+        self.clock: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Emission.
+    # ------------------------------------------------------------------
+    def span(self, track: str, name: str, start: float, end: float,
+             **args) -> None:
+        self.spans.append(SpanEvent(track, name, start, max(end, start),
+                                    args))
+
+    def instant(self, track: str, name: str, ts: float | None = None,
+                **args) -> None:
+        self.instants.append(InstantEvent(
+            track, name, self.clock if ts is None else ts, args))
+
+    def counter(self, track: str, name: str,
+                values: dict[str, float],
+                ts: float | None = None) -> None:
+        self.counters.append(CounterSample(
+            track, name, self.clock if ts is None else ts,
+            dict(values)))
+
+    # ------------------------------------------------------------------
+    # Inspection.
+    # ------------------------------------------------------------------
+    def tracks(self) -> list[str]:
+        """Distinct track names, in first-emission order."""
+        seen: dict[str, None] = {}
+        for event in (*self.spans, *self.instants, *self.counters):
+            seen.setdefault(event.track, None)
+        return list(seen)
+
+    def __len__(self) -> int:
+        return len(self.spans) + len(self.instants) + len(self.counters)
+
+
+class NullTracer(Tracer):
+    """Recording disabled; every emission is a no-op."""
+
+    enabled = False
+
+    def span(self, *args, **kwargs) -> None:  # pragma: no cover
+        pass
+
+    def instant(self, *args, **kwargs) -> None:  # pragma: no cover
+        pass
+
+    def counter(self, *args, **kwargs) -> None:  # pragma: no cover
+        pass
+
+
+#: Shared disabled tracer; the default for every component.
+NULL_TRACER = NullTracer()

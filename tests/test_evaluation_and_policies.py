@@ -49,7 +49,7 @@ class TestEvaluationDriver:
     def test_section_registry_complete(self):
         expected = {"table1", "table2", "figure6", "figures7_8",
                     "figures9_10", "table3", "figure11", "tables4_5",
-                    "table6", "power"}
+                    "table6", "power", "targets"}
         assert set(SECTIONS) == expected
 
     def test_unknown_section_rejected(self):

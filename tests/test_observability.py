@@ -1,0 +1,276 @@
+"""Tests for the observability subsystem (repro.obs + CLI surfaces).
+
+Covers the cross-layer tracer, the Chrome trace-event exporter and its
+schema validator, the probe/counter registry with paper targets, the
+run manifest, the machine-readable run report, and the cycle
+conservation matrix (all four apps on both board models).
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.report import run_report
+from repro.apps import depth, mpeg, qrd, rtsl, run_app
+from repro.cli import main as cli_main
+from repro.core import BoardConfig, CycleCategory, ImagineProcessor
+from repro.obs import (
+    NULL_TRACER,
+    PaperTarget,
+    ProbeRegistry,
+    Tracer,
+    TraceValidationError,
+    counters_csv,
+    registry_from_result,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+from repro.obs.tracer import (
+    TRACK_CLUSTERS,
+    TRACK_CONTROLLER,
+    TRACK_MICRO,
+    ag_track,
+)
+
+SMALL_BUILDS = {
+    "DEPTH": lambda: depth.build(height=24, width=64, disparities=4),
+    "MPEG": lambda: mpeg.build(height=48, width=128, frames=2),
+    "QRD": lambda: qrd.build(rows=64, cols=32, block_columns=8),
+    "RTSL": lambda: rtsl.build(triangles=60, width=64, height=48),
+}
+
+BOARDS = {"hardware": BoardConfig.hardware, "isim": BoardConfig.isim}
+
+
+@pytest.fixture(scope="module")
+def traced_depth():
+    tracer = Tracer()
+    bundle = SMALL_BUILDS["DEPTH"]()
+    result = run_app(bundle, board=BoardConfig.hardware(),
+                     tracer=tracer)
+    return bundle, result, tracer
+
+
+class TestTracer:
+    def test_disabled_by_default_records_nothing(self):
+        bundle = SMALL_BUILDS["DEPTH"]()
+        processor = ImagineProcessor(board=BoardConfig.hardware(),
+                                     kernels=bundle.kernels)
+        assert processor.tracer is NULL_TRACER
+        processor.run(bundle.image)
+        assert len(NULL_TRACER) == 0
+
+    def test_empty_tracer_is_not_discarded(self):
+        """An empty (falsy-len) Tracer must still be used."""
+        tracer = Tracer()
+        processor = ImagineProcessor(board=BoardConfig.hardware(),
+                                     tracer=tracer)
+        assert processor.tracer is tracer
+
+    def test_all_layers_emit_tracks(self, traced_depth):
+        _, _, tracer = traced_depth
+        tracks = set(tracer.tracks())
+        assert {TRACK_CONTROLLER, TRACK_CLUSTERS, TRACK_MICRO,
+                "memory controller", "dram channels",
+                "host interface", ag_track(0)} <= tracks
+
+    def test_spans_are_ordered_intervals(self, traced_depth):
+        _, result, tracer = traced_depth
+        assert tracer.spans
+        for span in tracer.spans:
+            assert span.end >= span.start >= 0.0
+            assert span.end <= result.metrics.total_cycles + 1e-6
+
+    def test_kernel_spans_match_invocations(self, traced_depth):
+        _, result, tracer = traced_depth
+        kernel_spans = [s for s in tracer.spans
+                        if s.track == TRACK_CLUSTERS]
+        assert len(kernel_spans) == len(
+            result.metrics.kernel_invocations)
+
+    def test_microcode_loads_traced(self, traced_depth):
+        _, _, tracer = traced_depth
+        loads = [s for s in tracer.spans if s.track == TRACK_MICRO]
+        assert loads
+        assert all(s.name.startswith("load ") for s in loads)
+
+    def test_scoreboard_occupancy_counters(self, traced_depth):
+        _, result, tracer = traced_depth
+        samples = [c for c in tracer.counters
+                   if c.name == "scoreboard"]
+        machine = result.metrics.machine
+        assert samples
+        values = [c.values["occupancy"] for c in samples]
+        assert max(values) <= machine.scoreboard_slots
+        assert min(values) >= 0
+
+    def test_memory_streams_use_ag_lanes(self, traced_depth):
+        _, result, tracer = traced_depth
+        mem_spans = [s for s in tracer.spans
+                     if s.track.startswith("memory/AG")]
+        histogram = result.instruction_histogram
+        assert len(mem_spans) == histogram.get("memory", 0)
+
+
+class TestChromeExport:
+    def test_roundtrip_validates(self, traced_depth, tmp_path):
+        _, result, tracer = traced_depth
+        document = to_chrome_trace(
+            tracer, clock_hz=result.metrics.machine.clock_hz)
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(document))
+        tracks = validate_chrome_trace(json.loads(path.read_text()))
+        assert len(tracks) >= 4
+
+    def test_timestamps_are_microseconds(self, traced_depth):
+        _, result, tracer = traced_depth
+        clock = result.metrics.machine.clock_hz
+        document = to_chrome_trace(tracer, clock_hz=clock)
+        horizon = result.metrics.total_cycles / clock * 1e6
+        for event in document["traceEvents"]:
+            assert event["ts"] <= horizon + 1e-6
+
+    def test_rejects_malformed_documents(self):
+        with pytest.raises(TraceValidationError):
+            validate_chrome_trace([])
+        with pytest.raises(TraceValidationError):
+            validate_chrome_trace({"traceEvents": []})
+        with pytest.raises(TraceValidationError):
+            validate_chrome_trace(
+                {"traceEvents": [{"name": "x", "ph": "X", "ts": 0}]})
+        with pytest.raises(TraceValidationError):
+            validate_chrome_trace({"traceEvents": [
+                {"name": "x", "ph": "X", "ts": 0, "pid": 1,
+                 "tid": 0, "dur": -1}]})
+
+    def test_counters_csv_shape(self, traced_depth):
+        _, _, tracer = traced_depth
+        text = counters_csv(tracer)
+        lines = text.strip().splitlines()
+        assert lines[0] == "track,name,series,cycle,value"
+        assert len(lines) > 1
+        assert all(line.count(",") == 4 for line in lines)
+
+
+class TestRegistry:
+    def test_probes_are_self_describing(self, traced_depth):
+        _, result, _ = traced_depth
+        registry = registry_from_result(result)
+        for probe in registry:
+            assert probe.unit
+            assert probe.description
+
+    def test_duplicate_names_rejected(self):
+        registry = ProbeRegistry()
+        registry.add("a", 1.0, "x", "first")
+        with pytest.raises(ValueError):
+            registry.add("a", 2.0, "x", "again")
+
+    def test_snapshot_and_diff(self, traced_depth):
+        _, result, _ = traced_depth
+        first = registry_from_result(result)
+        second = registry_from_result(result)
+        assert first.snapshot() == second.snapshot()
+        assert all(delta == 0.0
+                   for delta in first.diff(second).values())
+
+    def test_target_drift_flagged(self, traced_depth):
+        _, result, _ = traced_depth
+        registry = registry_from_result(result, targets={
+            "rate.gops": PaperTarget(1e9, 0.01, "made-up")})
+        assert [p.name for p in registry.drifted()] == ["rate.gops"]
+        entry = registry.snapshot()["rate.gops"]
+        assert entry["target"]["within"] is False
+
+    def test_sp_and_dsq_traffic_present(self):
+        """Satellite: scratchpad / divide-unit traffic aggregates."""
+        bundle = SMALL_BUILDS["RTSL"]()  # shade/rasterize use the DSQ
+        result = run_app(bundle, board=BoardConfig.hardware())
+        metrics = result.metrics
+        assert metrics.sp_accesses == sum(
+            r.sp_accesses for r in metrics.kernel_invocations)
+        assert metrics.dsq_ops == sum(
+            r.dsq_ops for r in metrics.kernel_invocations)
+        assert metrics.dsq_ops > 0
+        assert metrics.sp_accesses > 0
+        registry = registry_from_result(result)
+        assert registry.get("words.sp").value == metrics.sp_accesses
+        assert registry.get("ops.dsq").value == metrics.dsq_ops
+
+
+class TestManifestAndReport:
+    def test_manifest_attached(self, traced_depth):
+        _, result, _ = traced_depth
+        manifest = result.manifest
+        assert manifest is not None
+        assert manifest.program == "DEPTH"
+        assert manifest.board_mode == "hardware"
+        assert manifest.machine["num_clusters"] == 8
+        assert manifest.wall_time_s > 0
+        assert manifest.package_version
+
+    def test_run_report_schema(self, traced_depth):
+        bundle, result, _ = traced_depth
+        report = run_report(result, bundle=bundle)
+        assert report["schema"] == "repro.run-report/1"
+        assert report["manifest"]["program"] == "DEPTH"
+        fractions = report["cycle_fractions"]
+        assert set(fractions) == {c.value for c in CycleCategory}
+        assert sum(fractions.values()) == pytest.approx(1.0, abs=1e-6)
+        assert report["counters"]
+        assert json.loads(json.dumps(report)) == report  # serialisable
+
+
+@pytest.mark.parametrize("app_name", sorted(SMALL_BUILDS))
+@pytest.mark.parametrize("mode", sorted(BOARDS))
+class TestCycleConservation:
+    """Satellite: all four apps conserve cycles on both boards."""
+
+    def test_conservation_and_fractions(self, app_name, mode):
+        bundle = SMALL_BUILDS[app_name]()
+        result = run_app(bundle, board=BOARDS[mode]())
+        metrics = result.metrics
+        metrics.check_conservation()
+        for category, fraction in metrics.cycle_fractions().items():
+            assert 0.0 <= fraction <= 1.0, (app_name, mode, category)
+        attributed = metrics.attributed_fractions()
+        assert sum(attributed.values()) == pytest.approx(1.0,
+                                                         abs=1e-6)
+
+
+class TestCliSurfaces:
+    def test_trace_command(self, tmp_path, capsys):
+        out = tmp_path / "t.json"
+        csv = tmp_path / "c.csv"
+        assert cli_main(["trace", "DEPTH", "--out", str(out),
+                         "--counters-csv", str(csv)]) == 0
+        tracks = validate_chrome_trace(json.loads(out.read_text()))
+        assert len(tracks) >= 4
+        assert csv.read_text().startswith("track,name,series")
+        assert "wrote" in capsys.readouterr().out
+
+    def test_trace_unknown_app(self, capsys):
+        assert cli_main(["trace", "doom", "--out", "/tmp/x"]) == 2
+
+    def test_app_json(self, capsys):
+        assert cli_main(["app", "rtsl", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema"] == "repro.run-report/1"
+        assert report["manifest"]["board_mode"] == "hardware"
+        assert sum(report["cycle_fractions"].values()) == pytest.approx(
+            1.0, abs=1e-6)
+        assert "rate.gops" in report["counters"]
+
+    def test_kernels_json(self, capsys):
+        assert cli_main(["kernels", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert len(report["rows"]) == 8
+        assert all("breakdown" in row for row in report["rows"])
+
+    def test_microbench_json(self, capsys):
+        assert cli_main(["microbench", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert {row["component"] for row in report["rows"]} >= {
+            "SRF", "MEM", "Host interface"}
+        assert all(0 < row["efficiency"] <= 1.0
+                   for row in report["rows"])

@@ -47,6 +47,38 @@ class TestTrace:
         assert "no matching" in render_timeline(result,
                                                 kinds=("sync",))
 
+    def test_zero_width_bars_render_one_cell(self, depth_result):
+        """Regression: started_at == finished_at must still draw '='."""
+        from dataclasses import replace
+
+        from repro.core.processor import TraceEvent
+
+        _, real = depth_result
+        zero = TraceEvent(index=0, op="kernel", tag="instant",
+                          kernel="k", resident_at=500.0,
+                          started_at=500.0, finished_at=500.0)
+        late = TraceEvent(index=1, op="kernel", tag="late",
+                          kernel="k", resident_at=0.0,
+                          started_at=900.0, finished_at=1000.0)
+        result = replace(real, trace=[zero, late])
+        lines = render_timeline(result).splitlines()
+        assert lines[1].count("=") == 1     # exactly one cell, not zero
+        assert "=" in lines[2]
+
+    def test_equal_resident_and_start_columns(self, depth_result):
+        """A short queue delay must not hide the execution bar."""
+        from dataclasses import replace
+
+        from repro.core.processor import TraceEvent
+
+        _, real = depth_result
+        event = TraceEvent(index=0, op="mem_load", tag="tiny",
+                           kernel=None, resident_at=999.0,
+                           started_at=999.5, finished_at=1000.0)
+        result = replace(real, trace=[event])
+        row = render_timeline(result).splitlines()[1]
+        assert "=" in row
+
 
 class TestKernelProfile:
     def test_shares_sum_to_one(self, depth_result):
