@@ -36,12 +36,16 @@ class AppBundle:
 def run_app(bundle: AppBundle,
             board: BoardConfig | None = None,
             machine: MachineConfig | None = None,
-            tracer=None) -> RunResult:
+            tracer=None, faults=None, strict: bool = False) -> RunResult:
     """Build a processor for ``bundle`` and simulate it.
 
     Pass a :class:`repro.obs.Tracer` to capture a cross-layer
-    execution trace of the run (see ``docs/observability.md``).
+    execution trace of the run (see ``docs/observability.md``), a
+    :class:`repro.faults.FaultPlan` to inject hardware faults, and
+    ``strict=True`` to enforce runtime invariants
+    (``docs/robustness.md``).
     """
     processor = ImagineProcessor(machine=machine, board=board,
-                                 kernels=bundle.kernels, tracer=tracer)
+                                 kernels=bundle.kernels, tracer=tracer,
+                                 faults=faults, strict=strict)
     return processor.run(bundle.image)

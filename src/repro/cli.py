@@ -8,6 +8,9 @@ Mirrors the paper's evaluation flow from a shell:
   Table-3 summary, Figure-11 breakdown and per-kernel profile;
 * ``trace NAME`` -- run one application with the cross-layer tracer
   and export a Chrome/Perfetto ``trace_event`` JSON;
+* ``faults NAME`` -- run a degraded-mode resilience campaign under a
+  seeded fault plan and emit the resilience report
+  (see ``docs/robustness.md``);
 * ``memory``     -- Figure 9/10 pattern sweep;
 * ``power``      -- the Section 5.5 efficiency comparison.
 
@@ -166,6 +169,55 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    from repro.faults import BUILTIN_PLANS, FaultPlanError, get_plan
+    from repro.faults.campaign import run_campaign
+
+    if args.list_plans:
+        for name, plan in sorted(BUILTIN_PLANS.items()):
+            kinds = ", ".join(spec.kind.value for spec in plan)
+            print(f"{name}: {kinds}")
+        return 0
+    if not args.name:
+        print("missing application name (or use --list-plans)",
+              file=sys.stderr)
+        return 2
+    builders = _app_builders()
+    name = args.name.lower()
+    if name not in builders:
+        print(f"unknown application {args.name!r}; "
+              f"choose from {sorted(builders)}", file=sys.stderr)
+        return 2
+    try:
+        plan = get_plan(args.plan)
+    except FaultPlanError as error:
+        print(f"bad fault plan: {error}", file=sys.stderr)
+        print(f"builtin plans: {', '.join(sorted(BUILTIN_PLANS))}",
+              file=sys.stderr)
+        return 2
+    bundle = builders[name]()
+    report = run_campaign(bundle, plan, trials=args.trials,
+                          seed=args.seed, board=_board(args),
+                          curves=not args.no_curves,
+                          strict=args.strict)
+    text = json.dumps(report, indent=2)
+    if args.out:
+        try:
+            with open(args.out, "w") as handle:
+                handle.write(text + "\n")
+        except OSError as error:
+            print(f"cannot write report: {error}", file=sys.stderr)
+            return 2
+        completed = sum(row["completed"] for row in report["faults"])
+        total = sum(len(row["trials"]) for row in report["faults"])
+        print(f"wrote {args.out}: plan {plan.name!r}, "
+              f"{completed}/{total} faulted trials completed, "
+              f"baseline {report['baseline']['gops']:.2f} GOPS")
+    else:
+        print(text)
+    return 0
+
+
 def _cmd_memory(args) -> int:
     from repro.analysis.report import render_table
     from repro.workloads.streamlen import (
@@ -219,6 +271,11 @@ def _cmd_evaluate(args) -> int:
         for name in SECTIONS:
             print(name)
         return 0
+    unknown = set(sections or []) - set(SECTIONS)
+    if unknown:
+        print(f"unknown section(s) {sorted(unknown)}; "
+              f"choose from {sorted(SECTIONS)}", file=sys.stderr)
+        return 2
     for name, text in run_full_evaluation(
             board=_board(args), sections=sections).items():
         print(text)
@@ -280,6 +337,30 @@ def main(argv: list[str] | None = None) -> int:
                        help="output path for the trace-event JSON")
     trace.add_argument("--counters-csv", default=None,
                        help="also dump counter samples as CSV")
+    faults = sub.add_parser(
+        "faults", help="run a degraded-mode resilience campaign "
+                       "under a seeded fault plan")
+    faults.add_argument("name", nargs="?", default=None,
+                        help="depth | mpeg | qrd | rtsl")
+    faults.add_argument("--plan", default="board",
+                        help="builtin plan name or JSON plan file "
+                             "(see --list-plans)")
+    faults.add_argument("--trials", type=int, default=3,
+                        help="seeded runs per fault (default 3)")
+    faults.add_argument("--seed", type=int, default=0,
+                        help="campaign seed; same seed => "
+                             "byte-identical report")
+    faults.add_argument("--out", default=None,
+                        help="write the JSON resilience report here "
+                             "instead of stdout")
+    faults.add_argument("--no-curves", action="store_true",
+                        help="skip the GOPS-vs-channels/clusters "
+                             "degradation sweeps")
+    faults.add_argument("--strict", action="store_true",
+                        help="enforce runtime invariants during "
+                             "every run")
+    faults.add_argument("--list-plans", action="store_true",
+                        help="list builtin fault plans and exit")
     memory = sub.add_parser("memory", help="Figure 9/10 sweep")
     memory.add_argument("--ags", type=int, default=1, choices=(1, 2))
     sub.add_parser("power", help="Section 5.5 comparison")
@@ -300,6 +381,7 @@ def main(argv: list[str] | None = None) -> int:
         "kernels": _cmd_kernels,
         "app": _cmd_app,
         "trace": _cmd_trace,
+        "faults": _cmd_faults,
         "memory": _cmd_memory,
         "power": _cmd_power,
         "kernel": _cmd_kernel,

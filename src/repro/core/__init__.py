@@ -8,9 +8,11 @@ cycle to one of the paper's stall/busy categories.
 """
 
 from repro.core.config import BoardConfig, MachineConfig
+from repro.core.errors import InvariantViolation, SimulationError
 from repro.core.metrics import CycleCategory, Metrics
 from repro.core.power import EnergyModel, PowerReport
 from repro.core.processor import ImagineProcessor, RunResult
+from repro.core.watchdog import DiagnosticBundle, ProgressWatchdog
 
 __all__ = [
     "BoardConfig",
@@ -21,4 +23,8 @@ __all__ = [
     "PowerReport",
     "ImagineProcessor",
     "RunResult",
+    "SimulationError",
+    "InvariantViolation",
+    "DiagnosticBundle",
+    "ProgressWatchdog",
 ]

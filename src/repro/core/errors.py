@@ -1,0 +1,32 @@
+"""Typed simulation errors carrying diagnostic state.
+
+A wedged simulator is worse than a crashed one; these exception types
+make sure every failure mode surfaces with enough machine state to
+debug it: :class:`SimulationError` carries the watchdog's
+:class:`~repro.core.watchdog.DiagnosticBundle` (scoreboard dump,
+stuck-instruction dependency graph, recent idle-cause attributions),
+and :class:`InvariantViolation` marks a structural model bug caught by
+the strict-mode invariant checker.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.watchdog import DiagnosticBundle
+
+
+class SimulationError(Exception):
+    """Deadlock, livelock or structural failure during simulation."""
+
+    def __init__(self, message: str,
+                 diagnostics: "DiagnosticBundle | None" = None) -> None:
+        super().__init__(message)
+        #: Full machine-state snapshot at failure time (None for
+        #: failures raised before the event loop starts).
+        self.diagnostics = diagnostics
+
+
+class InvariantViolation(SimulationError):
+    """A strict-mode runtime invariant does not hold."""

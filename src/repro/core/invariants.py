@@ -1,0 +1,62 @@
+"""Strict-mode runtime invariants for the event-driven simulator.
+
+Fault injection deliberately pushes the model into corners the happy
+path never visits, so under ``strict=True`` the processor checks a
+small set of structural invariants at every event and raises
+:class:`~repro.core.errors.InvariantViolation` (a typed
+:class:`SimulationError`) the moment one breaks -- complementing the
+end-of-run cycle-conservation check in
+:meth:`repro.core.metrics.Metrics.check_conservation`:
+
+* the simulation clock is monotone;
+* scoreboard occupancy never exceeds the slot count;
+* AG lanes are conserved (free + in-use == configured AGs);
+* no instruction finishes before it starts, starts before it becomes
+  resident, or is marked done without a finish time.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import InvariantViolation
+
+_EPS = 1e-6
+
+
+class InvariantChecker:
+    """Per-run invariant state; cheap enough to call at every event."""
+
+    def __init__(self, program: str, num_ags: int) -> None:
+        self.program = program
+        self.num_ags = num_ags
+        self._last_clock = 0.0
+
+    def _fail(self, message: str) -> None:
+        raise InvariantViolation(
+            f"{self.program}: invariant violated: {message}")
+
+    def clock(self, now: float) -> None:
+        if now + _EPS < self._last_clock:
+            self._fail(f"clock moved backwards: {self._last_clock} "
+                       f"-> {now}")
+        self._last_clock = max(self._last_clock, now)
+
+    def scoreboard(self, occupancy: int, slots: int) -> None:
+        if occupancy > slots:
+            self._fail(f"scoreboard occupancy {occupancy} exceeds "
+                       f"{slots} slots")
+        if occupancy < 0:
+            self._fail(f"negative scoreboard occupancy {occupancy}")
+
+    def ag_lanes(self, free: int, in_use: int) -> None:
+        if free + in_use != self.num_ags:
+            self._fail(f"AG lane leak: {free} free + {in_use} in use "
+                       f"!= {self.num_ags} configured")
+
+    def lifetime(self, index: int, resident: float, start: float,
+                 finish: float) -> None:
+        if finish + _EPS < start:
+            self._fail(f"instruction #{index} finished at {finish} "
+                       f"before starting at {start}")
+        if start + _EPS < resident:
+            self._fail(f"instruction #{index} started at {start} "
+                       f"before becoming resident at {resident}")

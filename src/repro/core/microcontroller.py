@@ -32,6 +32,7 @@ class Microcontroller:
         self.ucr: dict[int, float] = {}
         self.loads = 0
         self.evictions = 0
+        self.invalidations = 0
 
     def is_resident(self, kernel: str) -> bool:
         return kernel in self._resident
@@ -43,6 +44,21 @@ class Microcontroller:
         """Mark ``kernel`` most-recently used (kernel issue)."""
         if kernel in self._resident:
             self._resident.move_to_end(kernel)
+
+    def invalidate(self, kernel: str) -> bool:
+        """Drop ``kernel`` from the store (microcode corruption).
+
+        Returns True when the kernel was resident; the next issue of
+        the kernel then pays a full reload, the response the real
+        machine would need after a store parity error.
+        """
+        if kernel not in self._resident:
+            return False
+        del self._resident[kernel]
+        self.invalidations += 1
+        if self.tracer.enabled:
+            self.tracer.instant(TRACK_MICRO, f"invalidate {kernel}")
+        return True
 
     def load(self, kernel: str, words: int) -> float:
         """Load microcode; return the load's duration in core cycles."""

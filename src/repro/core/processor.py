@@ -18,21 +18,28 @@ from __future__ import annotations
 import heapq
 import itertools
 import time
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.core.cluster import ClusterArray, InvocationResult
 from repro.core.config import BoardConfig, MachineConfig
+from repro.core.errors import InvariantViolation, SimulationError
+from repro.core.invariants import InvariantChecker
 from repro.core.metrics import CycleCategory, Metrics
 from repro.core.microcontroller import Microcontroller
 from repro.core.power import EnergyModel, PowerReport
 from repro.core.srf import StreamRegisterFile
 from repro.core.stream_controller import Scoreboard
+from repro.core.watchdog import DiagnosticBundle, ProgressWatchdog
+from repro.faults.injector import FaultInjector
+from repro.faults.models import FaultEvent, FaultPlan
 from repro.host.interface import HostInterface
 from repro.host.processor import HostModel
 from repro.isa.stream_ops import StreamInstruction, StreamOpType, histogram
 from repro.isa.vliw import CompiledKernel
 from repro.memsys.address_gen import AddressGenerator
 from repro.memsys.controller import MemorySystem, SharedMemoryServer
+from repro.memsys.dram import PrechargeFault
 from repro.obs.manifest import RunManifest, build_manifest
 from repro.obs.tracer import (
     NULL_TRACER,
@@ -43,14 +50,18 @@ from repro.obs.tracer import (
     Tracer,
 )
 
+__all__ = [
+    "ImagineProcessor",
+    "RunResult",
+    "TraceEvent",
+    "SimulationError",
+    "InvariantViolation",
+]
+
 _EPS = 1e-6
 #: Extra non-main-loop cycles charged to a RESTART continuation
 #: instead of a full prologue/epilogue.
 _RESTART_OVERHEAD_CYCLES = 16
-
-
-class SimulationError(Exception):
-    """Deadlock or structural failure during simulation."""
 
 
 @dataclass(frozen=True)
@@ -85,6 +96,10 @@ class RunResult:
     board: BoardConfig
     trace: list[TraceEvent] = field(default_factory=list)
     manifest: RunManifest | None = None
+    #: Fault firings recorded by the injector, in time order.
+    fault_events: list[FaultEvent] = field(default_factory=list)
+    #: Host transfer retries forced by injected drops.
+    host_retries: int = 0
 
     @property
     def cycles(self) -> float:
@@ -119,18 +134,35 @@ class ImagineProcessor:
                  board: BoardConfig | None = None,
                  kernels: dict[str, CompiledKernel] | None = None,
                  energy: EnergyModel | None = None,
-                 tracer: Tracer | None = None) -> None:
+                 tracer: Tracer | None = None,
+                 faults: FaultPlan | FaultInjector | None = None,
+                 strict: bool = False) -> None:
         self.machine = machine or MachineConfig()
         self.board = board or BoardConfig()
         self.kernels = dict(kernels or {})
-        self.energy = energy or EnergyModel(self.machine)
         self.tracer = NULL_TRACER if tracer is None else tracer
+        self.strict = strict
+        if isinstance(faults, FaultPlan):
+            faults = FaultInjector(faults, tracer=self.tracer)
+        self.injector = faults
+        precharge = (PrechargeFault.from_config(self.machine.dram)
+                     if self.board.precharge_bug else None)
+        channel_fault = None
+        if self.injector is not None:
+            # Structural faults reshape the machine before anything
+            # is built from it.
+            self.machine = self.injector.degrade_machine(self.machine)
+            precharge = self.injector.precharge_fault(precharge)
+            channel_fault = self.injector.channel_fault(
+                self.machine.dram.channels)
+        self.energy = energy or EnergyModel(self.machine)
         self.srf = StreamRegisterFile(self.machine)
         self.clusters = ClusterArray(self.machine, self.srf)
         self.microcontroller = Microcontroller(self.machine,
                                                tracer=self.tracer)
         self.memory = MemorySystem(self.machine,
-                                   precharge_bug=self.board.precharge_bug,
+                                   precharge=precharge,
+                                   channel_fault=channel_fault,
                                    tracer=self.tracer)
         self.ags = [
             AddressGenerator(i, self.machine.ag_peak_words_per_cycle,
@@ -166,7 +198,7 @@ class ImagineProcessor:
         metrics.sdr_writes = sdr_writes
         metrics.sdr_references = sdr_references
         interface = HostInterface(machine, self.board)
-        host = HostModel(interface, instructions)
+        host = HostModel(interface, instructions, injector=self.injector)
         scoreboard = Scoreboard(machine.scoreboard_slots, tracer=tracer)
         server = SharedMemoryServer(self.memory)
         states = [_InstructionState(instr) for instr in instructions]
@@ -184,6 +216,36 @@ class ImagineProcessor:
         next_kernel_pos = 0
         free_ags = list(range(len(self.ags)))
         mem_lanes: dict[int, tuple[int, float]] = {}
+        #: Host issues + instruction starts + completions; the
+        #: watchdog's progress signal.
+        transitions = 0
+        #: Recent idle-cause attributions for diagnostics.
+        idle_history: deque[tuple[float, str, float]] = deque(maxlen=16)
+        checker = (InvariantChecker(name, len(self.ags))
+                   if self.strict else None)
+
+        def diagnose(reason: str, stalled: int) -> DiagnosticBundle:
+            stuck = []
+            for i, state in enumerate(states):
+                if state.status == "done":
+                    continue
+                stuck.append({
+                    "index": i,
+                    "op": state.instruction.op.value,
+                    "tag": state.instruction.tag or None,
+                    "status": state.status,
+                    "deps": [{"index": dep,
+                              "status": states[dep].status,
+                              "op": states[dep].instruction.op.value}
+                             for dep in state.instruction.deps],
+                })
+            return DiagnosticBundle(
+                program=name, reason=reason, cycle=now,
+                stalled_events=stalled, scoreboard=scoreboard.dump(),
+                stuck=stuck, host=host.dump(),
+                idle_causes=list(idle_history))
+
+        watchdog = ProgressWatchdog(diagnose)
 
         def push_completion(time: float, index: int) -> None:
             heapq.heappush(completions, (time, next(tiebreak), index))
@@ -198,11 +260,12 @@ class ImagineProcessor:
             return True
 
         def begin(index: int, t: float) -> None:
-            nonlocal cluster_busy_until, loader_busy_until
+            nonlocal cluster_busy_until, loader_busy_until, transitions
             state = states[index]
             instr = state.instruction
             state.status = "running"
             state.start_time = t
+            transitions += 1
             if tracer.enabled:
                 tracer.clock = t
             if instr.op.is_kernel:
@@ -212,6 +275,11 @@ class ImagineProcessor:
                     CycleCategory.STREAM_CONTROLLER_OVERHEAD,
                     issue_overhead)
                 kernel = self._lookup_kernel(instr)
+                if (self.injector is not None
+                        and self.injector.microcode_corrupted(
+                            kernel.name, t)):
+                    # A corrupted store entry forces a full reload.
+                    self.microcontroller.invalidate(kernel.name)
                 extra = 0.0
                 if not self.microcontroller.is_resident(kernel.name):
                     # Safety net: programs normally carry explicit
@@ -243,7 +311,9 @@ class ImagineProcessor:
                 server.start(index, measurement)
                 metrics.mem_words += measurement.words
                 metrics.memory_stream_words.append(measurement.words)
-                if tracer.enabled and free_ags:
+                # Lane assignment is machine state, not reporting: it
+                # must not depend on whether a tracer is attached.
+                if free_ags:
                     mem_lanes[index] = (free_ags.pop(0), t)
             elif instr.op is StreamOpType.MICROCODE_LOAD:
                 kernel = self._lookup_kernel(instr)
@@ -255,9 +325,14 @@ class ImagineProcessor:
                 push_completion(t + 1.0, index)
 
         def complete(index: int, t: float) -> None:
+            nonlocal transitions
             state = states[index]
             state.status = "done"
             state.finish_time = t
+            transitions += 1
+            if checker is not None:
+                checker.lifetime(index, state.resident_time,
+                                 state.start_time, t)
             if tracer.enabled:
                 tracer.clock = t
             scoreboard.complete(index)
@@ -328,16 +403,31 @@ class ImagineProcessor:
             return CycleCategory.HOST_BANDWIDTH_STALL
 
         # --------------------------------------------------------------
-        # Event loop.
+        # Event loop.  The progress watchdog replaces the old blind
+        # event budget: iterations that neither advance the clock nor
+        # transition an instruction are counted, and a long run of
+        # them raises a SimulationError with full diagnostics.
         # --------------------------------------------------------------
-        max_steps = 200 * len(instructions) + 10000
-        for _ in range(max_steps):
+        while True:
+            watchdog.observe(transitions)
+            if self.injector is not None:
+                scoreboard.slots_lost = self.injector.slots_lost(now)
+            if checker is not None:
+                checker.clock(now)
+                checker.scoreboard(scoreboard.occupancy,
+                                   scoreboard.slots)
+                checker.ag_lanes(len(free_ags), len(mem_lanes))
             # Zero-time actions at `now`.
             progressed = True
             while progressed:
                 progressed = False
                 while host.can_issue(now) and scoreboard.has_free_slot():
-                    index, instr = host.issue(now)
+                    issued = host.issue(now)
+                    if issued is None:
+                        # Transfer dropped by an injected fault; the
+                        # host backs off and retries later.
+                        break
+                    index, instr = issued
                     if tracer.enabled:
                         tracer.instant(
                             TRACK_HOST,
@@ -347,6 +437,7 @@ class ImagineProcessor:
                     states[index].status = "resident"
                     states[index].resident_time = now
                     metrics.host_instructions += 1
+                    transitions += 1
                     progressed = True
                 if controller_busy_until <= now + _EPS:
                     for index, instr in scoreboard.resident_instructions():
@@ -389,12 +480,13 @@ class ImagineProcessor:
             mem_delta = server.next_completion_delta()
             if mem_delta is not None:
                 candidates.append(now + mem_delta)
+            if self.injector is not None and not host.done:
+                # A slot-loss window ending can unblock the host.
+                change = self.injector.next_slot_change(now)
+                if change is not None and change > now + _EPS:
+                    candidates.append(change)
             if not candidates:
-                stuck = [i for i, s in enumerate(states)
-                         if s.status != "done"]
-                raise SimulationError(
-                    f"{name}: deadlock at cycle {now:.0f}; "
-                    f"unfinished instructions {stuck[:10]}")
+                watchdog.fail("deadlock")
             target = min(candidates)
             target = max(target, now)
 
@@ -403,6 +495,8 @@ class ImagineProcessor:
             if target > idle_start + _EPS:
                 cause = idle_cause(idle_start)
                 metrics.add_cycles(cause, target - idle_start)
+                idle_history.append((idle_start, cause.value,
+                                     target - idle_start))
                 if tracer.enabled:
                     tracer.span(TRACK_ACCOUNTING, cause.value,
                                 idle_start, target)
@@ -428,9 +522,6 @@ class ImagineProcessor:
             now = target
             if tracer.enabled:
                 tracer.clock = now
-        else:
-            raise SimulationError(
-                f"{name}: event budget exhausted at cycle {now:.0f}")
 
         metrics.total_cycles = now
         metrics.check_conservation(tolerance=1e-3)
@@ -458,6 +549,9 @@ class ImagineProcessor:
             board=self.board,
             trace=trace,
             manifest=manifest,
+            fault_events=(list(self.injector.events)
+                          if self.injector is not None else []),
+            host_retries=host.retries,
         )
 
     def _lookup_kernel(self, instr: StreamInstruction) -> CompiledKernel:

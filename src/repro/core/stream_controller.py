@@ -25,6 +25,10 @@ class Scoreboard:
 
     slots: int = 32
     tracer: Tracer = field(default=NULL_TRACER, repr=False)
+    #: Slots currently disabled by a transient fault (see
+    #: :mod:`repro.faults`); resident instructions keep their slots,
+    #: only free capacity shrinks.
+    slots_lost: int = 0
 
     def __post_init__(self) -> None:
         self._resident: dict[int, StreamInstruction] = {}
@@ -42,8 +46,12 @@ class Scoreboard:
     def occupancy(self) -> int:
         return len(self._resident)
 
+    @property
+    def effective_slots(self) -> int:
+        return max(0, self.slots - self.slots_lost)
+
     def has_free_slot(self) -> bool:
-        return self.occupancy < self.slots
+        return self.occupancy < self.effective_slots
 
     def insert(self, index: int, instruction: StreamInstruction) -> None:
         if not self.has_free_slot():
@@ -78,3 +86,22 @@ class Scoreboard:
 
     def resident_instructions(self) -> list[tuple[int, StreamInstruction]]:
         return sorted(self._resident.items())
+
+    def dump(self) -> dict:
+        """Diagnostic snapshot for watchdog/deadlock reports."""
+        return {
+            "slots": self.slots,
+            "slots_lost": self.slots_lost,
+            "occupancy": self.occupancy,
+            "peak_occupancy": self.peak_occupancy,
+            "completed": len(self._completed),
+            "resident": [
+                {"index": index,
+                 "op": instr.op.value,
+                 "tag": instr.tag or None,
+                 "deps": list(instr.deps),
+                 "unmet_deps": [dep for dep in instr.deps
+                                if dep not in self._completed]}
+                for index, instr in sorted(self._resident.items())
+            ],
+        }

@@ -1,0 +1,125 @@
+"""Progress watchdog: livelock/deadlock detection with diagnostics.
+
+The event loop used to protect itself with a blind ``max_steps``
+budget that died with a bare "event budget exhausted" message.  The
+watchdog replaces it with an actual progress criterion: every loop
+iteration reports a monotone *transition* counter (host issues +
+instruction starts + completions).  Iterations that transition
+nothing are *stalled events* -- even when the clock advances, so a
+spin through fault windows or retry backoffs cannot hide a livelock.
+A bounded run of them is normal (idle attribution, fault-window
+boundaries), but a long run means the machine is cycling without
+doing work -- a livelock.  A loop
+with no future event at all is a deadlock.  Both raise
+:class:`~repro.core.errors.SimulationError` carrying a
+:class:`DiagnosticBundle`: the scoreboard dump, the dependency graph
+of every stuck instruction, the host state, and the most recent
+idle-cause attributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, NoReturn
+
+from repro.core.errors import SimulationError
+
+#: Stalled-event tolerance: comfortably above anything a healthy run
+#: produces (a full scoreboard drain plus fault-window churn), far
+#: below an unbounded retry spin.
+DEFAULT_STALL_LIMIT = 1024
+
+
+@dataclass
+class DiagnosticBundle:
+    """Machine state at watchdog-failure time, machine-readable."""
+
+    program: str
+    reason: str                     # "deadlock" | "livelock"
+    cycle: float
+    stalled_events: int
+    scoreboard: dict = field(default_factory=dict)
+    #: Unfinished instructions with their dependency status.
+    stuck: list[dict] = field(default_factory=list)
+    host: dict = field(default_factory=dict)
+    #: Most recent idle-cause attributions: (cycle, cause, duration).
+    idle_causes: list[tuple[float, str, float]] = field(
+        default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "program": self.program,
+            "reason": self.reason,
+            "cycle": self.cycle,
+            "stalled_events": self.stalled_events,
+            "scoreboard": dict(self.scoreboard),
+            "stuck": [dict(entry) for entry in self.stuck],
+            "host": dict(self.host),
+            "idle_causes": [list(entry) for entry in self.idle_causes],
+        }
+
+    def render(self) -> str:
+        """Multi-line human-readable report for the exception message."""
+        lines = [
+            f"{self.program}: {self.reason} at cycle {self.cycle:.0f} "
+            f"({self.stalled_events} events without progress)",
+            f"  scoreboard: {self.scoreboard.get('occupancy', 0)}"
+            f"/{self.scoreboard.get('slots', 0)} slots occupied"
+            + (f" ({self.scoreboard.get('slots_lost')} lost to faults)"
+               if self.scoreboard.get("slots_lost") else ""),
+        ]
+        for entry in self.scoreboard.get("resident", [])[:8]:
+            lines.append(
+                f"    slot: #{entry['index']} {entry['op']}"
+                f"{' ' + entry['tag'] if entry.get('tag') else ''}"
+                f" unmet deps {entry['unmet_deps']}")
+        if self.stuck:
+            lines.append(f"  stuck instructions ({len(self.stuck)}):")
+            for entry in self.stuck[:8]:
+                deps = ", ".join(
+                    f"#{d['index']}={d['status']}"
+                    for d in entry["deps"]) or "none"
+                lines.append(
+                    f"    #{entry['index']} {entry['op']} "
+                    f"[{entry['status']}] deps: {deps}")
+            if len(self.stuck) > 8:
+                lines.append(f"    ... {len(self.stuck) - 8} more")
+        if self.host:
+            lines.append(
+                f"  host: next_index={self.host.get('next_index')} "
+                f"ready_at={self.host.get('ready_at')} "
+                f"blocked_on={self.host.get('blocked_on')} "
+                f"retries={self.host.get('retries')}")
+        if self.idle_causes:
+            lines.append("  recent idle attributions:")
+            for cycle, cause, duration in self.idle_causes[-5:]:
+                lines.append(f"    @{cycle:.0f} {cause} "
+                             f"({duration:.0f} cycles)")
+        return "\n".join(lines)
+
+
+class ProgressWatchdog:
+    """Raises :class:`SimulationError` when the event loop stops
+    making progress; ``collect`` supplies the diagnostic bundle."""
+
+    def __init__(self, collect: Callable[[str, int], DiagnosticBundle],
+                 stall_limit: int = DEFAULT_STALL_LIMIT) -> None:
+        self._collect = collect
+        self.stall_limit = stall_limit
+        self.stalled_events = 0
+        self._last_transitions = -1
+
+    def observe(self, transitions: int) -> None:
+        """Report one event-loop iteration; raises on livelock."""
+        if transitions != self._last_transitions:
+            self._last_transitions = transitions
+            self.stalled_events = 0
+            return
+        self.stalled_events += 1
+        if self.stalled_events > self.stall_limit:
+            self.fail("livelock")
+
+    def fail(self, reason: str) -> NoReturn:
+        """Raise with full diagnostics (used for deadlock too)."""
+        bundle = self._collect(reason, self.stalled_events)
+        raise SimulationError(bundle.render(), diagnostics=bundle)

@@ -1,0 +1,43 @@
+"""Fault injection and degraded-mode resilience.
+
+The paper evaluated Imagine on a prototype that misbehaved (the
+Section-3.3 precharge bug, a host interface at a tenth of its design
+rate); this package makes such faults first-class and seeded so the
+simulator's behaviour under degradation is itself testable:
+
+* :mod:`repro.faults.models` -- :class:`FaultPlan` / :class:`FaultSpec`,
+  the JSON-loadable, parameterized fault vocabulary;
+* :mod:`repro.faults.injector` -- :class:`FaultInjector`, the runtime
+  that reshapes the machine and fires dynamic faults deterministically;
+* :mod:`repro.faults.plans` -- curated builtin plans
+  (``board``, ``flaky-host``, ``degraded-memory``, ``half-machine``,
+  ``chaos``);
+* :mod:`repro.faults.campaign` -- the degraded-mode sweep runner behind
+  ``repro faults`` (imported explicitly; it pulls in the app layer).
+
+See ``docs/robustness.md`` for the plan schema, watchdog semantics and
+campaign workflow.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.models import (
+    STRUCTURAL_KINDS,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+)
+from repro.faults.plans import BUILTIN_PLANS, get_plan
+
+__all__ = [
+    "FaultInjector",
+    "STRUCTURAL_KINDS",
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultSpec",
+    "BUILTIN_PLANS",
+    "get_plan",
+]

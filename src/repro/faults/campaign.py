@@ -1,0 +1,220 @@
+"""Resilience campaigns: degraded-mode sweeps with reproducible reports.
+
+A campaign takes one application and one fault plan and answers the
+question the paper answers for its two hardwired defects: *how does
+the machine degrade?*  It runs the unfaulted baseline, then each fault
+in the plan in isolation for ``trials`` seeded runs, then the two
+structural degradation sweeps (GOPS vs. surviving DRAM channels and
+vs. surviving clusters), and emits a machine-readable report
+(schema ``repro.resilience-report/1``).
+
+Determinism is a hard requirement: every per-trial seed is derived
+from the campaign seed with :class:`random.Random` string seeding, no
+wall-clock or platform data enters the report, and two campaigns with
+the same (app, plan, trials, seed) produce byte-identical JSON.
+
+This module imports the application layer, so it is deliberately not
+re-exported from :mod:`repro.faults`; import it explicitly (the CLI
+``repro faults`` command does).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.apps.common import AppBundle, run_app
+from repro.core import BoardConfig, MachineConfig, RunResult, SimulationError
+from repro.faults.models import FaultKind, FaultPlan, FaultSpec
+from repro.host.processor import HostError
+from repro.obs.manifest import machine_summary
+
+#: Version tag for the resilience-report layout.
+CAMPAIGN_SCHEMA = "repro.resilience-report/1"
+
+
+def _trial_seed(campaign_seed: int, fault_index: int, trial: int) -> int:
+    """Deterministic, well-spread per-trial seed."""
+    return random.Random(
+        f"campaign:{campaign_seed}:{fault_index}:{trial}"
+    ).randrange(2 ** 31)
+
+
+def _run_summary(result: RunResult) -> dict:
+    metrics = result.metrics
+    return {
+        "cycles": metrics.total_cycles,
+        "gops": metrics.gops,
+        "gflops": metrics.gflops,
+        "watts": result.power.watts,
+        "host_instructions": metrics.host_instructions,
+    }
+
+
+def run_trial(bundle: AppBundle, plan: FaultPlan,
+              board: BoardConfig | None = None,
+              machine: MachineConfig | None = None,
+              baseline_cycles: float | None = None,
+              strict: bool = False) -> dict:
+    """One faulted run, reduced to a report row (never raises for
+    simulation failures -- a typed failure *is* a campaign datum)."""
+    outcome: dict = {"plan_seed": plan.seed}
+    try:
+        result = run_app(bundle, board=board, machine=machine,
+                         faults=plan, strict=strict)
+    except (SimulationError, HostError) as error:
+        outcome.update({
+            "status": "failed",
+            "error": type(error).__name__,
+            "message": str(error).splitlines()[0],
+            "diagnostics": (error.diagnostics.as_dict()
+                            if isinstance(error, SimulationError)
+                            and error.diagnostics is not None
+                            else None),
+        })
+        return outcome
+    outcome.update({
+        "status": "completed",
+        **_run_summary(result),
+        "host_retries": result.host_retries,
+        "fault_events": len(result.fault_events),
+        "fault_events_by_kind": _events_by_kind(result),
+    })
+    if baseline_cycles:
+        outcome["slowdown"] = result.metrics.total_cycles / baseline_cycles
+    return outcome
+
+
+def _events_by_kind(result: RunResult) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for event in result.fault_events:
+        counts[event.kind.value] = counts.get(event.kind.value, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def _degradation_curves(bundle: AppBundle, board: BoardConfig | None,
+                        machine: MachineConfig, seed: int,
+                        baseline_gops: float) -> dict:
+    """GOPS vs. surviving DRAM channels and surviving clusters."""
+    channels = []
+    for alive in range(1, machine.dram.channels + 1):
+        lost = machine.dram.channels - alive
+        if lost == 0:
+            gops = baseline_gops
+        else:
+            plan = FaultPlan(
+                name=f"curve/channels={alive}",
+                faults=(FaultSpec(FaultKind.DRAM_CHANNEL_LOSS,
+                                  {"channels": lost}),),
+                seed=seed)
+            gops = run_app(bundle, board=board, machine=machine,
+                           faults=plan).metrics.gops
+        channels.append({"channels": alive, "gops": gops,
+                         "fraction_of_full": (gops / baseline_gops
+                                              if baseline_gops else 0.0)})
+    clusters = []
+    for alive in range(1, machine.num_clusters + 1):
+        if alive == machine.num_clusters:
+            gops = baseline_gops
+        else:
+            plan = FaultPlan(
+                name=f"curve/clusters={alive}",
+                faults=(FaultSpec(FaultKind.CLUSTER_MASK,
+                                  {"clusters": alive}),),
+                seed=seed)
+            gops = run_app(bundle, board=board, machine=machine,
+                           faults=plan).metrics.gops
+        clusters.append({"clusters": alive, "gops": gops,
+                         "fraction_of_full": (gops / baseline_gops
+                                              if baseline_gops else 0.0)})
+    return {"gops_vs_channels": channels, "gops_vs_clusters": clusters}
+
+
+def run_campaign(bundle: AppBundle, plan: FaultPlan, trials: int = 3,
+                 seed: int = 0, board: BoardConfig | None = None,
+                 machine: MachineConfig | None = None,
+                 curves: bool = True, strict: bool = False) -> dict:
+    """Run the full degraded-mode sweep; returns the report document."""
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    board = board or BoardConfig.hardware()
+    machine = machine or MachineConfig()
+    baseline = run_app(bundle, board=board, machine=machine,
+                       strict=strict)
+    baseline_cycles = baseline.metrics.total_cycles
+    baseline_summary = _run_summary(baseline)
+
+    fault_rows = []
+    for i, spec in enumerate(plan.faults):
+        rows = []
+        for trial in range(trials):
+            sub_plan = plan.only(spec, seed=_trial_seed(seed, i, trial))
+            rows.append(run_trial(
+                bundle, sub_plan, board=board, machine=machine,
+                baseline_cycles=baseline_cycles, strict=strict))
+        completed = [row for row in rows if row["status"] == "completed"]
+        slowdowns = [row["slowdown"] for row in completed
+                     if "slowdown" in row]
+        fault_rows.append({
+            "kind": spec.kind.value,
+            "params": dict(spec.params),
+            "trials": rows,
+            "completed": len(completed),
+            "failed": len(rows) - len(completed),
+            "mean_slowdown": (sum(slowdowns) / len(slowdowns)
+                              if slowdowns else None),
+            "max_slowdown": max(slowdowns) if slowdowns else None,
+            "total_retries": sum(row.get("host_retries", 0)
+                                 for row in completed),
+        })
+
+    report = {
+        "schema": CAMPAIGN_SCHEMA,
+        "app": bundle.name,
+        "plan": plan.as_dict(),
+        "seed": seed,
+        "trials": trials,
+        "board_mode": board.mode,
+        "host_mips": board.host_mips,
+        "machine": machine_summary(machine),
+        "strict": strict,
+        "baseline": baseline_summary,
+        "faults": fault_rows,
+    }
+    if curves:
+        report["curves"] = _degradation_curves(
+            bundle, board, machine, seed, baseline.metrics.gops)
+    return report
+
+
+def validate_report(report: dict) -> None:
+    """Schema sanity check (used by tests and the CI smoke job)."""
+    if report.get("schema") != CAMPAIGN_SCHEMA:
+        raise ValueError(f"bad schema {report.get('schema')!r}")
+    for key in ("app", "plan", "seed", "trials", "baseline", "faults"):
+        if key not in report:
+            raise ValueError(f"report missing {key!r}")
+    if not isinstance(report["faults"], list):
+        raise ValueError("'faults' must be a list")
+    for row in report["faults"]:
+        for key in ("kind", "params", "trials", "completed",
+                    "mean_slowdown"):
+            if key not in row:
+                raise ValueError(
+                    f"fault row {row.get('kind')!r} missing {key!r}")
+        for trial in row["trials"]:
+            if trial["status"] == "completed" and "cycles" not in trial:
+                raise ValueError("completed trial missing 'cycles'")
+            if trial["status"] == "failed" and "error" not in trial:
+                raise ValueError("failed trial missing 'error'")
+    if "curves" in report:
+        for curve in ("gops_vs_channels", "gops_vs_clusters"):
+            if curve not in report["curves"]:
+                raise ValueError(f"curves missing {curve!r}")
+
+
+__all__ = [
+    "CAMPAIGN_SCHEMA",
+    "run_campaign",
+    "run_trial",
+    "validate_report",
+]

@@ -1,0 +1,245 @@
+"""Fault models: seeded, JSON-loadable hardware-fault plans.
+
+The paper's evaluation ran on a prototype that misbehaved -- a
+memory-controller bug forced unnecessary precharges (Section 3.3) and
+the host interface delivered 2 MIPS of its 20 MIPS design rate -- so
+degradation is part of the machine being reproduced.  This module
+generalizes those two hardwired defects into a family of parameterized
+faults that a :class:`~repro.faults.injector.FaultInjector` applies to
+one simulation:
+
+==========================  =============================================
+kind                        parameters (defaults in brackets)
+==========================  =============================================
+``dram_channel_loss``       ``channels`` lost (1)
+``dram_channel_degrade``    ``factor`` in (0,1] (0.5), ``channels`` (1)
+``precharge_bug``           ``interval`` (24), ``probability`` (1.0)
+``host_jitter``             ``magnitude`` x issue cycles (0.5),
+                            ``probability`` per issue (0.25)
+``host_stall_burst``        every ``interval`` instructions (16),
+                            stall ``cycles`` (2000)
+``host_drop``               ``probability`` per transfer (0.05),
+                            ``max_retries`` (8)
+``scoreboard_slot_loss``    ``slots`` (8), ``period`` (20000),
+                            ``duration`` (5000) core cycles
+``microcode_corruption``    ``probability`` per kernel issue (0.05)
+``ag_failure``              ``count`` of dead AGs (1)
+``cluster_mask``            ``clusters`` still alive (4)
+==========================  =============================================
+
+A :class:`FaultPlan` is a named, seeded tuple of :class:`FaultSpec`;
+``FaultPlan.from_file`` loads the JSON schema documented in
+``docs/robustness.md``.  Everything is deterministic: the same plan +
+seed produces the same fault sequence, which is what makes resilience
+campaigns reproducible and their reports byte-identical.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+
+class FaultPlanError(ValueError):
+    """Malformed fault plan (bad kind, parameter, or JSON shape)."""
+
+
+class FaultKind(enum.Enum):
+    """The injectable hardware-fault families."""
+
+    DRAM_CHANNEL_LOSS = "dram_channel_loss"
+    DRAM_CHANNEL_DEGRADE = "dram_channel_degrade"
+    PRECHARGE_BUG = "precharge_bug"
+    HOST_JITTER = "host_jitter"
+    HOST_STALL_BURST = "host_stall_burst"
+    HOST_DROP = "host_drop"
+    SCOREBOARD_SLOT_LOSS = "scoreboard_slot_loss"
+    MICROCODE_CORRUPTION = "microcode_corruption"
+    AG_FAILURE = "ag_failure"
+    CLUSTER_MASK = "cluster_mask"
+
+
+#: Per-kind parameter schema: name -> (default, validator, description).
+_PARAMS: dict[FaultKind, dict[str, tuple[Any, Any]]] = {
+    FaultKind.DRAM_CHANNEL_LOSS: {
+        "channels": (1, lambda v: isinstance(v, int) and v >= 1),
+    },
+    FaultKind.DRAM_CHANNEL_DEGRADE: {
+        "factor": (0.5, lambda v: 0.0 < float(v) <= 1.0),
+        "channels": (1, lambda v: isinstance(v, int) and v >= 1),
+    },
+    FaultKind.PRECHARGE_BUG: {
+        "interval": (24, lambda v: isinstance(v, int) and v >= 1),
+        "probability": (1.0, lambda v: 0.0 <= float(v) <= 1.0),
+    },
+    FaultKind.HOST_JITTER: {
+        "magnitude": (0.5, lambda v: float(v) >= 0.0),
+        "probability": (0.25, lambda v: 0.0 <= float(v) <= 1.0),
+    },
+    FaultKind.HOST_STALL_BURST: {
+        "interval": (16, lambda v: isinstance(v, int) and v >= 1),
+        "cycles": (2000, lambda v: float(v) > 0),
+    },
+    FaultKind.HOST_DROP: {
+        "probability": (0.05, lambda v: 0.0 <= float(v) <= 1.0),
+        "max_retries": (8, lambda v: isinstance(v, int) and v >= 1),
+    },
+    FaultKind.SCOREBOARD_SLOT_LOSS: {
+        "slots": (8, lambda v: isinstance(v, int) and v >= 1),
+        "period": (20000, lambda v: float(v) > 0),
+        "duration": (5000, lambda v: float(v) > 0),
+    },
+    FaultKind.MICROCODE_CORRUPTION: {
+        "probability": (0.05, lambda v: 0.0 <= float(v) <= 1.0),
+    },
+    FaultKind.AG_FAILURE: {
+        "count": (1, lambda v: isinstance(v, int) and v >= 1),
+    },
+    FaultKind.CLUSTER_MASK: {
+        "clusters": (4, lambda v: isinstance(v, int) and v >= 1),
+    },
+}
+
+#: Faults that reshape the machine before the run rather than firing
+#: during it.
+STRUCTURAL_KINDS = frozenset({
+    FaultKind.DRAM_CHANNEL_LOSS,
+    FaultKind.DRAM_CHANNEL_DEGRADE,
+    FaultKind.PRECHARGE_BUG,
+    FaultKind.AG_FAILURE,
+    FaultKind.CLUSTER_MASK,
+})
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One parameterized fault."""
+
+    kind: FaultKind
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        schema = _PARAMS[self.kind]
+        unknown = set(self.params) - set(schema)
+        if unknown:
+            raise FaultPlanError(
+                f"{self.kind.value}: unknown parameter(s) "
+                f"{sorted(unknown)}; valid: {sorted(schema)}")
+        merged = {}
+        for name, (default, valid) in schema.items():
+            value = self.params.get(name, default)
+            if not valid(value):
+                raise FaultPlanError(
+                    f"{self.kind.value}: bad value {value!r} for "
+                    f"parameter {name!r}")
+            merged[name] = value
+        object.__setattr__(self, "params", merged)
+
+    @property
+    def structural(self) -> bool:
+        return self.kind in STRUCTURAL_KINDS
+
+    def __getitem__(self, name: str) -> Any:
+        return self.params[name]
+
+    def as_dict(self) -> dict:
+        return {"kind": self.kind.value, **self.params}
+
+    @classmethod
+    def from_dict(cls, entry: dict) -> "FaultSpec":
+        if not isinstance(entry, dict) or "kind" not in entry:
+            raise FaultPlanError(
+                f"fault entry must be an object with a 'kind' key, "
+                f"got {entry!r}")
+        params = {k: v for k, v in entry.items() if k != "kind"}
+        try:
+            kind = FaultKind(entry["kind"])
+        except ValueError:
+            raise FaultPlanError(
+                f"unknown fault kind {entry['kind']!r}; valid kinds: "
+                f"{sorted(k.value for k in FaultKind)}") from None
+        return cls(kind, params)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, seeded set of faults to inject into one run."""
+
+    name: str
+    faults: tuple[FaultSpec, ...]
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        return replace(self, seed=seed)
+
+    def only(self, spec: FaultSpec, seed: int | None = None) -> "FaultPlan":
+        """A single-fault sub-plan (campaigns isolate fault effects)."""
+        return FaultPlan(name=f"{self.name}/{spec.kind.value}",
+                         faults=(spec,),
+                         seed=self.seed if seed is None else seed)
+
+    def as_dict(self) -> dict:
+        return {"name": self.name, "seed": self.seed,
+                "faults": [spec.as_dict() for spec in self.faults]}
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "FaultPlan":
+        if not isinstance(document, dict):
+            raise FaultPlanError(
+                f"fault plan must be a JSON object, got "
+                f"{type(document).__name__}")
+        faults = document.get("faults")
+        if not isinstance(faults, list):
+            raise FaultPlanError("fault plan needs a 'faults' list")
+        seed = document.get("seed", 0)
+        if not isinstance(seed, int):
+            raise FaultPlanError(f"seed must be an integer, got {seed!r}")
+        return cls(name=str(document.get("name", "unnamed")),
+                   faults=tuple(FaultSpec.from_dict(entry)
+                                for entry in faults),
+                   seed=seed)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise FaultPlanError(f"invalid JSON: {error}") from error
+        return cls.from_dict(document)
+
+    @classmethod
+    def from_file(cls, path: str) -> "FaultPlan":
+        try:
+            with open(path) as handle:
+                text = handle.read()
+        except OSError as error:
+            raise FaultPlanError(
+                f"cannot read fault plan {path!r}: {error}") from error
+        try:
+            return cls.from_json(text)
+        except FaultPlanError as error:
+            raise FaultPlanError(f"{path}: {error}") from error
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault firing, recorded by the injector for reports/traces."""
+
+    kind: FaultKind
+    at: float
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {"kind": self.kind.value, "at": self.at,
+                "detail": dict(self.detail)}

@@ -1,0 +1,80 @@
+"""Builtin fault plans for resilience campaigns.
+
+Each plan is a curated scenario from the paper's own pathology space:
+the development board's real defects, a flaky host bridge, a degraded
+memory system, a half-dead machine, and a kitchen-sink stress plan.
+``repro faults APP --plan NAME`` accepts any of these names (or a path
+to a JSON file with the same schema; see ``docs/robustness.md``).
+"""
+
+from __future__ import annotations
+
+from repro.faults.models import FaultKind, FaultPlan, FaultPlanError, FaultSpec
+
+
+def _plan(name: str, *faults: FaultSpec) -> FaultPlan:
+    return FaultPlan(name=name, faults=tuple(faults))
+
+
+BUILTIN_PLANS: dict[str, FaultPlan] = {
+    # The development board as measured: the Section-3.3 precharge bug
+    # plus a host bridge that jitters around its sustained 2 MIPS.
+    "board": _plan(
+        "board",
+        FaultSpec(FaultKind.PRECHARGE_BUG,
+                  {"interval": 24, "probability": 1.0}),
+        FaultSpec(FaultKind.HOST_JITTER,
+                  {"magnitude": 0.5, "probability": 0.25}),
+    ),
+    # A host bridge that drops transfers and stalls in bursts -- the
+    # 2-vs-20-MIPS story pushed further; exercises timeout + retry.
+    "flaky-host": _plan(
+        "flaky-host",
+        FaultSpec(FaultKind.HOST_DROP,
+                  {"probability": 0.05, "max_retries": 8}),
+        FaultSpec(FaultKind.HOST_JITTER,
+                  {"magnitude": 1.0, "probability": 0.5}),
+        FaultSpec(FaultKind.HOST_STALL_BURST,
+                  {"interval": 32, "cycles": 2000}),
+    ),
+    # Memory system running hurt: half the channels gone, the rest
+    # degraded, the precharge bug firing intermittently.
+    "degraded-memory": _plan(
+        "degraded-memory",
+        FaultSpec(FaultKind.DRAM_CHANNEL_LOSS, {"channels": 2}),
+        FaultSpec(FaultKind.DRAM_CHANNEL_DEGRADE,
+                  {"factor": 0.75, "channels": 2}),
+        FaultSpec(FaultKind.PRECHARGE_BUG,
+                  {"interval": 12, "probability": 0.5}),
+    ),
+    # Half the compute fabric masked off: 4 of 8 clusters, one AG.
+    "half-machine": _plan(
+        "half-machine",
+        FaultSpec(FaultKind.CLUSTER_MASK, {"clusters": 4}),
+        FaultSpec(FaultKind.AG_FAILURE, {"count": 1}),
+    ),
+    # Everything at once, at survivable intensities.
+    "chaos": _plan(
+        "chaos",
+        FaultSpec(FaultKind.CLUSTER_MASK, {"clusters": 6}),
+        FaultSpec(FaultKind.DRAM_CHANNEL_LOSS, {"channels": 1}),
+        FaultSpec(FaultKind.PRECHARGE_BUG,
+                  {"interval": 16, "probability": 0.7}),
+        FaultSpec(FaultKind.HOST_DROP,
+                  {"probability": 0.03, "max_retries": 8}),
+        FaultSpec(FaultKind.SCOREBOARD_SLOT_LOSS,
+                  {"slots": 16, "period": 50000, "duration": 10000}),
+        FaultSpec(FaultKind.MICROCODE_CORRUPTION, {"probability": 0.1}),
+    ),
+}
+
+
+def get_plan(name_or_path: str) -> FaultPlan:
+    """Resolve a builtin plan name or a JSON plan file path."""
+    if name_or_path in BUILTIN_PLANS:
+        return BUILTIN_PLANS[name_or_path]
+    if name_or_path.endswith(".json") or "/" in name_or_path:
+        return FaultPlan.from_file(name_or_path)
+    raise FaultPlanError(
+        f"unknown fault plan {name_or_path!r}; builtin plans: "
+        f"{', '.join(sorted(BUILTIN_PLANS))} (or pass a .json file)")

@@ -28,3 +28,17 @@ class HostInterface:
     def achieved_mips(self) -> float:
         """Sustained instruction bandwidth implied by ``issue_cycles``."""
         return self.machine.clock_hz / self.issue_cycles / 1e6
+
+    @property
+    def timeout_cycles(self) -> int:
+        """How long the host waits for a transfer acknowledgement
+        before declaring the transfer lost (one round trip)."""
+        return self.round_trip_cycles
+
+    def backoff_cycles(self, attempt: int) -> float:
+        """Exponential-backoff delay before retry ``attempt`` (1-based).
+
+        Doubles from one issue interval, capped at 64x so a burst of
+        drops cannot push a single instruction out past the watchdog.
+        """
+        return self.issue_cycles * min(2 ** max(attempt, 1), 64)

@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.core.config import MachineConfig
 from repro.memsys.address_gen import expand_pattern
-from repro.memsys.dram import DramModel
+from repro.memsys.dram import ChannelFault, DramModel, PrechargeFault
 from repro.memsys.patterns import AccessPattern
 from repro.obs.tracer import NULL_TRACER, TRACK_DRAM, TRACK_MEMCTRL, Tracer
 
@@ -62,10 +62,14 @@ class MemorySystem:
 
     def __init__(self, machine: MachineConfig,
                  precharge_bug: bool = False,
+                 precharge: PrechargeFault | None = None,
+                 channel_fault: ChannelFault | None = None,
                  tracer: Tracer = NULL_TRACER) -> None:
         self.machine = machine
         self.tracer = tracer
-        self.dram = DramModel(machine.dram, precharge_bug=precharge_bug)
+        self.dram = DramModel(machine.dram, precharge_bug=precharge_bug,
+                              precharge=precharge,
+                              channel_fault=channel_fault)
         self._rate_cache: dict[tuple,
                                tuple[float, float, dict | None]] = {}
 

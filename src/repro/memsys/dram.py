@@ -9,18 +9,82 @@ stream only engages two -- the effect Figure 9 measures.
 
 The "performance bug in the on-chip memory controller which causes
 unnecessary DRAM precharges between some accesses to the same DRAM
-row" (Section 3.3) is modeled by forcing a precharge after every
-``precharge_bug_interval`` consecutive same-row accesses to a bank when
-the model runs in hardware mode.
+row" (Section 3.3) is modeled by :class:`PrechargeFault`: a forced
+precharge after every ``interval`` consecutive same-row accesses to a
+bank, fired with ``probability`` (the hardware board behaves like
+``probability=1.0`` at the calibrated interval; fault plans explore
+the wider family).  :class:`ChannelFault` degrades or disables
+individual channels, the knob behind bandwidth-degradation sweeps.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.config import DramConfig
+
+
+@dataclass(frozen=True)
+class PrechargeFault:
+    """Parameterized memory-controller precharge bug.
+
+    Every ``interval`` consecutive same-row accesses to a bank, an
+    unnecessary precharge is forced with ``probability``.  ``seed``
+    makes sub-1.0 probabilities reproducible; the random stream is
+    derived per (channel, address-sequence) so results do not depend
+    on service order.
+    """
+
+    interval: int
+    probability: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.interval < 1:
+            raise ValueError(f"precharge interval must be >= 1, "
+                             f"got {self.interval}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"precharge probability must be in [0, 1], "
+                             f"got {self.probability}")
+
+    @classmethod
+    def from_config(cls, config: DramConfig) -> "PrechargeFault":
+        """The board's calibrated Section-3.3 bug (always fires)."""
+        return cls(interval=config.precharge_bug_interval,
+                   probability=1.0)
+
+    def rng(self, channel: int, accesses: int) -> random.Random | None:
+        """Deterministic per-channel random stream (None when certain)."""
+        if self.probability >= 1.0:
+            return None
+        return random.Random(f"precharge:{self.seed}:{channel}:{accesses}")
+
+
+@dataclass(frozen=True)
+class ChannelFault:
+    """Per-channel service degradation (``rate`` < 1) for fault plans.
+
+    ``rates[i]`` scales channel ``i``'s service rate; a missing entry
+    means the channel is healthy.  Whole-channel *loss* is modelled
+    structurally (fewer channels in :class:`DramConfig`) so address
+    interleaving stays physical; this class covers the softer
+    "channel runs slow" family.
+    """
+
+    rates: dict[int, float]
+
+    def __post_init__(self) -> None:
+        for channel, rate in self.rates.items():
+            if not 0.0 < rate <= 1.0:
+                raise ValueError(
+                    f"channel {channel} rate must be in (0, 1], "
+                    f"got {rate}")
+
+    def factor(self, channel: int) -> float:
+        return self.rates.get(channel, 1.0)
 
 
 @dataclass(frozen=True)
@@ -47,9 +111,19 @@ class DramModel:
     """Services in-order word-address sequences, channel by channel."""
 
     def __init__(self, config: DramConfig,
-                 precharge_bug: bool = False) -> None:
+                 precharge_bug: bool = False,
+                 precharge: PrechargeFault | None = None,
+                 channel_fault: ChannelFault | None = None) -> None:
         self.config = config
-        self.precharge_bug = precharge_bug
+        if precharge is None and precharge_bug:
+            precharge = PrechargeFault.from_config(config)
+        self.precharge = precharge
+        self.channel_fault = channel_fault
+
+    @property
+    def precharge_bug(self) -> bool:
+        """Whether any precharge fault is active (legacy flag view)."""
+        return self.precharge is not None
 
     # ------------------------------------------------------------------
     # Address mapping.
@@ -93,7 +167,9 @@ class DramModel:
             if window > 1:
                 banks, rows = _reorder(banks, rows, window)
             cycles, ch_hits, ch_misses, ch_forced = self._channel_cycles(
-                banks, rows)
+                banks, rows, channel=ch)
+            if self.channel_fault is not None:
+                cycles = int(round(cycles / self.channel_fault.factor(ch)))
             per_channel[ch] = cycles
             total_cycles = max(total_cycles, cycles)
             hits += ch_hits
@@ -102,8 +178,8 @@ class DramModel:
         return DramStats(len(addresses), total_cycles, hits, misses,
                          forced, tuple(per_channel))
 
-    def _channel_cycles(self, banks: np.ndarray, rows: np.ndarray
-                        ) -> tuple[int, int, int, int]:
+    def _channel_cycles(self, banks: np.ndarray, rows: np.ndarray,
+                        channel: int = 0) -> tuple[int, int, int, int]:
         config = self.config
         nbanks = config.banks_per_channel
         miss_latency = config.t_rp + config.t_rcd + config.t_cl
@@ -113,12 +189,14 @@ class DramModel:
         open_row = [-1] * nbanks
         run_length = [0] * nbanks
         hits = misses = forced = 0
-        bug = self.precharge_bug
+        fault = self.precharge
         closed_page = config.page_policy == "closed"
-        interval = config.precharge_bug_interval
+        interval = fault.interval if fault is not None else 0
+        rng = fault.rng(channel, len(banks)) if fault is not None else None
         for b, r in zip(banks.tolist(), rows.tolist()):
             hit = open_row[b] == r and not closed_page
-            if hit and bug and run_length[b] >= interval:
+            if (hit and fault is not None and run_length[b] >= interval
+                    and (rng is None or rng.random() < fault.probability)):
                 hit = False
                 forced += 1
                 run_length[b] = 0

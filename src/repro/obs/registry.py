@@ -213,4 +213,8 @@ def registry_from_result(result: "RunResult",
         "stream descriptor register reuse (Table 4)")
     add("power.watts", result.power.watts, "W",
         "average power over the run (Table 3)")
+    add("faults.events", len(result.fault_events), "events",
+        "injected hardware-fault firings (repro.faults)")
+    add("host.retries", result.host_retries, "retries",
+        "host transfers retried after injected drops")
     return registry

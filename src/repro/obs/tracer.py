@@ -36,6 +36,7 @@ TRACK_CLUSTERS = "clusters"
 TRACK_MEMCTRL = "memory controller"
 TRACK_DRAM = "dram channels"
 TRACK_ACCOUNTING = "cycle accounting"
+TRACK_FAULTS = "faults"
 
 
 def ag_track(ident: int) -> str:

@@ -7,11 +7,15 @@ messages, not hangs or silent misaccounting.
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.core import BoardConfig, ImagineProcessor, MachineConfig
 from repro.core.microcontroller import MicrocodeStoreError
 from repro.core.processor import SimulationError
 from repro.core.srf import SrfAllocationError
+from repro.faults import FaultKind, FaultPlan, FaultSpec
+from repro.host.processor import HostError
 from repro.isa.kernel_ir import KernelBuilder
 from repro.isa.stream_ops import StreamInstruction, StreamOpType
 from repro.kernelc import CompileError, compile_kernel
@@ -25,6 +29,16 @@ def tiny_spec(name="tiny"):
     x = b.stream_input("x")
     b.stream_output("o", b.op("fadd", x, x))
     return KernelSpec(name, b.build(), lambda ins, p: [2 * ins[0]])
+
+
+def _compiled_tiny():
+    b = KernelBuilder("tiny")
+    x = b.stream_input("x")
+    b.stream_output("o", b.op("fadd", x, x))
+    return compile_kernel(b.build())
+
+
+_TINY = _compiled_tiny()
 
 
 class TestDeadlockDetection:
@@ -116,6 +130,195 @@ class TestCompilerFailures:
         s = program.load(data)
         with pytest.raises(ValueError, match="model exploded"):
             program.kernel(spec, [s])
+
+
+class TestWatchdogDiagnostics:
+    def test_deadlock_carries_diagnostic_bundle(self):
+        instructions = [
+            StreamInstruction(StreamOpType.SYNC, deps=[0], index=0),
+        ]
+        with pytest.raises(SimulationError) as info:
+            ImagineProcessor().run(instructions, name="self")
+        error = info.value
+        assert error.diagnostics is not None
+        bundle = error.diagnostics.as_dict()
+        assert bundle["reason"] == "deadlock"
+        assert bundle["scoreboard"]["occupancy"] == 1
+        assert bundle["stuck"], "stuck-instruction graph must be present"
+        assert bundle["stuck"][0]["deps"] == [
+            {"index": 0, "status": "resident", "op": "sync"}]
+        # The old fixed event budget is gone: failures are diagnosed,
+        # never reported as an exhausted iteration counter.
+        assert "event budget" not in str(error)
+
+    def test_livelock_detected_when_slots_never_free(self):
+        """Permanently losing every scoreboard slot must trip the
+        watchdog with a livelock diagnosis, not spin forever."""
+        plan = FaultPlan(
+            name="wedge",
+            faults=(FaultSpec(FaultKind.SCOREBOARD_SLOT_LOSS,
+                              {"slots": 64, "period": 1000.0,
+                               "duration": 1000.0}),),
+            seed=3)
+        instructions = [StreamInstruction(StreamOpType.SYNC, index=0)]
+        with pytest.raises(SimulationError) as info:
+            ImagineProcessor(faults=plan).run(instructions, name="wedge")
+        error = info.value
+        assert error.diagnostics is not None
+        assert error.diagnostics.reason == "livelock"
+        assert "event budget" not in str(error)
+
+
+class TestTypedHostError:
+    def test_drop_exhaustion_reports_state(self):
+        plan = FaultPlan(
+            name="drop",
+            faults=(FaultSpec(FaultKind.HOST_DROP,
+                              {"probability": 1.0, "max_retries": 2}),),
+            seed=1)
+        instructions = [StreamInstruction(StreamOpType.SYNC, index=0)]
+        with pytest.raises(HostError) as info:
+            ImagineProcessor(faults=plan).run(instructions, name="drop")
+        error = info.value
+        assert error.index == 0
+        assert error.retries >= 2
+        assert error.ready_at is not None
+        assert "instruction #0" in str(error)
+
+    def test_premature_issue_reports_ready_at(self):
+        from repro.host.interface import HostInterface
+        from repro.host.processor import HostModel
+
+        interface = HostInterface(MachineConfig(), BoardConfig())
+        host = HostModel(interface, [
+            StreamInstruction(StreamOpType.SYNC, index=0)])
+        host.ready_at = 100.0
+        with pytest.raises(HostError) as info:
+            host.issue(0.0)
+        error = info.value
+        assert error.index == 0
+        assert error.ready_at == 100.0
+        assert error.blocked_on is None
+
+
+def _programs():
+    """Random stream programs over SYNC / memory / kernel ops.
+
+    Dependencies may point forward or at the instruction itself, so a
+    slice of the space deadlocks by construction -- exactly what the
+    watchdog must turn into a typed diagnosis.
+    """
+
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(min_value=1, max_value=8))
+        instructions = []
+        for i in range(n):
+            deps = draw(st.lists(st.integers(0, n - 1),
+                                 max_size=2, unique=True))
+            shape = draw(st.sampled_from(
+                ["sync", "load", "store", "kernel"]))
+            if shape == "sync":
+                instructions.append(StreamInstruction(
+                    StreamOpType.SYNC, deps=deps, index=i))
+            elif shape == "kernel":
+                elements = draw(st.sampled_from([16, 64, 256]))
+                instructions.append(StreamInstruction(
+                    StreamOpType.KERNEL, deps=deps, kernel="tiny",
+                    stream_elements=elements, words=2 * elements,
+                    index=i))
+            else:
+                words = draw(st.sampled_from([64, 256, 1024]))
+                op = (StreamOpType.MEM_LOAD if shape == "load"
+                      else StreamOpType.MEM_STORE)
+                start = 4096 * draw(st.integers(0, 7))
+                instructions.append(StreamInstruction(
+                    op, deps=deps, words=words,
+                    pattern=unit_stride(words, start=start), index=i))
+        return instructions
+
+    return build()
+
+
+def _fault_plans():
+    specs = st.one_of(
+        st.builds(lambda c: FaultSpec(FaultKind.CLUSTER_MASK,
+                                      {"clusters": c}),
+                  st.integers(1, 8)),
+        st.builds(lambda c: FaultSpec(FaultKind.AG_FAILURE,
+                                      {"count": c}),
+                  st.integers(1, 3)),
+        st.builds(lambda c: FaultSpec(FaultKind.DRAM_CHANNEL_LOSS,
+                                      {"channels": c}),
+                  st.integers(1, 4)),
+        st.builds(lambda f: FaultSpec(FaultKind.DRAM_CHANNEL_DEGRADE,
+                                      {"factor": f}),
+                  st.sampled_from([0.25, 0.5, 0.9])),
+        st.builds(lambda i, p: FaultSpec(FaultKind.PRECHARGE_BUG,
+                                         {"interval": i,
+                                          "probability": p}),
+                  st.integers(4, 48), st.sampled_from([0.3, 1.0])),
+        st.builds(lambda m, p: FaultSpec(FaultKind.HOST_JITTER,
+                                         {"magnitude": m,
+                                          "probability": p}),
+                  st.sampled_from([0.25, 1.0, 4.0]),
+                  st.sampled_from([0.1, 0.9])),
+        st.builds(lambda i: FaultSpec(FaultKind.HOST_STALL_BURST,
+                                      {"interval": i}),
+                  st.integers(2, 32)),
+        st.builds(lambda p, r: FaultSpec(FaultKind.HOST_DROP,
+                                         {"probability": p,
+                                          "max_retries": r}),
+                  st.sampled_from([0.05, 0.5, 0.95]),
+                  st.integers(1, 6)),
+        st.builds(lambda s: FaultSpec(FaultKind.SCOREBOARD_SLOT_LOSS,
+                                      {"slots": s, "period": 4000.0,
+                                       "duration": 1500.0}),
+                  st.integers(1, 40)),
+        st.builds(lambda p: FaultSpec(FaultKind.MICROCODE_CORRUPTION,
+                                      {"probability": p}),
+                  st.sampled_from([0.1, 0.9])),
+    )
+    return st.builds(
+        lambda faults, seed: FaultPlan(name="hypothesis",
+                                       faults=tuple(faults), seed=seed),
+        st.lists(specs, max_size=3),
+        st.integers(0, 2 ** 31 - 1))
+
+
+class TestFaultedProgramsNeverWedge:
+    """Property: any program under any seeded fault plan terminates.
+
+    Either the run completes, or it raises a typed error carrying
+    diagnostics -- it never wedges, and the outcome is a pure function
+    of (program, plan, seed).
+    """
+
+    @staticmethod
+    def _outcome(instructions, plan):
+        processor = ImagineProcessor(kernels={"tiny": _TINY},
+                                     faults=plan, strict=True)
+        try:
+            result = processor.run(list(instructions), name="hypo")
+        except SimulationError as error:
+            assert error.diagnostics is not None, (
+                "SimulationError without a diagnostic bundle")
+            bundle = error.diagnostics.as_dict()
+            assert "scoreboard" in bundle
+            return ("error", bundle["reason"], bundle["cycle"])
+        except HostError as error:
+            assert error.index is not None
+            return ("host-error", error.index, error.retries)
+        return ("completed", result.metrics.total_cycles,
+                len(result.fault_events), result.host_retries)
+
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(instructions=_programs(), plan=_fault_plans())
+    def test_terminates_and_reproduces(self, instructions, plan):
+        first = self._outcome(instructions, plan)
+        second = self._outcome(instructions, plan)
+        assert first == second, "same seed must give the same outcome"
 
 
 class TestAccountingUnderStress:

@@ -1,0 +1,288 @@
+"""Fault-injection framework: plans, injector, campaigns, CLI.
+
+Covers the ``repro.faults`` package end to end: plan validation and
+JSON round-trips, injector determinism, degraded-mode runs (cluster
+masking, channel loss), strict-mode invariants, resilience-campaign
+reports (schema + byte-identical determinism) and the ``repro faults``
+CLI including its error exits.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core import BoardConfig, ImagineProcessor, MachineConfig
+from repro.core.errors import InvariantViolation
+from repro.core.invariants import InvariantChecker
+from repro.apps.common import AppBundle, run_app
+from repro.faults import (
+    BUILTIN_PLANS,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    get_plan,
+)
+from repro.faults.campaign import (
+    CAMPAIGN_SCHEMA,
+    run_campaign,
+    run_trial,
+    validate_report,
+)
+from repro.isa.kernel_ir import KernelBuilder
+from repro.obs import Tracer
+from repro.obs.registry import registry_from_result
+from repro.obs.tracer import TRACK_FAULTS
+from repro.streamc import StreamProgram
+from repro.streamc.program import KernelSpec
+
+
+def _tiny_bundle(name="TINYAPP", stages=4, words=1024):
+    b = KernelBuilder("tiny")
+    x = b.stream_input("x")
+    b.stream_output("o", b.op("fadd", x, x))
+    spec = KernelSpec("tiny", b.build(), lambda ins, p: [2 * ins[0]])
+    program = StreamProgram(name.lower())
+    data = program.array("d", np.zeros(words))
+    s = program.load(data)
+    for _ in range(stages):
+        s = program.kernel1(spec, [s])
+    return AppBundle(name=name, image=program.build())
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return _tiny_bundle()
+
+
+class TestFaultPlanModel:
+    def test_defaults_are_merged(self):
+        spec = FaultSpec(FaultKind.PRECHARGE_BUG, {"interval": 7})
+        assert spec["interval"] == 7
+        assert spec["probability"] == 1.0
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown parameter"):
+            FaultSpec(FaultKind.CLUSTER_MASK, {"bogus": 1})
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultSpec(FaultKind.HOST_DROP, {"probability": 1.5})
+
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            name="rt",
+            faults=(
+                FaultSpec(FaultKind.CLUSTER_MASK, {"clusters": 2}),
+                FaultSpec(FaultKind.HOST_DROP, {"probability": 0.2}),
+            ),
+            seed=42)
+        again = FaultPlan.from_json(json.dumps(plan.as_dict()))
+        assert again == plan
+
+    def test_file_round_trip(self, tmp_path):
+        plan = BUILTIN_PLANS["degraded-memory"]
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(plan.as_dict()))
+        assert FaultPlan.from_file(path) == plan
+
+    def test_bad_json_is_a_plan_error(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_file(path)
+
+    def test_missing_file_is_a_plan_error(self, tmp_path):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_file(tmp_path / "absent.json")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault kind"):
+            FaultPlan.from_json(json.dumps(
+                {"name": "x", "faults": [{"kind": "meteor_strike"}]}))
+
+    def test_builtin_plans_resolve(self):
+        for name in BUILTIN_PLANS:
+            assert get_plan(name).faults
+
+    def test_unknown_plan_lists_builtins(self):
+        with pytest.raises(FaultPlanError) as info:
+            get_plan("no-such-plan")
+        for name in BUILTIN_PLANS:
+            assert name in str(info.value)
+
+
+class TestInjectorDeterminism:
+    def test_same_seed_same_events(self, bundle):
+        plan = BUILTIN_PLANS["chaos"].with_seed(11)
+        runs = [run_app(bundle, faults=plan) for _ in range(2)]
+        fingerprints = [
+            (r.metrics.total_cycles, r.host_retries,
+             [(e.kind.value, e.at) for e in r.fault_events])
+            for r in runs]
+        assert fingerprints[0] == fingerprints[1]
+
+    def test_events_reach_the_tracer(self, bundle):
+        tracer = Tracer()
+        plan = FaultPlan(
+            name="t",
+            faults=(FaultSpec(FaultKind.CLUSTER_MASK, {"clusters": 4}),
+                    FaultSpec(FaultKind.PRECHARGE_BUG, {"interval": 8})),
+            seed=5)
+        result = run_app(bundle, tracer=tracer, faults=plan)
+        fault_instants = [e for e in tracer.instants
+                          if e.track == TRACK_FAULTS]
+        assert fault_instants, "fault firings must be traced"
+        assert len(result.fault_events) >= len(fault_instants) > 0
+
+
+class TestDegradedModes:
+    def test_cluster_mask_degrades_but_completes(self, bundle):
+        baseline = run_app(bundle)
+        plan = FaultPlan(
+            name="mask",
+            faults=(FaultSpec(FaultKind.CLUSTER_MASK, {"clusters": 2}),),
+            seed=0)
+        masked = run_app(bundle, faults=plan, strict=True)
+        assert masked.metrics.gops < baseline.metrics.gops
+        assert masked.metrics.total_cycles > baseline.metrics.total_cycles
+
+    def test_channel_loss_degrades_but_completes(self, bundle):
+        baseline = run_app(bundle, board=BoardConfig.hardware())
+        plan = FaultPlan(
+            name="loss",
+            faults=(FaultSpec(FaultKind.DRAM_CHANNEL_LOSS,
+                              {"channels": 3}),),
+            seed=0)
+        lossy = run_app(bundle, board=BoardConfig.hardware(),
+                        faults=plan, strict=True)
+        assert lossy.metrics.total_cycles >= baseline.metrics.total_cycles
+        assert lossy.metrics.gops <= baseline.metrics.gops
+
+    def test_fault_probes_in_registry(self, bundle):
+        plan = BUILTIN_PLANS["board"].with_seed(1)
+        result = run_app(bundle, faults=plan)
+        registry = registry_from_result(result, targets={})
+        assert "faults.events" in registry
+        assert "host.retries" in registry
+        assert registry.get("faults.events").value >= 1
+
+
+class TestInvariantChecker:
+    def test_clock_must_be_monotone(self):
+        checker = InvariantChecker("p", num_ags=8)
+        checker.clock(10.0)
+        with pytest.raises(InvariantViolation, match="clock"):
+            checker.clock(5.0)
+
+    def test_scoreboard_occupancy_bounded(self):
+        checker = InvariantChecker("p", num_ags=8)
+        checker.scoreboard(32, 32)
+        with pytest.raises(InvariantViolation, match="occupancy"):
+            checker.scoreboard(33, 32)
+
+    def test_ag_lane_conservation(self):
+        checker = InvariantChecker("p", num_ags=8)
+        checker.ag_lanes(6, 2)
+        with pytest.raises(InvariantViolation, match="lane leak"):
+            checker.ag_lanes(6, 1)
+
+    def test_lifetime_ordering(self):
+        checker = InvariantChecker("p", num_ags=8)
+        checker.lifetime(0, resident=1.0, start=2.0, finish=3.0)
+        with pytest.raises(InvariantViolation, match="finished"):
+            checker.lifetime(1, resident=1.0, start=5.0, finish=4.0)
+
+
+class TestCampaign:
+    def test_report_is_schema_valid(self, bundle):
+        plan = BUILTIN_PLANS["half-machine"]
+        report = run_campaign(bundle, plan, trials=2, seed=9)
+        validate_report(report)
+        assert report["schema"] == CAMPAIGN_SCHEMA
+        assert report["app"] == bundle.name
+        for row in report["faults"]:
+            assert row["completed"] == 2
+            assert row["mean_slowdown"] >= 1.0
+
+    def test_report_is_byte_identical(self, bundle):
+        plan = BUILTIN_PLANS["flaky-host"]
+        blobs = [
+            json.dumps(run_campaign(bundle, plan, trials=2, seed=7,
+                                    curves=False), sort_keys=True)
+            for _ in range(2)]
+        assert blobs[0] == blobs[1]
+
+    def test_curves_cover_full_machine_range(self, bundle):
+        machine = MachineConfig()
+        report = run_campaign(bundle, BUILTIN_PLANS["board"],
+                              trials=1, seed=0, machine=machine)
+        curves = report["curves"]
+        assert len(curves["gops_vs_channels"]) == machine.dram.channels
+        assert len(curves["gops_vs_clusters"]) == machine.num_clusters
+        full = curves["gops_vs_clusters"][-1]
+        assert full["clusters"] == machine.num_clusters
+        assert full["fraction_of_full"] == pytest.approx(1.0)
+        degraded = curves["gops_vs_clusters"][0]
+        assert degraded["gops"] < full["gops"]
+
+    def test_failed_trial_is_a_datum(self, bundle):
+        plan = FaultPlan(
+            name="fatal",
+            faults=(FaultSpec(FaultKind.HOST_DROP,
+                              {"probability": 1.0, "max_retries": 1}),),
+            seed=0)
+        row = run_trial(bundle, plan)
+        assert row["status"] == "failed"
+        assert row["error"] == "HostError"
+        assert "message" in row
+
+    def test_watchdog_failure_carries_diagnostics(self, bundle):
+        plan = FaultPlan(
+            name="wedge",
+            faults=(FaultSpec(FaultKind.SCOREBOARD_SLOT_LOSS,
+                              {"slots": 64, "period": 500.0,
+                               "duration": 500.0}),),
+            seed=0)
+        row = run_trial(bundle, plan)
+        assert row["status"] == "failed"
+        assert row["error"] == "SimulationError"
+        assert row["diagnostics"]["reason"] == "livelock"
+
+
+class TestFaultsCli:
+    def test_list_plans(self, capsys):
+        assert cli_main(["faults", "--list-plans"]) == 0
+        out = capsys.readouterr().out
+        for name in BUILTIN_PLANS:
+            assert name in out
+
+    def test_unknown_app_exits_2(self, capsys):
+        assert cli_main(["faults", "doom"]) == 2
+        assert "mpeg" in capsys.readouterr().err
+
+    def test_unknown_plan_exits_2(self, capsys):
+        assert cli_main(["faults", "mpeg", "--plan", "no-such"]) == 2
+        assert "chaos" in capsys.readouterr().err
+
+    def test_unreadable_plan_file_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{broken")
+        assert cli_main(["faults", "mpeg",
+                         "--plan", str(bad)]) == 2
+        assert "bad.json" in capsys.readouterr().err
+
+    def test_missing_app_exits_2(self, capsys):
+        assert cli_main(["faults"]) == 2
+
+    def test_campaign_smoke(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        assert cli_main(["faults", "mpeg", "--plan", "half-machine",
+                         "--trials", "1", "--seed", "3",
+                         "--no-curves", "--out", str(out)]) == 0
+        report = json.loads(out.read_text())
+        validate_report(report)
+        assert report["app"] == "MPEG"
