@@ -10,13 +10,13 @@ Imagine sustain multi-GFLOPS on dense linear algebra.
 
 import numpy as np
 
-from repro.apps import qrd, run_app
 from repro.apps.qrd import factorization_error, reconstruct_q
 from repro.core import BoardConfig
+from repro.engine import Session, build_app
 
 
 def main():
-    bundle = qrd.build(rows=192, cols=96)
+    bundle = build_app("qrd", rows=192, cols=96)
     print(f"QRD: {len(bundle.image)} stream instructions over a "
           f"192x96 complex matrix")
 
@@ -30,7 +30,9 @@ def main():
           f"{np.allclose(np.tril(r, -1), 0)}; "
           f"Q shape {q.shape}")
 
-    result = run_app(bundle, board=BoardConfig.hardware())
+    with Session() as session:
+        result = session.run_bundle(bundle,
+                                    board=BoardConfig.hardware())
     print(result.summary())
     print(f"throughput: {bundle.throughput(result.seconds):.1f} QRD/s "
           f"(paper: 326 QRD/s)")

@@ -6,12 +6,15 @@ This walks the full Imagine tool flow in ~50 lines:
 1. define a kernel in the KernelC-like IR (a saxpy),
 2. compile it to a software-pipelined VLIW schedule,
 3. write the StreamC-like stream program around it,
-4. run it on the simulated chip and read the timing breakdown.
+4. run it through the experiment engine and read the timing
+   breakdown.
 """
 
 import numpy as np
 
-from repro import BoardConfig, ImagineProcessor, KernelBuilder
+from repro import BoardConfig, KernelBuilder
+from repro.apps import AppBundle
+from repro.engine import Session
 from repro.streamc import KernelSpec, StreamProgram
 
 
@@ -49,10 +52,13 @@ def main():
     print(f"stream program: {len(image)} stream instructions, "
           f"SDR reuse {image.sdr_reuse:.1f}x")
 
-    # Simulate on the development-board model.
-    processor = ImagineProcessor(board=BoardConfig.hardware(),
-                                 kernels=image.kernels)
-    run = processor.run(image)
+    # Simulate on the development-board model.  Hand-built bundles
+    # run in-process; catalog apps (repro.engine.RunRequest) can also
+    # shard across processes and hit the result cache.
+    bundle = AppBundle(name="saxpy_app", image=image)
+    with Session() as session:
+        run = session.run_bundle(bundle,
+                                 board=BoardConfig.hardware())
     print(run.summary())
     print("\nWhere the cycles went:")
     for category, fraction in run.metrics.cycle_fractions().items():

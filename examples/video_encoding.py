@@ -10,18 +10,20 @@ motion vectors and reconstruction quality.
 
 import numpy as np
 
-from repro.apps import mpeg, run_app
 from repro.apps.mpeg import from_macroblock_order, motion_vector_accuracy
 from repro.core import BoardConfig
+from repro.engine import Session, build_app
 from repro.kernels.pixelmath import unpack16
 
 
 def main():
-    bundle = mpeg.build(height=96, width=352, frames=3)
+    bundle = build_app("mpeg", height=96, width=352, frames=3)
     print(f"MPEG: {len(bundle.image)} stream instructions, "
           f"3 frames of 96x352 video")
 
-    result = run_app(bundle, board=BoardConfig.hardware())
+    with Session() as session:
+        result = session.run_bundle(bundle,
+                                    board=BoardConfig.hardware())
     print(result.summary())
     print(f"encode rate: {bundle.throughput(result.seconds):.1f} "
           f"frames/s (real time needs 24-30)")

@@ -9,15 +9,14 @@ stripmining and SRF allocation), the development board's host
 interface, and the paper's entire evaluation: micro-benchmarks,
 kernels, and the DEPTH / MPEG / QRD / RTSL applications.
 
-Quickstart::
+Quickstart (the :mod:`repro.engine` session is the front door for
+running simulations -- parallel across processes, answered from a
+content-addressed result cache)::
 
-    from repro import ImagineProcessor, BoardConfig
-    from repro.apps import depth
+    from repro import RunRequest, Session
 
-    app = depth.build(image_height=64, image_width=128)
-    processor = ImagineProcessor(board=BoardConfig.hardware(),
-                                 kernels=app.kernels)
-    result = processor.run(app.image)
+    with Session(jobs=4) as session:
+        result = session.run(RunRequest(app="depth"))
     print(result.summary())
 """
 
@@ -36,6 +35,18 @@ from repro.kernelc import compile_kernel
 
 __version__ = "1.0.0"
 
+
+def __getattr__(name):
+    # Lazy so that ``import repro`` stays light and the engine (which
+    # itself imports repro for the code salt) avoids a cycle.
+    if name in ("Session", "RunRequest", "RunHandle"):
+        import repro.engine as engine
+
+        return getattr(engine, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "BoardConfig",
     "CycleCategory",
@@ -44,7 +55,10 @@ __all__ = [
     "MachineConfig",
     "Metrics",
     "PowerReport",
+    "RunHandle",
+    "RunRequest",
     "RunResult",
+    "Session",
     "CompiledKernel",
     "KernelBuilder",
     "compile_kernel",

@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
+from typing import Any
 
-from repro.core import BoardConfig, ImagineProcessor, MachineConfig, RunResult
+from repro.core import BoardConfig, MachineConfig, RunResult
 from repro.streamc.compiler import StreamProgramImage
 
 
@@ -21,6 +23,10 @@ class AppBundle:
     oracle: dict = field(default_factory=dict)
     work_units: float = 1.0
     work_name: str = "runs"
+    #: Catalog provenance ``(name, sorted sizes)`` stamped by
+    #: :func:`repro.engine.catalog.build_app`; ``None`` for hand-built
+    #: bundles, which the engine then runs in-process and uncached.
+    source: tuple[str, tuple[tuple[str, Any], ...]] | None = None
 
     @property
     def kernels(self):
@@ -37,15 +43,19 @@ def run_app(bundle: AppBundle,
             board: BoardConfig | None = None,
             machine: MachineConfig | None = None,
             tracer=None, faults=None, strict: bool = False) -> RunResult:
-    """Build a processor for ``bundle`` and simulate it.
+    """Deprecated: use :meth:`repro.engine.Session.run` instead.
 
-    Pass a :class:`repro.obs.Tracer` to capture a cross-layer
-    execution trace of the run (see ``docs/observability.md``), a
-    :class:`repro.faults.FaultPlan` to inject hardware faults, and
-    ``strict=True`` to enforce runtime invariants
-    (``docs/robustness.md``).
+    This shim survives as a migration aid (``docs/api.md``): it emits
+    a :class:`DeprecationWarning` and delegates to the engine's
+    in-process, uncached default session, so behaviour -- including
+    the exception types raised on simulation failure -- is unchanged.
     """
-    processor = ImagineProcessor(machine=machine, board=board,
-                                 kernels=bundle.kernels, tracer=tracer,
-                                 faults=faults, strict=strict)
-    return processor.run(bundle.image)
+    warnings.warn(
+        "run_app() is deprecated; build a repro.engine.RunRequest and "
+        "run it through repro.engine.Session (see docs/api.md)",
+        DeprecationWarning, stacklevel=2)
+    from repro.engine.session import get_default_session
+
+    return get_default_session().run_bundle(
+        bundle, board=board, machine=machine, tracer=tracer,
+        faults=faults, strict=strict)

@@ -14,8 +14,17 @@ Mirrors the paper's evaluation flow from a shell:
 * ``memory``     -- Figure 9/10 pattern sweep;
 * ``power``      -- the Section 5.5 efficiency comparison.
 
-``microbench``, ``kernels`` and ``app`` accept ``--json`` for
-machine-readable reports (see ``docs/observability.md``).
+``microbench``, ``kernels``, ``app`` and ``evaluate`` accept
+``--json`` for machine-readable reports (see
+``docs/observability.md``).
+
+Simulation-backed commands (``app``, ``trace``, ``faults``,
+``evaluate``) run through the :mod:`repro.engine` session: ``--jobs N``
+shards independent runs across worker processes, results are served
+from the content-addressed cache under ``~/.cache/repro`` (disable
+with ``--no-cache``, relocate with ``--cache-dir``), and the engine's
+hit/miss counters are printed to stderr.  Output is byte-identical
+whatever the job count or cache temperature (``docs/engine.md``).
 """
 
 from __future__ import annotations
@@ -27,11 +36,22 @@ import sys
 from repro.core import BoardConfig
 
 
-def _app_builders():
-    from repro.apps import depth, mpeg, qrd, rtsl
+def _session(args):
+    from repro.engine import Session
 
-    return {"depth": depth.build, "mpeg": mpeg.build,
-            "qrd": qrd.build, "rtsl": rtsl.build}
+    return Session(jobs=getattr(args, "jobs", 1),
+                   cache=not getattr(args, "no_cache", False),
+                   cache_dir=getattr(args, "cache_dir", None))
+
+
+def _print_engine_stats(session) -> None:
+    print(session.stats.describe(session.jobs), file=sys.stderr)
+
+
+def _app_builders():
+    from repro.engine.catalog import app_builders
+
+    return app_builders()
 
 
 def _cmd_microbench(args) -> int:
@@ -108,7 +128,7 @@ def _cmd_app(args) -> int:
     from repro.analysis import render_kernel_profile, render_timeline
     from repro.analysis.breakdown import application_breakdown
     from repro.analysis.report import render_breakdown, run_report
-    from repro.apps import run_app
+    from repro.engine import build_app
 
     builders = _app_builders()
     name = args.name.lower()
@@ -116,8 +136,10 @@ def _cmd_app(args) -> int:
         print(f"unknown application {args.name!r}; "
               f"choose from {sorted(builders)}", file=sys.stderr)
         return 2
-    bundle = builders[name]()
-    result = run_app(bundle, board=_board(args))
+    bundle = build_app(name)
+    with _session(args) as session:
+        result = session.run_bundle(bundle, board=_board(args))
+        _print_engine_stats(session)
     if args.json:
         print(json.dumps(run_report(result, bundle=bundle), indent=2))
         return 0
@@ -138,7 +160,7 @@ def _cmd_app(args) -> int:
 
 
 def _cmd_trace(args) -> int:
-    from repro.apps import run_app
+    from repro.engine import build_app
     from repro.obs import Tracer, counters_csv, write_chrome_trace
 
     builders = _app_builders()
@@ -148,8 +170,10 @@ def _cmd_trace(args) -> int:
               f"choose from {sorted(builders)}", file=sys.stderr)
         return 2
     tracer = Tracer()
-    bundle = builders[name]()
-    result = run_app(bundle, board=_board(args), tracer=tracer)
+    bundle = build_app(name)
+    with _session(args) as session:
+        result = session.run_bundle(bundle, board=_board(args),
+                                    tracer=tracer)
     try:
         document = write_chrome_trace(
             tracer, args.out,
@@ -182,6 +206,8 @@ def _cmd_faults(args) -> int:
         print("missing application name (or use --list-plans)",
               file=sys.stderr)
         return 2
+    from repro.engine import build_app
+
     builders = _app_builders()
     name = args.name.lower()
     if name not in builders:
@@ -195,11 +221,13 @@ def _cmd_faults(args) -> int:
         print(f"builtin plans: {', '.join(sorted(BUILTIN_PLANS))}",
               file=sys.stderr)
         return 2
-    bundle = builders[name]()
-    report = run_campaign(bundle, plan, trials=args.trials,
-                          seed=args.seed, board=_board(args),
-                          curves=not args.no_curves,
-                          strict=args.strict)
+    bundle = build_app(name)
+    with _session(args) as session:
+        report = run_campaign(bundle, plan, trials=args.trials,
+                              seed=args.seed, board=_board(args),
+                              curves=not args.no_curves,
+                              strict=args.strict, session=session)
+        _print_engine_stats(session)
     text = json.dumps(report, indent=2)
     if args.out:
         try:
@@ -264,7 +292,11 @@ def _cmd_kernel(args) -> int:
 
 
 def _cmd_evaluate(args) -> int:
-    from repro.evaluation import SECTIONS, run_full_evaluation
+    from repro.evaluation import (
+        SECTIONS,
+        evaluation_report,
+        run_full_evaluation,
+    )
 
     sections = args.sections or None
     if args.list:
@@ -276,8 +308,27 @@ def _cmd_evaluate(args) -> int:
         print(f"unknown section(s) {sorted(unknown)}; "
               f"choose from {sorted(SECTIONS)}", file=sys.stderr)
         return 2
-    for name, text in run_full_evaluation(
-            board=_board(args), sections=sections).items():
+    board = _board(args)
+    with _session(args) as session:
+        texts = run_full_evaluation(board=board, sections=sections,
+                                    session=session)
+        _print_engine_stats(session)
+    if args.json or args.out:
+        text = json.dumps(evaluation_report(texts, board=board),
+                          indent=2)
+        if args.out:
+            try:
+                with open(args.out, "w") as handle:
+                    handle.write(text + "\n")
+            except OSError as error:
+                print(f"cannot write report: {error}", file=sys.stderr)
+                return 2
+            print(f"wrote {args.out}: {len(texts)} section(s)",
+                  file=sys.stderr)
+        else:
+            print(text)
+        return 0
+    for text in texts.values():
         print(text)
         print()
     return 0
@@ -313,6 +364,17 @@ def main(argv: list[str] | None = None) -> int:
                              "instead of the development board")
     parser.add_argument("--host-mips", type=float, default=None,
                         help="override host-interface bandwidth")
+    engine_opts = argparse.ArgumentParser(add_help=False)
+    engine_opts.add_argument("--jobs", type=int, default=1, metavar="N",
+                             help="worker processes for independent "
+                                  "simulations (default 1; output is "
+                                  "byte-identical at any job count)")
+    engine_opts.add_argument("--no-cache", action="store_true",
+                             help="bypass the content-addressed "
+                                  "result cache")
+    engine_opts.add_argument("--cache-dir", default=None, metavar="DIR",
+                             help="result-cache root (default "
+                                  "~/.cache/repro)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     microbench = sub.add_parser("microbench",
@@ -322,7 +384,8 @@ def main(argv: list[str] | None = None) -> int:
     kernels = sub.add_parser("kernels", help="Table 2 + Figure 6")
     kernels.add_argument("--json", action="store_true",
                          help="emit a machine-readable report")
-    app = sub.add_parser("app", help="run one application")
+    app = sub.add_parser("app", help="run one application",
+                         parents=[engine_opts])
     app.add_argument("name", help="depth | mpeg | qrd | rtsl")
     app.add_argument("--timeline", action="store_true",
                      help="print the instruction timeline")
@@ -339,7 +402,8 @@ def main(argv: list[str] | None = None) -> int:
                        help="also dump counter samples as CSV")
     faults = sub.add_parser(
         "faults", help="run a degraded-mode resilience campaign "
-                       "under a seeded fault plan")
+                       "under a seeded fault plan",
+        parents=[engine_opts])
     faults.add_argument("name", nargs="?", default=None,
                         help="depth | mpeg | qrd | rtsl")
     faults.add_argument("--plan", default="board",
@@ -369,11 +433,18 @@ def main(argv: list[str] | None = None) -> int:
     kernel.add_argument("--listing", action="store_true",
                         help="print the VLIW microcode listing")
     evaluate = sub.add_parser(
-        "evaluate", help="regenerate the paper's whole evaluation")
+        "evaluate", help="regenerate the paper's whole evaluation",
+        parents=[engine_opts])
     evaluate.add_argument("sections", nargs="*",
                           help="subset of sections (default: all)")
     evaluate.add_argument("--list", action="store_true",
                           help="list available sections")
+    evaluate.add_argument("--json", action="store_true",
+                          help="emit the deterministic JSON report "
+                               "instead of text")
+    evaluate.add_argument("--out", default=None, metavar="PATH",
+                          help="write the JSON report to PATH "
+                               "(implies --json)")
 
     args = parser.parse_args(argv)
     handler = {

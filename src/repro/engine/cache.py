@@ -1,0 +1,121 @@
+"""Content-addressed on-disk result cache.
+
+Layout (under ``~/.cache/repro`` by default, or ``REPRO_CACHE_DIR``,
+or the ``Session(cache_dir=...)`` override)::
+
+    <root>/objects/<d0d1>/<digest>.pkl    # pickled RunOutcome
+    <root>/objects/<d0d1>/<digest>.json   # human-readable manifest
+
+The digest is the :meth:`RunRequest.digest` content hash, so the
+cache needs no eviction logic to stay correct: a changed request,
+config, fault plan, seed or code salt simply addresses a different
+object.  Writes are atomic (temp file + ``os.replace``); unreadable
+or corrupt entries are treated as misses and removed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import pickle
+import tempfile
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.request import RunRequest
+    from repro.engine.session import RunOutcome
+
+#: Version tag stored with every cache object; bump on layout changes.
+CACHE_FORMAT = 1
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``$REPRO_CACHE_DIR`` > ``$XDG_CACHE_HOME/repro`` > ``~/.cache/repro``."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return pathlib.Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = pathlib.Path(xdg) if xdg else pathlib.Path.home() / ".cache"
+    return base / "repro"
+
+
+class ResultCache:
+    """Digest -> RunOutcome store with atomic writes."""
+
+    def __init__(self, root: pathlib.Path | str | None = None) -> None:
+        self.root = pathlib.Path(root) if root else default_cache_dir()
+
+    def _object_path(self, digest: str) -> pathlib.Path:
+        return self.root / "objects" / digest[:2] / f"{digest}.pkl"
+
+    # ------------------------------------------------------------------
+    def load(self, digest: str) -> "RunOutcome | None":
+        """The stored outcome for ``digest``, or None on miss/corruption."""
+        path = self._object_path(digest)
+        try:
+            with open(path, "rb") as handle:
+                entry = pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            # Corrupt or written by an incompatible version: drop it.
+            self._discard(digest)
+            return None
+        if not isinstance(entry, dict) or entry.get("format") != CACHE_FORMAT:
+            self._discard(digest)
+            return None
+        return entry.get("outcome")
+
+    def store(self, digest: str, outcome: "RunOutcome",
+              request: "RunRequest") -> None:
+        """Persist ``outcome`` under ``digest`` (best-effort, atomic)."""
+        path = self._object_path(digest)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._atomic_write(
+                path, pickle.dumps({"format": CACHE_FORMAT,
+                                    "outcome": outcome}))
+            summary = {
+                "digest": digest,
+                "format": CACHE_FORMAT,
+                "status": outcome.status,
+                "cycles": (outcome.result.metrics.total_cycles
+                           if outcome.result is not None else None),
+                "error": outcome.error_type,
+                "request": request.payload(),
+            }
+            self._atomic_write(
+                path.with_suffix(".json"),
+                (json.dumps(summary, sort_keys=True, indent=2)
+                 + "\n").encode())
+        except OSError:
+            # A read-only or full cache dir must never fail the run.
+            pass
+
+    def _discard(self, digest: str) -> None:
+        for path in (self._object_path(digest),
+                     self._object_path(digest).with_suffix(".json")):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    @staticmethod
+    def _atomic_write(path: pathlib.Path, data: bytes) -> None:
+        fd, tmp = tempfile.mkstemp(dir=path.parent,
+                                   prefix=f".{path.name}.")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+
+__all__ = ["CACHE_FORMAT", "ResultCache", "default_cache_dir"]

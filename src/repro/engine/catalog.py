@@ -1,0 +1,77 @@
+"""The experiment catalog: one registry for every runnable workload.
+
+Before the engine existed, the application table (name -> builder) was
+duplicated in ``repro/cli.py``, ``repro/evaluation.py``,
+``benchmarks/benchlib.py`` and the fault-campaign CLI path.  This
+module is now the single source of truth: the CLI, the evaluation
+driver, the benchmarks and the engine's worker processes all resolve
+application names here, which is also what lets a worker process
+rebuild a bundle from a declarative
+:class:`~repro.engine.request.RunRequest` instead of unpickling one.
+
+Bundles built through :func:`build_app` are stamped with their
+catalog ``source`` (name + build sizes), which marks them as
+*declarative*: the engine can reproduce them in another process and
+cache their results content-addressed.  Bundles built by calling an
+app module's ``build()`` directly carry no source and always run
+in-process, uncached.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.apps.common import AppBundle
+
+
+class CatalogError(KeyError):
+    """Unknown application/workload name."""
+
+
+#: Canonical (lowercase) application names, in the paper's order.
+APP_NAMES: tuple[str, ...] = ("depth", "mpeg", "qrd", "rtsl")
+
+
+def app_builders() -> dict[str, Callable[..., "AppBundle"]]:
+    """Name -> builder for the paper's four applications.
+
+    Imported lazily so that importing :mod:`repro.engine` does not pull
+    in the whole application/compiler stack.
+    """
+    from repro.apps import depth, mpeg, qrd, rtsl
+
+    return {"depth": depth.build, "mpeg": mpeg.build,
+            "qrd": qrd.build, "rtsl": rtsl.build}
+
+
+def canonical_name(name: str) -> str:
+    """Normalize ``name`` to its catalog key; raises CatalogError."""
+    key = name.lower()
+    if key not in APP_NAMES:
+        raise CatalogError(
+            f"unknown application {name!r}; choose from "
+            f"{sorted(APP_NAMES)}")
+    return key
+
+
+def build_app(name: str, **sizes: Any) -> "AppBundle":
+    """Build an application bundle and stamp its catalog source.
+
+    ``sizes`` are forwarded to the app module's ``build()`` (e.g.
+    ``image_height=64``); they become part of the bundle's declarative
+    identity and therefore of its cache digest.
+    """
+    key = canonical_name(name)
+    bundle = app_builders()[key](**sizes)
+    bundle.source = (key, tuple(sorted(sizes.items())))
+    return bundle
+
+
+__all__ = [
+    "APP_NAMES",
+    "CatalogError",
+    "app_builders",
+    "build_app",
+    "canonical_name",
+]

@@ -1,0 +1,558 @@
+"""The parallel experiment engine: ``Session`` / ``RunHandle``.
+
+A :class:`Session` is the one front door for running simulations
+(``docs/engine.md``).  It takes declarative
+:class:`~repro.engine.request.RunRequest` objects (or already-built
+:class:`~repro.apps.common.AppBundle` instances), executes them
+
+* in-process for ``jobs=1``, traced runs and non-catalog bundles,
+* across a ``ProcessPoolExecutor`` for ``jobs>1`` batches of
+  declarative requests (workers rebuild bundles from the catalog, so
+  nothing unpicklable ever crosses the process boundary),
+
+and backs completed outcomes with the content-addressed
+:class:`~repro.engine.cache.ResultCache`, so a request that has run
+before -- in any process, on any earlier day -- is a near-instant
+cache hit.  Results are byte-identical regardless of ``jobs`` and of
+cache temperature: the engine only ever reorders *scheduling*, never
+simulated behaviour.
+
+Failure handling reuses PR 2's machinery: a livelocked or deadlocked
+run raises ``SimulationError`` inside the worker with the progress
+watchdog's :class:`~repro.core.watchdog.DiagnosticBundle`; the engine
+captures it as a typed, cacheable :class:`RunOutcome` rather than
+tearing down the batch.  A wall-clock ``timeout`` bounds each
+parallel run as a backstop, and ``retries`` re-dispatches runs lost
+to worker crashes.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.core import SimulationError
+from repro.core.config import BoardConfig, MachineConfig
+from repro.engine import catalog
+from repro.engine.cache import ResultCache
+from repro.engine.request import RunRequest, code_salt
+from repro.host.processor import HostError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.apps.common import AppBundle
+    from repro.core.processor import RunResult
+    from repro.obs.registry import ProbeRegistry
+    from repro.obs.tracer import Tracer
+
+#: Cache statuses a delivered result can carry in its manifest.
+CACHE_STATUSES = ("hit", "miss", "uncached")
+
+#: Deterministic simulation failures that are themselves cacheable
+#: results; infrastructure failures (timeouts, crashes) never are.
+_CACHEABLE_ERRORS = ("SimulationError", "InvariantViolation", "HostError")
+
+
+class EngineError(RuntimeError):
+    """Engine-level failure (bad request, worker loss, timeout)."""
+
+
+class RunFailure(EngineError):
+    """Raised by :meth:`RunHandle.result` for a failed outcome."""
+
+    def __init__(self, outcome: "RunOutcome") -> None:
+        super().__init__(
+            f"{outcome.error_type}: {outcome.error_message}")
+        self.outcome = outcome
+
+
+@dataclass
+class RunOutcome:
+    """What one run produced: a result, or a typed failure."""
+
+    status: str                                # "completed" | "failed"
+    result: "RunResult | None" = None
+    error_type: str | None = None
+    error_message: str | None = None
+    #: Watchdog diagnostics (``DiagnosticBundle.as_dict()``) when the
+    #: failure carried them.
+    diagnostics: dict | None = None
+    #: Original exception object for in-process failures; never
+    #: pickled or cached, so cross-process failures re-raise as
+    #: :class:`RunFailure` instead.
+    exception: BaseException | None = field(
+        default=None, repr=False, compare=False)
+
+    @property
+    def completed(self) -> bool:
+        return self.status == "completed"
+
+    def unwrap(self) -> "RunResult":
+        if self.completed:
+            return self.result
+        if self.exception is not None:
+            raise self.exception
+        raise RunFailure(self)
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["exception"] = None      # exceptions don't cross processes
+        return state
+
+    @property
+    def cacheable(self) -> bool:
+        return (self.completed
+                or self.error_type in _CACHEABLE_ERRORS)
+
+
+@dataclass
+class SessionStats:
+    """Engine counters (exported via :meth:`Session.probes`)."""
+
+    hits: int = 0
+    misses: int = 0
+    uncached: int = 0
+    executed: int = 0
+    failed: int = 0
+    timeouts: int = 0
+    retried: int = 0
+
+    @property
+    def runs(self) -> int:
+        return self.hits + self.misses + self.uncached
+
+    @property
+    def hit_rate(self) -> float:
+        keyed = self.hits + self.misses
+        return self.hits / keyed if keyed else 0.0
+
+    def as_dict(self) -> dict:
+        return {"runs": self.runs, "hits": self.hits,
+                "misses": self.misses, "uncached": self.uncached,
+                "executed": self.executed, "failed": self.failed,
+                "timeouts": self.timeouts, "retried": self.retried,
+                "hit_rate": self.hit_rate}
+
+    def describe(self, jobs: int) -> str:
+        return (f"[engine] jobs={jobs} runs={self.runs} "
+                f"hits={self.hits} misses={self.misses} "
+                f"uncached={self.uncached} "
+                f"hit_rate={self.hit_rate * 100:.1f}%")
+
+
+# ----------------------------------------------------------------------
+# Execution primitives (module-level: picklable for worker processes).
+# ----------------------------------------------------------------------
+def _simulate(bundle: "AppBundle", request: RunRequest,
+              tracer: "Tracer | None" = None) -> "RunResult":
+    """Run ``bundle`` under ``request``'s configuration; raises on
+    simulation failure."""
+    from repro.core.processor import ImagineProcessor
+
+    processor = ImagineProcessor(
+        machine=request.effective_machine(),
+        board=request.effective_board(),
+        kernels=bundle.kernels,
+        tracer=tracer,
+        faults=request.fault_plan(),
+        strict=request.strict)
+    return processor.run(bundle.image)
+
+
+def _capture(bundle: "AppBundle", request: RunRequest,
+             tracer: "Tracer | None" = None) -> RunOutcome:
+    """Run and fold simulation failures into a typed outcome."""
+    try:
+        result = _simulate(bundle, request, tracer=tracer)
+    except (SimulationError, HostError) as error:
+        diagnostics = getattr(error, "diagnostics", None)
+        return RunOutcome(
+            status="failed",
+            error_type=type(error).__name__,
+            error_message=str(error),
+            diagnostics=(diagnostics.as_dict()
+                         if diagnostics is not None else None),
+            exception=error)
+    return RunOutcome(status="completed", result=result)
+
+
+def _execute_request(request: RunRequest) -> RunOutcome:
+    """Worker entry point: rebuild the bundle from the catalog, run."""
+    bundle = catalog.build_app(request.app, **dict(request.sizes))
+    return _capture(bundle, request)
+
+
+def _stamp(outcome: RunOutcome, digest: str | None,
+           status: str) -> RunOutcome:
+    """Mark the outcome's manifest with its provenance (digest +
+    hit/miss/uncached), making every downstream report self-describing."""
+    result = outcome.result
+    if result is not None and result.manifest is not None:
+        result.manifest = dataclasses.replace(
+            result.manifest, request_digest=digest, cache=status)
+    return outcome
+
+
+def _hit_copy(outcome: RunOutcome, digest: str | None) -> RunOutcome:
+    """A shallow copy of a memoized outcome, restamped as a hit, so
+    the original delivery's manifest is left untouched."""
+    result = outcome.result
+    if result is not None and result.manifest is not None:
+        result = dataclasses.replace(
+            result,
+            manifest=dataclasses.replace(
+                result.manifest, request_digest=digest, cache="hit"))
+    return dataclasses.replace(outcome, result=result)
+
+
+# ----------------------------------------------------------------------
+# Handles.
+# ----------------------------------------------------------------------
+class RunHandle:
+    """A submitted run: resolves to a :class:`RunOutcome`.
+
+    ``result()`` unwraps to the :class:`RunResult` (raising the
+    original simulation error in-process, or :class:`RunFailure` for
+    worker-side failures); ``outcome()`` never raises for simulation
+    failures -- a typed failure is a campaign datum.
+    """
+
+    def __init__(self, session: "Session", request: RunRequest,
+                 digest: str | None) -> None:
+        self._session = session
+        self.request = request
+        self.digest = digest
+        self.cache_status: str | None = None
+        self.tracer: "Tracer | None" = None
+        self._outcome: RunOutcome | None = None
+        self._future: concurrent.futures.Future | None = None
+        #: Another handle for the same digest this one memoizes from.
+        self._shared: "RunHandle | None" = None
+        self._attempts = 0
+
+    def done(self) -> bool:
+        return self._outcome is not None or (
+            self._shared is not None and self._shared.done()) or (
+            self._future is not None and self._future.done())
+
+    def outcome(self) -> RunOutcome:
+        if self._outcome is None:
+            if self._shared is not None:
+                self._outcome = _hit_copy(self._shared.outcome(),
+                                          self.digest)
+            else:
+                self._session._finalize(self)
+        return self._outcome
+
+    def result(self) -> "RunResult":
+        return self.outcome().unwrap()
+
+
+class Session:
+    """The run API: submit requests, shard them, cache the results.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes for declarative batches (1 = in-process).
+    cache / cache_dir:
+        Enable the content-addressed result cache, optionally rooted
+        somewhere other than ``~/.cache/repro``.
+    machine / board:
+        Defaults applied to requests that leave theirs ``None``.
+    salt:
+        Cache-salt override (defaults to the source-tree code salt).
+    timeout:
+        Wall-clock seconds per parallel run; a run past it is
+        reported as a failed ``RunTimeout`` outcome.
+    retries:
+        Re-dispatch attempts for runs lost to worker crashes.
+    """
+
+    def __init__(self, jobs: int = 1, cache: bool = True,
+                 cache_dir=None, machine: MachineConfig | None = None,
+                 board: BoardConfig | None = None,
+                 salt: str | None = None,
+                 timeout: float | None = None,
+                 retries: int = 1) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.machine = machine
+        self.board = board
+        self.timeout = timeout
+        self.retries = retries
+        self.stats = SessionStats()
+        self._salt = salt if salt is not None else code_salt()
+        self._cache = ResultCache(cache_dir) if cache else None
+        self._inflight: dict[str, RunHandle] = {}
+        self._executor: concurrent.futures.ProcessPoolExecutor | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+        self._closed = True
+
+    def _pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        if self._closed:
+            raise EngineError("session is closed")
+        if self._executor is None:
+            self._executor = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.jobs)
+        return self._executor
+
+    # ------------------------------------------------------------------
+    # Submission.
+    # ------------------------------------------------------------------
+    def submit(self, request: RunRequest,
+               prebuilt: "AppBundle | None" = None,
+               tracer: "Tracer | None" = None) -> RunHandle:
+        """Schedule one declarative request; returns immediately when
+        a pool is available, else executes in-process."""
+        if self._closed:
+            raise EngineError("session is closed")
+        catalog.canonical_name(request.app)   # fail fast on bad names
+        request = request.resolved(self.machine, self.board)
+
+        if request.trace or tracer is not None:
+            # Traced runs stay in-process (tracers do not cross
+            # process boundaries) and bypass the cache.
+            from repro.obs.tracer import Tracer
+
+            handle = RunHandle(self, request, digest=None)
+            handle.tracer = tracer if tracer is not None else Tracer()
+            bundle = prebuilt if prebuilt is not None else \
+                catalog.build_app(request.app, **dict(request.sizes))
+            outcome = _capture(bundle, request, tracer=handle.tracer)
+            self.stats.uncached += 1
+            self.stats.executed += 1
+            if not outcome.completed:
+                self.stats.failed += 1
+            handle._outcome = _stamp(outcome, None, "uncached")
+            handle.cache_status = "uncached"
+            return handle
+
+        digest = request.digest(salt=self._salt)
+        if self._cache is not None:
+            shared = self._inflight.get(digest)
+            if shared is not None:
+                self.stats.hits += 1
+                handle = RunHandle(self, request, digest)
+                handle.cache_status = "hit"
+                handle._shared = shared
+                return handle
+        handle = RunHandle(self, request, digest)
+
+        if self._cache is not None:
+            cached = self._cache.load(digest)
+            if cached is not None:
+                self.stats.hits += 1
+                handle._outcome = _stamp(cached, digest, "hit")
+                handle.cache_status = "hit"
+                self._inflight[digest] = handle
+                return handle
+            self._inflight[digest] = handle
+
+        if self.jobs > 1:
+            handle._future = self._pool().submit(_execute_request,
+                                                 request)
+            handle._attempts = 1
+        else:
+            bundle = prebuilt if prebuilt is not None else \
+                catalog.build_app(request.app, **dict(request.sizes))
+            self._complete(handle, _capture(bundle, request))
+        return handle
+
+    def submit_bundle(self, bundle: "AppBundle", *,
+                      board: BoardConfig | None = None,
+                      machine: MachineConfig | None = None,
+                      faults=None, seed: int | None = None,
+                      strict: bool = False,
+                      tracer: "Tracer | None" = None) -> RunHandle:
+        """Schedule a run of an already-built bundle.
+
+        Catalog-built bundles (see :func:`repro.engine.catalog.build_app`)
+        are converted to declarative requests -- cacheable and
+        pool-shardable.  Hand-built bundles run in-process, uncached,
+        against the exact object given.
+        """
+        source = getattr(bundle, "source", None)
+        if source is not None and tracer is None:
+            name, sizes = source
+            request = RunRequest.for_app(
+                name, sizes=dict(sizes), machine=machine, board=board,
+                faults=faults, seed=seed, strict=strict)
+            return self.submit(request, prebuilt=bundle)
+
+        # Hand-built bundle: the request only carries configuration
+        # (its app field names the bundle, it is never rebuilt).
+        request = RunRequest.for_app(
+            bundle.name, machine=machine, board=board, faults=faults,
+            seed=seed, strict=strict)
+        request = request.resolved(self.machine, self.board)
+        handle = RunHandle(self, request, digest=None)
+        handle.tracer = tracer
+        outcome = _capture(bundle, request, tracer=tracer)
+        self.stats.uncached += 1
+        self.stats.executed += 1
+        if not outcome.completed:
+            self.stats.failed += 1
+        handle._outcome = _stamp(outcome, None, "uncached")
+        handle.cache_status = "uncached"
+        return handle
+
+    # ------------------------------------------------------------------
+    # Blocking conveniences.
+    # ------------------------------------------------------------------
+    def run(self, request: RunRequest,
+            tracer: "Tracer | None" = None) -> "RunResult":
+        """Submit one request and wait for its result."""
+        return self.submit(request, tracer=tracer).result()
+
+    def run_bundle(self, bundle: "AppBundle", *,
+                   board: BoardConfig | None = None,
+                   machine: MachineConfig | None = None,
+                   faults=None, seed: int | None = None,
+                   strict: bool = False,
+                   tracer: "Tracer | None" = None) -> "RunResult":
+        return self.submit_bundle(
+            bundle, board=board, machine=machine, faults=faults,
+            seed=seed, strict=strict, tracer=tracer).result()
+
+    def run_batch(self, requests: Iterable[RunRequest]
+                  ) -> "list[RunResult]":
+        """Run a batch sharded across the pool; results in order."""
+        handles = [self.submit(request) for request in requests]
+        return [handle.result() for handle in handles]
+
+    def outcomes(self, requests: Iterable[RunRequest]
+                 ) -> list[RunOutcome]:
+        """Like :meth:`run_batch` but failures stay data."""
+        handles = [self.submit(request) for request in requests]
+        return [handle.outcome() for handle in handles]
+
+    # ------------------------------------------------------------------
+    # Completion plumbing.
+    # ------------------------------------------------------------------
+    def _finalize(self, handle: RunHandle) -> None:
+        """Collect a pool future (with timeout/retry) into the handle."""
+        if handle._outcome is not None:
+            return
+        if handle._future is None:
+            raise EngineError("handle has neither outcome nor future")
+        while True:
+            try:
+                outcome = handle._future.result(timeout=self.timeout)
+                break
+            except concurrent.futures.TimeoutError:
+                self.stats.timeouts += 1
+                outcome = RunOutcome(
+                    status="failed", error_type="RunTimeout",
+                    error_message=(
+                        f"{handle.request.app}: no result within "
+                        f"{self.timeout}s wall-clock"))
+                break
+            except concurrent.futures.process.BrokenProcessPool:
+                if handle._attempts > self.retries:
+                    outcome = RunOutcome(
+                        status="failed", error_type="WorkerCrashed",
+                        error_message=(
+                            f"{handle.request.app}: worker process "
+                            f"died ({handle._attempts} attempt(s))"))
+                    break
+                # Recreate the pool and re-dispatch.
+                self.stats.retried += 1
+                handle._attempts += 1
+                if self._executor is not None:
+                    self._executor.shutdown(wait=False,
+                                            cancel_futures=True)
+                    self._executor = None
+                handle._future = self._pool().submit(
+                    _execute_request, handle.request)
+        self._complete(handle, outcome)
+
+    def _complete(self, handle: RunHandle, outcome: RunOutcome) -> None:
+        self.stats.executed += 1
+        if not outcome.completed:
+            self.stats.failed += 1
+        if handle.digest is not None and self._cache is not None:
+            self.stats.misses += 1
+            handle.cache_status = "miss"
+            outcome = _stamp(outcome, handle.digest, "miss")
+            if outcome.cacheable:
+                self._cache.store(handle.digest, outcome,
+                                  handle.request)
+        else:
+            if handle.digest is not None:
+                # Declarative but cache disabled.
+                self.stats.uncached += 1
+            handle.cache_status = "uncached"
+            outcome = _stamp(outcome, handle.digest, "uncached")
+        handle._outcome = outcome
+
+    # ------------------------------------------------------------------
+    # Observability.
+    # ------------------------------------------------------------------
+    def probes(self) -> "ProbeRegistry":
+        """Engine counters as a PR 1 probe registry."""
+        from repro.obs.registry import ProbeRegistry
+
+        registry = ProbeRegistry()
+        stats = self.stats
+        registry.add("engine.jobs", self.jobs, "processes",
+                     "worker processes available to this session")
+        registry.add("engine.runs", stats.runs, "runs",
+                     "runs delivered by this session")
+        registry.add("engine.cache.hits", stats.hits, "runs",
+                     "runs served from the content-addressed cache")
+        registry.add("engine.cache.misses", stats.misses, "runs",
+                     "cache-keyed runs that had to execute")
+        registry.add("engine.cache.hit_rate", stats.hit_rate,
+                     "fraction", "hits / (hits + misses)")
+        registry.add("engine.runs.uncached", stats.uncached, "runs",
+                     "runs executed outside the cache")
+        registry.add("engine.runs.executed", stats.executed, "runs",
+                     "simulations actually executed")
+        registry.add("engine.runs.failed", stats.failed, "runs",
+                     "typed simulation failures captured as outcomes")
+        registry.add("engine.runs.timeouts", stats.timeouts, "runs",
+                     "runs abandoned at the wall-clock timeout")
+        return registry
+
+
+# ----------------------------------------------------------------------
+# Default session (used by the deprecated ``run_app`` shim).
+# ----------------------------------------------------------------------
+_default_session: Session | None = None
+
+
+def get_default_session() -> Session:
+    """In-process, uncached session for legacy entry points."""
+    global _default_session
+    if _default_session is None:
+        _default_session = Session(jobs=1, cache=False)
+    return _default_session
+
+
+__all__ = [
+    "CACHE_STATUSES",
+    "EngineError",
+    "RunFailure",
+    "RunHandle",
+    "RunOutcome",
+    "Session",
+    "SessionStats",
+    "get_default_session",
+]

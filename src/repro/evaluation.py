@@ -4,6 +4,13 @@
 same code paths the individual benchmarks use) and returns them as a
 name -> rendered-text mapping; ``python -m repro evaluate`` prints
 them in the paper's order.  This is the "reproduce the paper" button.
+
+The application runs behind Tables 3-6 / Figure 11 go through the
+:mod:`repro.engine` session: pass ``jobs=N`` to shard them across
+worker processes and ``cache=True`` to serve repeats from the
+content-addressed result cache.  Output is byte-identical whatever
+the job count or cache temperature -- the engine only reorders
+scheduling, never simulated behaviour.
 """
 
 from __future__ import annotations
@@ -14,8 +21,9 @@ from repro.analysis import kernel_breakdown, measure_kernel
 from repro.analysis.breakdown import application_breakdown
 from repro.analysis.power_compare import power_efficiency_comparison
 from repro.analysis.report import render_breakdown, render_table
-from repro.apps import depth, mpeg, qrd, rtsl, run_app
 from repro.core import BoardConfig, MachineConfig
+from repro.engine import Session, build_app
+from repro.engine.catalog import APP_NAMES
 from repro.kernels import KERNEL_LIBRARY
 from repro.kernels.library import TABLE2_KERNELS
 from repro.workloads.microbench import run_all_microbenchmarks
@@ -25,32 +33,74 @@ from repro.workloads.streamlen import (
     memory_length_sweep,
 )
 
-_APP_BUILDERS = {"DEPTH": depth.build, "MPEG": mpeg.build,
-                 "QRD": qrd.build, "RTSL": rtsl.build}
+#: Display names (the paper's capitalization), catalog order.
+_APP_DISPLAY = tuple(name.upper() for name in APP_NAMES)
+
+#: Board modes each app-backed section needs (used for prefetching).
+_SECTION_MODES = {
+    "table3": ("hardware",),
+    "figure11": ("isim",),
+    "tables4_5": ("hardware",),
+    "table6": ("hardware", "isim"),
+    "targets": ("hardware",),
+}
 
 
 class Evaluation:
-    """Caches the expensive shared pieces (app runs) across sections."""
+    """Caches the expensive shared pieces (app runs) across sections.
+
+    All application simulations flow through one engine
+    :class:`~repro.engine.Session` (supplied or owned), so they can be
+    sharded across processes and answered from the result cache.
+    """
 
     def __init__(self, machine: MachineConfig | None = None,
-                 board: BoardConfig | None = None) -> None:
+                 board: BoardConfig | None = None,
+                 session: Session | None = None) -> None:
         self.machine = machine or MachineConfig()
         self.board = board or BoardConfig.hardware()
+        self.session = session
+        self._owns_session = session is None
+        if self.session is None:
+            self.session = Session(jobs=1, cache=False)
         self._bundles = {}
+        self._handles = {}
         self._results = {}
+
+    def close(self) -> None:
+        if self._owns_session:
+            self.session.close()
 
     def bundle(self, name: str):
         if name not in self._bundles:
-            self._bundles[name] = _APP_BUILDERS[name]()
+            self._bundles[name] = build_app(name.lower())
         return self._bundles[name]
+
+    def _mode_board(self, mode: str) -> BoardConfig:
+        return self.board if mode == "hardware" else BoardConfig.isim()
+
+    def _handle(self, name: str, mode: str):
+        key = (name, mode)
+        if key not in self._handles:
+            self._handles[key] = self.session.submit_bundle(
+                self.bundle(name), machine=self.machine,
+                board=self._mode_board(mode))
+        return self._handles[key]
+
+    def prefetch(self, sections: list[str] | None = None) -> None:
+        """Submit every app run the chosen sections need, so a
+        parallel session shards them instead of running on demand."""
+        modes: set[str] = set()
+        for section in sections or list(_SECTION_MODES):
+            modes.update(_SECTION_MODES.get(section, ()))
+        for mode in sorted(modes):
+            for name in _APP_DISPLAY:
+                self._handle(name, mode)
 
     def result(self, name: str, mode: str = "hardware"):
         key = (name, mode)
         if key not in self._results:
-            board = (self.board if mode == "hardware"
-                     else BoardConfig.isim())
-            self._results[key] = run_app(self.bundle(name),
-                                         board=board)
+            self._results[key] = self._handle(name, mode).result()
         return self._results[key]
 
     # ------------------------------------------------------------------
@@ -121,7 +171,7 @@ class Evaluation:
 
     def table3(self) -> str:
         rows = []
-        for name in _APP_BUILDERS:
+        for name in _APP_DISPLAY:
             result = self.result(name)
             bundle = self.bundle(name)
             metrics = result.metrics
@@ -140,11 +190,11 @@ class Evaluation:
         return render_breakdown(
             "Figure 11: application breakdown",
             {name: application_breakdown(self.result(name, "isim"))
-             for name in _APP_BUILDERS})
+             for name in _APP_DISPLAY})
 
     def tables4_5(self) -> str:
         rows4, rows5 = [], []
-        for name in _APP_BUILDERS:
+        for name in _APP_DISPLAY:
             image = self.bundle(name).image
             metrics = self.result(name).metrics
             histogram = image.histogram()
@@ -169,7 +219,7 @@ class Evaluation:
                  f"{self.result(name, 'hardware').cycles / 1e6:.3f} M",
                  f"{self.result(name, 'isim').cycles / 1e6:.3f} M",
                  f"{self.result(name, 'hardware').cycles / self.result(name, 'isim').cycles:.3f}"]
-                for name in _APP_BUILDERS]
+                for name in _APP_DISPLAY]
         return render_table("Table 6: lab vs ISIM",
                             ["app", "lab", "ISIM", "ratio"], rows)
 
@@ -186,7 +236,7 @@ class Evaluation:
         from repro.obs.registry import registry_from_result
 
         rows = []
-        for name in _APP_BUILDERS:
+        for name in _APP_DISPLAY:
             registry = registry_from_result(self.result(name))
             for probe in registry:
                 if probe.target is None:
@@ -220,14 +270,43 @@ SECTIONS: dict[str, Callable[[Evaluation], str]] = {
 }
 
 
+#: Schema tag for the machine-readable evaluation report
+#: (``repro evaluate --json``).  The document is deterministic:
+#: byte-identical across job counts and cache temperatures.
+EVALUATION_SCHEMA = "repro.evaluation-report/1"
+
+
 def run_full_evaluation(machine: MachineConfig | None = None,
                         board: BoardConfig | None = None,
-                        sections: list[str] | None = None
+                        sections: list[str] | None = None,
+                        session: Session | None = None
                         ) -> dict[str, str]:
-    """Regenerate the paper's evaluation; returns section -> text."""
-    evaluation = Evaluation(machine, board)
+    """Regenerate the paper's evaluation; returns section -> text.
+
+    Pass an engine ``session`` (e.g. ``Session(jobs=8)``) to shard
+    the application runs across processes and reuse cached results;
+    the returned text is identical either way.
+    """
     chosen = sections or list(SECTIONS)
     unknown = set(chosen) - set(SECTIONS)
     if unknown:
         raise ValueError(f"unknown sections: {sorted(unknown)}")
-    return {name: SECTIONS[name](evaluation) for name in chosen}
+    evaluation = Evaluation(machine, board, session=session)
+    try:
+        evaluation.prefetch(chosen)
+        return {name: SECTIONS[name](evaluation) for name in chosen}
+    finally:
+        evaluation.close()
+
+
+def evaluation_report(texts: dict[str, str],
+                      board: BoardConfig | None = None) -> dict:
+    """Wrap rendered sections as the deterministic JSON report."""
+    board = board or BoardConfig.hardware()
+    return {
+        "schema": EVALUATION_SCHEMA,
+        "board_mode": board.mode,
+        "host_mips": board.host_mips,
+        "sections": {name: texts[name]
+                     for name in SECTIONS if name in texts},
+    }

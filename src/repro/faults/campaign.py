@@ -8,6 +8,12 @@ structural degradation sweeps (GOPS vs. surviving DRAM channels and
 vs. surviving clusters), and emits a machine-readable report
 (schema ``repro.resilience-report/1``).
 
+Every run flows through the :mod:`repro.engine` session: pass one
+with ``jobs=N`` and the baseline, all faulted trials and both
+degradation curves shard across worker processes (and come back from
+the content-addressed cache on repeat campaigns).  The report is
+byte-identical whatever the job count or cache temperature.
+
 Determinism is a hard requirement: every per-trial seed is derived
 from the campaign seed with :class:`random.Random` string seeding, no
 wall-clock or platform data enters the report, and two campaigns with
@@ -22,10 +28,10 @@ from __future__ import annotations
 
 import random
 
-from repro.apps.common import AppBundle, run_app
-from repro.core import BoardConfig, MachineConfig, RunResult, SimulationError
+from repro.apps.common import AppBundle
+from repro.core import BoardConfig, MachineConfig, RunResult
+from repro.engine.session import RunOutcome, Session, get_default_session
 from repro.faults.models import FaultKind, FaultPlan, FaultSpec
-from repro.host.processor import HostError
 from repro.obs.manifest import machine_summary
 
 #: Version tag for the resilience-report layout.
@@ -50,29 +56,22 @@ def _run_summary(result: RunResult) -> dict:
     }
 
 
-def run_trial(bundle: AppBundle, plan: FaultPlan,
-              board: BoardConfig | None = None,
-              machine: MachineConfig | None = None,
-              baseline_cycles: float | None = None,
-              strict: bool = False) -> dict:
-    """One faulted run, reduced to a report row (never raises for
-    simulation failures -- a typed failure *is* a campaign datum)."""
-    outcome: dict = {"plan_seed": plan.seed}
-    try:
-        result = run_app(bundle, board=board, machine=machine,
-                         faults=plan, strict=strict)
-    except (SimulationError, HostError) as error:
-        outcome.update({
+def _trial_row(outcome: RunOutcome, plan: FaultPlan,
+               baseline_cycles: float | None = None) -> dict:
+    """Reduce one faulted outcome to a report row (a typed failure
+    *is* a campaign datum, never an exception)."""
+    row: dict = {"plan_seed": plan.seed}
+    if not outcome.completed:
+        row.update({
             "status": "failed",
-            "error": type(error).__name__,
-            "message": str(error).splitlines()[0],
-            "diagnostics": (error.diagnostics.as_dict()
-                            if isinstance(error, SimulationError)
-                            and error.diagnostics is not None
-                            else None),
+            "error": outcome.error_type,
+            "message": ((outcome.error_message or "").splitlines()
+                        or [""])[0],
+            "diagnostics": outcome.diagnostics,
         })
-        return outcome
-    outcome.update({
+        return row
+    result = outcome.result
+    row.update({
         "status": "completed",
         **_run_summary(result),
         "host_retries": result.host_retries,
@@ -80,8 +79,21 @@ def run_trial(bundle: AppBundle, plan: FaultPlan,
         "fault_events_by_kind": _events_by_kind(result),
     })
     if baseline_cycles:
-        outcome["slowdown"] = result.metrics.total_cycles / baseline_cycles
-    return outcome
+        row["slowdown"] = result.metrics.total_cycles / baseline_cycles
+    return row
+
+
+def run_trial(bundle: AppBundle, plan: FaultPlan,
+              board: BoardConfig | None = None,
+              machine: MachineConfig | None = None,
+              baseline_cycles: float | None = None,
+              strict: bool = False,
+              session: Session | None = None) -> dict:
+    """One faulted run, reduced to a report row."""
+    session = session or get_default_session()
+    handle = session.submit_bundle(bundle, board=board, machine=machine,
+                                   faults=plan, strict=strict)
+    return _trial_row(handle.outcome(), plan, baseline_cycles)
 
 
 def _events_by_kind(result: RunResult) -> dict[str, int]:
@@ -91,99 +103,143 @@ def _events_by_kind(result: RunResult) -> dict[str, int]:
     return dict(sorted(counts.items()))
 
 
-def _degradation_curves(bundle: AppBundle, board: BoardConfig | None,
-                        machine: MachineConfig, seed: int,
-                        baseline_gops: float) -> dict:
-    """GOPS vs. surviving DRAM channels and surviving clusters."""
+def _curve_plans(machine: MachineConfig, seed: int) -> tuple[list, list]:
+    """(alive, plan|None) points for both degradation sweeps; ``None``
+    marks the full-machine point, served by the baseline run."""
     channels = []
     for alive in range(1, machine.dram.channels + 1):
         lost = machine.dram.channels - alive
-        if lost == 0:
-            gops = baseline_gops
-        else:
+        plan = None
+        if lost:
             plan = FaultPlan(
                 name=f"curve/channels={alive}",
                 faults=(FaultSpec(FaultKind.DRAM_CHANNEL_LOSS,
                                   {"channels": lost}),),
                 seed=seed)
-            gops = run_app(bundle, board=board, machine=machine,
-                           faults=plan).metrics.gops
-        channels.append({"channels": alive, "gops": gops,
-                         "fraction_of_full": (gops / baseline_gops
-                                              if baseline_gops else 0.0)})
+        channels.append((alive, plan))
     clusters = []
     for alive in range(1, machine.num_clusters + 1):
-        if alive == machine.num_clusters:
-            gops = baseline_gops
-        else:
+        plan = None
+        if alive != machine.num_clusters:
             plan = FaultPlan(
                 name=f"curve/clusters={alive}",
                 faults=(FaultSpec(FaultKind.CLUSTER_MASK,
                                   {"clusters": alive}),),
                 seed=seed)
-            gops = run_app(bundle, board=board, machine=machine,
-                           faults=plan).metrics.gops
-        clusters.append({"clusters": alive, "gops": gops,
-                         "fraction_of_full": (gops / baseline_gops
-                                              if baseline_gops else 0.0)})
-    return {"gops_vs_channels": channels, "gops_vs_clusters": clusters}
+        clusters.append((alive, plan))
+    return channels, clusters
 
 
 def run_campaign(bundle: AppBundle, plan: FaultPlan, trials: int = 3,
                  seed: int = 0, board: BoardConfig | None = None,
                  machine: MachineConfig | None = None,
-                 curves: bool = True, strict: bool = False) -> dict:
-    """Run the full degraded-mode sweep; returns the report document."""
+                 curves: bool = True, strict: bool = False,
+                 session: Session | None = None) -> dict:
+    """Run the full degraded-mode sweep; returns the report document.
+
+    With a parallel ``session`` the baseline, every faulted trial and
+    every curve point are submitted up front and shard across the
+    worker pool; the report is assembled in deterministic order.
+    """
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
     board = board or BoardConfig.hardware()
     machine = machine or MachineConfig()
-    baseline = run_app(bundle, board=board, machine=machine,
-                       strict=strict)
-    baseline_cycles = baseline.metrics.total_cycles
-    baseline_summary = _run_summary(baseline)
+    owns_session = session is None
+    session = session or get_default_session()
 
-    fault_rows = []
-    for i, spec in enumerate(plan.faults):
-        rows = []
-        for trial in range(trials):
-            sub_plan = plan.only(spec, seed=_trial_seed(seed, i, trial))
-            rows.append(run_trial(
-                bundle, sub_plan, board=board, machine=machine,
-                baseline_cycles=baseline_cycles, strict=strict))
-        completed = [row for row in rows if row["status"] == "completed"]
-        slowdowns = [row["slowdown"] for row in completed
-                     if "slowdown" in row]
-        fault_rows.append({
-            "kind": spec.kind.value,
-            "params": dict(spec.params),
-            "trials": rows,
-            "completed": len(completed),
-            "failed": len(rows) - len(completed),
-            "mean_slowdown": (sum(slowdowns) / len(slowdowns)
-                              if slowdowns else None),
-            "max_slowdown": max(slowdowns) if slowdowns else None,
-            "total_retries": sum(row.get("host_retries", 0)
-                                 for row in completed),
-        })
+    def submit(faults: FaultPlan | None):
+        return session.submit_bundle(bundle, board=board,
+                                     machine=machine, faults=faults,
+                                     strict=strict)
 
-    report = {
-        "schema": CAMPAIGN_SCHEMA,
-        "app": bundle.name,
-        "plan": plan.as_dict(),
-        "seed": seed,
-        "trials": trials,
-        "board_mode": board.mode,
-        "host_mips": board.host_mips,
-        "machine": machine_summary(machine),
-        "strict": strict,
-        "baseline": baseline_summary,
-        "faults": fault_rows,
+    try:
+        # Submit everything first so a pool shards the whole campaign.
+        baseline_handle = submit(None)
+        trial_handles = []
+        for i, spec in enumerate(plan.faults):
+            per_fault = []
+            for trial in range(trials):
+                sub_plan = plan.only(spec,
+                                     seed=_trial_seed(seed, i, trial))
+                per_fault.append((sub_plan, submit(sub_plan)))
+            trial_handles.append((spec, per_fault))
+        curve_handles = None
+        if curves:
+            channel_points, cluster_points = _curve_plans(machine, seed)
+            curve_handles = (
+                [(alive, submit(p) if p is not None else None)
+                 for alive, p in channel_points],
+                [(alive, submit(p) if p is not None else None)
+                 for alive, p in cluster_points])
+
+        # The baseline must succeed; its failure aborts the campaign
+        # exactly as it always did.
+        baseline = baseline_handle.result()
+        baseline_cycles = baseline.metrics.total_cycles
+        baseline_summary = _run_summary(baseline)
+
+        fault_rows = []
+        for spec, per_fault in trial_handles:
+            rows = [_trial_row(handle.outcome(), sub_plan,
+                               baseline_cycles)
+                    for sub_plan, handle in per_fault]
+            completed = [row for row in rows
+                         if row["status"] == "completed"]
+            slowdowns = [row["slowdown"] for row in completed
+                         if "slowdown" in row]
+            fault_rows.append({
+                "kind": spec.kind.value,
+                "params": dict(spec.params),
+                "trials": rows,
+                "completed": len(completed),
+                "failed": len(rows) - len(completed),
+                "mean_slowdown": (sum(slowdowns) / len(slowdowns)
+                                  if slowdowns else None),
+                "max_slowdown": max(slowdowns) if slowdowns else None,
+                "total_retries": sum(row.get("host_retries", 0)
+                                     for row in completed),
+            })
+
+        report = {
+            "schema": CAMPAIGN_SCHEMA,
+            "app": bundle.name,
+            "plan": plan.as_dict(),
+            "seed": seed,
+            "trials": trials,
+            "board_mode": board.mode,
+            "host_mips": board.host_mips,
+            "machine": machine_summary(machine),
+            "strict": strict,
+            "baseline": baseline_summary,
+            "faults": fault_rows,
+        }
+        if curves:
+            report["curves"] = _collect_curves(
+                curve_handles, baseline.metrics.gops)
+        return report
+    finally:
+        if owns_session and session is not get_default_session():
+            session.close()
+
+
+def _collect_curves(curve_handles, baseline_gops: float) -> dict:
+    """GOPS vs. surviving DRAM channels and surviving clusters."""
+    channel_handles, cluster_handles = curve_handles
+
+    def point(label: str, alive: int, handle) -> dict:
+        gops = (baseline_gops if handle is None
+                else handle.result().metrics.gops)
+        return {label: alive, "gops": gops,
+                "fraction_of_full": (gops / baseline_gops
+                                     if baseline_gops else 0.0)}
+
+    return {
+        "gops_vs_channels": [point("channels", alive, handle)
+                             for alive, handle in channel_handles],
+        "gops_vs_clusters": [point("clusters", alive, handle)
+                             for alive, handle in cluster_handles],
     }
-    if curves:
-        report["curves"] = _degradation_curves(
-            bundle, board, machine, seed, baseline.metrics.gops)
-    return report
 
 
 def validate_report(report: dict) -> None:

@@ -34,6 +34,13 @@ class RunManifest:
     platform: str = ""
     wall_time_s: float = 0.0
     created_at: str = ""
+    #: Content digest of the engine RunRequest that produced this run
+    #: (``None`` for runs made outside :class:`repro.engine.Session`).
+    request_digest: str | None = None
+    #: How the engine delivered the result: ``hit`` (from the
+    #: content-addressed cache), ``miss`` (executed and stored) or
+    #: ``uncached`` (executed outside the cache).
+    cache: str = "uncached"
     schema: str = REPORT_SCHEMA
 
     def as_dict(self) -> dict:
@@ -49,6 +56,8 @@ class RunManifest:
             "platform": self.platform,
             "wall_time_s": self.wall_time_s,
             "created_at": self.created_at,
+            "request_digest": self.request_digest,
+            "cache": self.cache,
         }
 
 

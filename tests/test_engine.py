@@ -1,0 +1,421 @@
+"""The experiment engine: requests, digests, cache, sessions.
+
+Covers the :mod:`repro.engine` API end to end: content-digest
+stability (across dict orderings, process boundaries and config
+spellings), cache hit/miss/invalidation semantics, byte-identical
+determinism of the evaluation and campaign reports across job counts
+and cache temperatures, failure capture, the ``run_app`` deprecation
+shim, and the entry-point lint that keeps ``ImagineProcessor``
+construction inside the engine.
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import BoardConfig, MachineConfig, SimulationError
+from repro.engine import (
+    RunFailure,
+    RunRequest,
+    Session,
+    build_app,
+    code_salt,
+)
+from repro.engine.cache import ResultCache
+from repro.engine.catalog import APP_NAMES, CatalogError, canonical_name
+from repro.evaluation import evaluation_report, run_full_evaluation
+from repro.faults import BUILTIN_PLANS, FaultKind, FaultPlan, FaultSpec
+from repro.faults.campaign import run_campaign, validate_report
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+#: Small DEPTH build used wherever the test needs a real catalog app.
+SIZES = {"height": 24, "width": 64, "disparities": 4}
+
+#: Wedges the scoreboard long enough to trip the progress watchdog.
+WEDGE = FaultPlan(
+    name="wedge",
+    faults=(FaultSpec(FaultKind.SCOREBOARD_SLOT_LOSS,
+                      {"slots": 64, "period": 500.0,
+                       "duration": 500.0}),),
+    seed=0)
+
+
+def small_request(**overrides) -> RunRequest:
+    overrides.setdefault("sizes", SIZES)
+    return RunRequest.for_app("depth", **overrides)
+
+
+@pytest.fixture(scope="module")
+def small_bundle():
+    return build_app("depth", **SIZES)
+
+
+class TestCatalog:
+    def test_canonical_name_is_case_insensitive(self):
+        assert canonical_name("DEPTH") == "depth"
+        assert canonical_name("qrd") == "qrd"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(CatalogError, match="doom"):
+            canonical_name("doom")
+
+    def test_build_app_stamps_source(self, small_bundle):
+        assert small_bundle.source == (
+            "depth", tuple(sorted(SIZES.items())))
+
+    def test_cli_resolves_names_from_the_catalog(self):
+        from repro.cli import _app_builders
+
+        assert tuple(_app_builders()) == APP_NAMES
+
+
+class TestDigest:
+    def test_dict_ordering_irrelevant(self):
+        items = list(SIZES.items())
+        digests = {
+            RunRequest.for_app("depth",
+                               sizes=dict(order)).digest(salt="s")
+            for order in (items, items[::-1],
+                          [items[1], items[0], items[2]])}
+        assert len(digests) == 1
+
+    @given(st.permutations(sorted(SIZES.items())))
+    @settings(max_examples=20, deadline=None)
+    def test_dict_ordering_irrelevant_fuzzed(self, ordering):
+        request = RunRequest.for_app("depth", sizes=dict(ordering))
+        assert request.digest(salt="s") == small_request().digest(
+            salt="s")
+
+    def test_none_config_digests_as_default(self):
+        explicit = RunRequest.for_app(
+            "depth", sizes=SIZES, machine=MachineConfig(),
+            board=BoardConfig.hardware())
+        assert explicit.digest(salt="s") == \
+            small_request().digest(salt="s")
+
+    def test_trace_flag_not_hashed(self):
+        assert small_request(trace=True).digest(salt="s") == \
+            small_request().digest(salt="s")
+
+    @pytest.mark.parametrize("change", [
+        {"machine": MachineConfig(num_clusters=4)},
+        {"board": BoardConfig.isim()},
+        {"seed": 7},
+        {"strict": True},
+        {"faults": BUILTIN_PLANS["board"]},
+        {"sizes": {**SIZES, "height": 32}},
+    ])
+    def test_outcome_changing_fields_change_digest(self, change):
+        assert small_request(**change).digest(salt="s") != \
+            small_request().digest(salt="s")
+
+    def test_salt_changes_digest(self):
+        request = small_request()
+        assert request.digest(salt="a") != request.digest(salt="b")
+
+    def test_fault_plan_spellings_equivalent(self):
+        plan = BUILTIN_PLANS["board"].with_seed(3)
+        spellings = {
+            small_request(faults=form).digest(salt="s")
+            for form in (plan, plan.as_dict(),
+                         json.dumps(plan.as_dict()))}
+        assert len(spellings) == 1
+
+    def test_app_name_case_insensitive(self):
+        assert RunRequest.for_app("DEPTH", sizes=SIZES).digest("s") \
+            == small_request().digest("s")
+
+    def test_salt_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_SALT", "pinned")
+        assert code_salt() == "pinned"
+
+    @pytest.mark.parametrize("hashseed", ["0", "4242"])
+    def test_digest_stable_across_processes(self, hashseed):
+        """The cache key must not depend on interpreter hash state."""
+        script = (
+            "from repro.engine import RunRequest\n"
+            f"print(RunRequest.for_app('depth', sizes={SIZES!r},"
+            " seed=3).digest(salt='s'))\n")
+        env = dict(os.environ,
+                   PYTHONHASHSEED=hashseed,
+                   PYTHONPATH=str(REPO / "src"))
+        out = subprocess.run(
+            [sys.executable, "-c", script], env=env,
+            capture_output=True, text=True, check=True)
+        assert out.stdout.strip() == small_request(seed=3).digest(
+            salt="s")
+
+
+class TestCache:
+    def test_miss_then_hit_across_sessions(self, tmp_path):
+        request = small_request()
+        with Session(cache_dir=tmp_path) as session:
+            first = session.submit(request)
+            cycles = first.result().metrics.total_cycles
+            assert first.cache_status == "miss"
+            manifest = first.result().manifest
+            assert manifest.cache == "miss"
+            assert manifest.request_digest == first.digest
+            assert session.stats.misses == 1
+        with Session(cache_dir=tmp_path) as session:
+            second = session.submit(request)
+            result = second.result()
+            assert second.cache_status == "hit"
+            assert result.manifest.cache == "hit"
+            assert result.metrics.total_cycles == cycles
+            assert session.stats.hits == 1
+            assert session.stats.executed == 0
+
+    def test_changed_config_misses(self, tmp_path):
+        with Session(cache_dir=tmp_path) as session:
+            session.run(small_request())
+            handle = session.submit(
+                small_request(board=BoardConfig.isim()))
+            handle.result()
+            assert handle.cache_status == "miss"
+            assert session.stats.misses == 2
+
+    def test_changed_salt_misses(self, tmp_path):
+        with Session(cache_dir=tmp_path, salt="v1") as session:
+            session.run(small_request())
+        with Session(cache_dir=tmp_path, salt="v2") as session:
+            handle = session.submit(small_request())
+            handle.result()
+            assert handle.cache_status == "miss"
+
+    def test_corrupt_entry_is_a_miss_and_discarded(self, tmp_path):
+        request = small_request()
+        with Session(cache_dir=tmp_path) as session:
+            session.run(request)
+            digest = session.submit(request).digest
+        cache = ResultCache(tmp_path)
+        path = cache._object_path(digest)
+        path.write_bytes(b"not a pickle")
+        assert cache.load(digest) is None
+        assert not path.exists()
+
+    def test_inflight_dedup_within_one_session(self, tmp_path):
+        request = small_request()
+        with Session(cache_dir=tmp_path) as session:
+            first = session.submit(request)
+            second = session.submit(request)
+            assert second.cache_status == "hit"
+            assert first.result().metrics.total_cycles == \
+                second.result().metrics.total_cycles
+            assert second.result().manifest.cache == "hit"
+            assert first.result().manifest.cache == "miss"
+            assert session.stats.hits == 1
+            assert session.stats.executed == 1
+
+    def test_disabled_cache_marks_uncached(self, tmp_path):
+        with Session(cache=False) as session:
+            handle = session.submit(small_request())
+            manifest = handle.result().manifest
+            assert handle.cache_status == "uncached"
+            assert manifest.cache == "uncached"
+            assert manifest.request_digest == handle.digest
+            assert session.stats.uncached == 1
+        assert not list(tmp_path.iterdir())
+
+    def test_readonly_cache_dir_never_fails_the_run(self, tmp_path):
+        root = tmp_path / "ro"
+        root.mkdir()
+        (root / "objects").mkdir()
+        os.chmod(root / "objects", 0o500)
+        try:
+            with Session(cache_dir=root) as session:
+                result = session.run(small_request())
+            assert result.metrics.total_cycles > 0
+        finally:
+            os.chmod(root / "objects", 0o700)
+
+
+class TestDeterminism:
+    def test_evaluate_identical_serial_parallel_warm(self, tmp_path):
+        """The acceptance bar: evaluate report JSON is byte-identical
+        at jobs=1, jobs=2 and from a warm cache."""
+        blobs = []
+        for jobs, cache_dir in ((1, tmp_path / "a"),
+                                (2, tmp_path / "b"),
+                                (2, tmp_path / "b")):
+            with Session(jobs=jobs, cache_dir=cache_dir) as session:
+                texts = run_full_evaluation(sections=["table3"],
+                                            session=session)
+                blobs.append(json.dumps(
+                    evaluation_report(texts), sort_keys=True))
+        assert blobs[0] == blobs[1] == blobs[2]
+
+    def test_campaign_identical_serial_parallel_warm(
+            self, tmp_path, small_bundle):
+        plan = BUILTIN_PLANS["flaky-host"]
+        blobs = []
+        for jobs, cache_dir in ((1, tmp_path / "a"),
+                                (2, tmp_path / "b"),
+                                (1, tmp_path / "b")):
+            with Session(jobs=jobs, cache_dir=cache_dir) as session:
+                report = run_campaign(
+                    small_bundle, plan, trials=2, seed=5,
+                    curves=False, session=session)
+                validate_report(report)
+                blobs.append(json.dumps(report, sort_keys=True))
+        assert blobs[0] == blobs[1] == blobs[2]
+        assert blobs and json.loads(blobs[0])["faults"]
+
+
+class TestSessionApi:
+    def test_run_batch_preserves_order(self, tmp_path):
+        requests = [small_request(seed=seed) for seed in (1, 2, 3)]
+        with Session(jobs=2, cache_dir=tmp_path) as session:
+            results = session.run_batch(requests)
+        assert len(results) == 3
+        assert all(r.metrics.total_cycles > 0 for r in results)
+
+    def test_unknown_app_fails_fast(self):
+        with Session(cache=False) as session:
+            with pytest.raises(CatalogError):
+                session.submit(RunRequest(app="doom"))
+
+    def test_closed_session_rejects_submits(self):
+        session = Session(cache=False)
+        session.close()
+        from repro.engine import EngineError
+
+        with pytest.raises(EngineError, match="closed"):
+            session.submit(small_request())
+
+    def test_hand_built_bundle_runs_uncached(self, tmp_path):
+        from repro.apps.common import AppBundle
+
+        bundle = build_app("depth", **SIZES)
+        bundle.source = None       # simulate a hand-built bundle
+        with Session(cache_dir=tmp_path) as session:
+            result = session.run_bundle(bundle)
+            assert result.manifest.cache == "uncached"
+            assert session.stats.uncached == 1
+        assert isinstance(bundle, AppBundle)
+        assert not list(tmp_path.iterdir())
+
+    def test_traced_run_bypasses_cache_not_behaviour(self, tmp_path):
+        from repro.obs.tracer import Tracer
+
+        with Session(cache_dir=tmp_path) as session:
+            plain = session.run(small_request())
+            tracer = Tracer()
+            handle = session.submit(small_request(), tracer=tracer)
+            traced = handle.result()
+            assert handle.cache_status == "uncached"
+            assert traced.manifest.cache == "uncached"
+            assert traced.metrics.total_cycles == \
+                plain.metrics.total_cycles
+            assert tracer.spans, "tracer must observe the run"
+
+    def test_simulation_failure_is_typed_and_cacheable(self, tmp_path):
+        request = small_request(faults=WEDGE)
+        with Session(cache_dir=tmp_path) as session:
+            outcome = session.submit(request).outcome()
+            assert not outcome.completed
+            assert outcome.error_type == "SimulationError"
+            assert outcome.diagnostics["reason"] == "livelock"
+            with pytest.raises(SimulationError):
+                outcome.unwrap()   # in-process: original exception
+            assert session.stats.failed == 1
+        with Session(cache_dir=tmp_path) as session:
+            handle = session.submit(request)
+            cached = handle.outcome()
+            assert handle.cache_status == "hit"
+            assert cached.error_type == "SimulationError"
+            assert cached.diagnostics["reason"] == "livelock"
+            with pytest.raises(RunFailure):
+                cached.unwrap()    # exceptions don't cross the cache
+            assert session.stats.executed == 0
+
+    def test_parallel_timeout_is_a_failed_outcome(self, tmp_path):
+        with Session(jobs=2, cache=False, timeout=0.001) as session:
+            handle = session.submit(small_request())
+            outcome = handle.outcome()
+        assert not outcome.completed
+        assert outcome.error_type == "RunTimeout"
+        assert session.stats.timeouts == 1
+
+    def test_probes_export_cache_counters(self, tmp_path):
+        with Session(cache_dir=tmp_path) as session:
+            session.run(small_request())
+            session.run(small_request())
+            registry = session.probes()
+        assert registry.get("engine.cache.hits").value == 1
+        assert registry.get("engine.cache.misses").value == 1
+        assert registry.get("engine.cache.hit_rate").value == \
+            pytest.approx(0.5)
+        assert registry.get("engine.runs.executed").value == 1
+
+    def test_run_app_shim_warns_and_matches(self, small_bundle,
+                                            tmp_path):
+        from repro.apps.common import run_app
+
+        with Session(cache=False) as session:
+            direct = session.run_bundle(small_bundle)
+        with pytest.warns(DeprecationWarning, match="Session"):
+            legacy = run_app(small_bundle)
+        assert legacy.metrics.total_cycles == \
+            direct.metrics.total_cycles
+        assert legacy.manifest.cache == "uncached"
+
+
+class TestEntrypointLint:
+    def test_repo_is_clean(self):
+        out = subprocess.run(
+            [sys.executable, str(REPO / "tools" /
+                                 "check_entrypoints.py")],
+            capture_output=True, text=True)
+        assert out.returncode == 0, out.stderr
+
+    def test_new_call_site_is_flagged(self, tmp_path):
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            "check_entrypoints",
+            REPO / "tools" / "check_entrypoints.py")
+        lint = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(lint)
+        rogue = tmp_path / "rogue.py"
+        # The class name is split so this test file itself stays
+        # clean under the lint it is testing.
+        processor = "Imagine" + "Processor"
+        rogue.write_text(
+            f"from repro.core import {processor}\n"
+            f"r = {processor}(board=None).run(image)\n")
+        assert lint.call_sites(rogue) == [2]
+        clean = tmp_path / "clean.py"
+        clean.write_text("from repro.engine import Session\n")
+        assert lint.call_sites(clean) == []
+
+
+class TestCliFlags:
+    def test_app_accepts_engine_flags(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["app", "depth", "--jobs", "1",
+                         "--cache-dir", str(tmp_path)]) == 0
+        err = capsys.readouterr().err
+        assert "[engine] jobs=1" in err
+        assert "misses=1" in err
+        assert cli_main(["app", "depth",
+                         "--cache-dir", str(tmp_path)]) == 0
+        assert "hits=1" in capsys.readouterr().err
+
+    def test_evaluate_json_report(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+        from repro.evaluation import EVALUATION_SCHEMA
+
+        out = tmp_path / "report.json"
+        assert cli_main(["evaluate", "power", "--no-cache",
+                         "--out", str(out)]) == 0
+        report = json.loads(out.read_text())
+        assert report["schema"] == EVALUATION_SCHEMA
+        assert "power" in report["sections"]
