@@ -1,10 +1,30 @@
-"""Analysis and reporting: breakdowns, table renderers, power study."""
+"""Analysis and reporting: breakdowns, renderers, static verifier.
+
+Alongside the paper-table reporting helpers, this package hosts the
+static verifier (``docs/analysis.md``): multi-pass checks over
+compiled kernels and stream programs plus a differential consistency
+gate against the simulator, surfaced as ``repro lint``.
+"""
 
 from repro.analysis.breakdown import (
     KernelRow,
     application_breakdown,
     kernel_breakdown,
     measure_kernel,
+)
+from repro.analysis.findings import (
+    AnalysisError,
+    AnalysisReport,
+    Finding,
+    REPORT_SCHEMA,
+    Severity,
+)
+from repro.analysis.lint import (
+    lint_bundle,
+    lint_catalog,
+    lint_image,
+    lint_kernel,
+    preflight_image,
 )
 from repro.analysis.power_compare import power_efficiency_comparison
 from repro.analysis.report import render_table
@@ -15,13 +35,23 @@ from repro.analysis.timeline import (
 )
 
 __all__ = [
+    "AnalysisError",
+    "AnalysisReport",
+    "Finding",
     "KernelRow",
+    "REPORT_SCHEMA",
+    "Severity",
     "application_breakdown",
     "kernel_breakdown",
+    "kernel_profile",
+    "lint_bundle",
+    "lint_catalog",
+    "lint_image",
+    "lint_kernel",
     "measure_kernel",
     "power_efficiency_comparison",
-    "render_table",
-    "kernel_profile",
+    "preflight_image",
     "render_kernel_profile",
+    "render_table",
     "render_timeline",
 ]

@@ -1,0 +1,170 @@
+"""Orchestrators for the static verifier: one call, every pass.
+
+``lint_kernel`` / ``lint_image`` / ``lint_bundle`` run the registered
+passes over one artifact; ``lint_catalog`` sweeps every catalog
+application and library kernel (the ``repro lint`` CLI and the CI
+job); ``preflight_image`` is the engine's strict-mode hook, raising
+:class:`~repro.analysis.findings.AnalysisError` instead of simulating
+an artifact that is statically broken.
+
+Reports are deterministic: artifacts are visited in sorted order,
+findings are sorted, and the JSON serialization uses sorted keys, so
+two runs over the same tree are byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.analysis.findings import AnalysisReport
+from repro.analysis.passes import (
+    AnalysisContext,
+    registered_passes,
+    run_scope,
+)
+from repro.core.config import MachineConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.apps.common import AppBundle
+    from repro.engine.session import Session
+    from repro.isa.vliw import CompiledKernel
+    from repro.streamc.compiler import StreamProgramImage
+
+
+def lint_kernel(kernel: "CompiledKernel",
+                machine: MachineConfig | None = None) -> AnalysisReport:
+    """Run every kernel-scope pass over one compiled kernel."""
+    machine = machine or MachineConfig()
+    report = AnalysisReport(subject=f"kernel:{kernel.name}")
+    report.passes = [p.name for p in registered_passes("kernel")]
+    report.coverage = {"kernels": [kernel.name]}
+    context = AnalysisContext(machine=machine,
+                              subject=f"kernel:{kernel.name}",
+                              kernel=kernel)
+    report.extend(run_scope("kernel", context))
+    return report
+
+
+def lint_image(image: "StreamProgramImage",
+               machine: MachineConfig | None = None,
+               subject: str | None = None) -> AnalysisReport:
+    """Run image-scope passes plus kernel-scope passes over the
+    image's kernels."""
+    machine = machine or MachineConfig()
+    subject = subject or f"app:{image.name}"
+    report = AnalysisReport(subject=subject)
+    report.passes = [p.name for p in registered_passes("kernel")]
+    report.passes += [p.name for p in registered_passes("image")]
+    report.coverage = {"apps": [image.name],
+                       "kernels": sorted(image.kernels)}
+    for name in sorted(image.kernels):
+        context = AnalysisContext(machine=machine,
+                                  subject=f"kernel:{name}",
+                                  kernel=image.kernels[name])
+        report.extend(run_scope("kernel", context))
+    context = AnalysisContext(machine=machine, subject=subject,
+                              image=image)
+    report.extend(run_scope("image", context))
+    return report
+
+
+def lint_bundle(bundle: "AppBundle",
+                machine: MachineConfig | None = None) -> AnalysisReport:
+    """Lint a built application bundle (its image + kernels)."""
+    return lint_image(bundle.image, machine=machine,
+                      subject=f"app:{bundle.name}")
+
+
+def preflight_image(image: "StreamProgramImage",
+                    machine: MachineConfig | None = None) -> None:
+    """Strict-mode gate: raise ``AnalysisError`` on error findings."""
+    lint_image(image, machine=machine).raise_on_errors()
+
+
+def lint_catalog(machine: MachineConfig | None = None,
+                 apps: Iterable[str] | None = None,
+                 kernels: Iterable[str] | None = None,
+                 consistency: bool = True,
+                 session: "Session | None" = None,
+                 repo: bool = False) -> AnalysisReport:
+    """Sweep the whole corpus: catalog apps, library kernels, and
+    (optionally) the differential consistency pass per kernel.
+
+    ``repo=True`` additionally runs the repository-scope passes
+    (entry-point discipline).  A ``session`` may be supplied to reuse
+    an existing engine session for the consistency probes; otherwise a
+    private in-process, uncached one is created and closed.
+    """
+    from repro.engine import catalog
+    from repro.kernels.library import KERNEL_LIBRARY
+
+    machine = machine or MachineConfig()
+    app_names = sorted(apps if apps is not None else catalog.APP_NAMES)
+    kernel_names = sorted(kernels if kernels is not None
+                          else KERNEL_LIBRARY)
+
+    report = AnalysisReport(subject="catalog")
+    scopes = ["kernel", "image"]
+    if consistency:
+        scopes.append("session")
+    if repo:
+        scopes.append("repo")
+    report.passes = [p.name for scope in scopes
+                     for p in registered_passes(scope)]
+
+    # Every unique compiled kernel: the library's, plus any an app
+    # carries under a name the library does not know.
+    compiled = {name: KERNEL_LIBRARY[name].compiled()
+                for name in kernel_names}
+    images = {}
+    for app in app_names:
+        bundle = catalog.build_app(app)
+        images[app] = bundle.image
+        for name in sorted(bundle.image.kernels):
+            compiled.setdefault(name, bundle.image.kernels[name])
+
+    report.coverage = {"apps": app_names,
+                       "kernels": sorted(compiled)}
+
+    for name in sorted(compiled):
+        context = AnalysisContext(machine=machine,
+                                  subject=f"kernel:{name}",
+                                  kernel=compiled[name])
+        report.extend(run_scope("kernel", context))
+
+    for app in app_names:
+        context = AnalysisContext(machine=machine,
+                                  subject=f"app:{app}",
+                                  image=images[app])
+        report.extend(run_scope("image", context))
+
+    if consistency:
+        own_session = session is None
+        if own_session:
+            from repro.engine.session import Session
+
+            session = Session(jobs=1, cache=False)
+        try:
+            for name in sorted(compiled):
+                context = AnalysisContext(
+                    machine=machine, subject=f"kernel:{name}",
+                    kernel=compiled[name], session=session)
+                report.extend(run_scope("session", context))
+        finally:
+            if own_session:
+                session.close()
+
+    if repo:
+        context = AnalysisContext(machine=machine, subject="repo")
+        report.extend(run_scope("repo", context))
+
+    return report
+
+
+__all__ = [
+    "lint_bundle",
+    "lint_catalog",
+    "lint_image",
+    "lint_kernel",
+    "preflight_image",
+]

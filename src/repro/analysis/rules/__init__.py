@@ -1,0 +1,21 @@
+"""Rule modules for the static verifier.
+
+Importing this package registers every analysis pass with the
+framework in :mod:`repro.analysis.passes`.  Rule-id prefixes:
+
+* ``MC###`` -- microcode / VLIW-schedule rules (:mod:`.microcode`);
+* ``SP###`` -- stream-program rules (:mod:`.stream`);
+* ``CX###`` -- analysis-vs-simulator consistency (:mod:`.consistency`);
+* ``EP###`` -- repository entry-point discipline (:mod:`.entrypoints`).
+
+The full catalogue lives in ``docs/analysis.md``.
+"""
+
+from repro.analysis.rules import (  # noqa: F401  (registration side effects)
+    consistency,
+    entrypoints,
+    microcode,
+    stream,
+)
+
+__all__ = ["consistency", "entrypoints", "microcode", "stream"]

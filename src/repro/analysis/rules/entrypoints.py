@@ -1,0 +1,129 @@
+"""API-discipline rule (EP001): one sanctioned simulation entry point.
+
+Every simulation is supposed to flow through
+:class:`repro.engine.Session`, whose single processor construction
+site lives in ``src/repro/engine/session.py``.  Code that builds and
+runs a processor directly bypasses the engine -- no result caching,
+no process sharding, no run manifests -- so this rule reports a
+finding when a *new* file grows a direct construction call site.
+
+Pre-engine call sites are grandfathered in :data:`ALLOWED`: the
+core's own unit tests, the micro-workloads that sweep processor
+parameters no ``RunRequest`` exposes, and the ablation benchmarks
+that construct deliberately misconfigured machines.  Shrinking the
+list is progress; growing it needs a reason in review.
+
+``tools/check_entrypoints.py`` is a thin shim over :func:`main`.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+from typing import Iterator
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.passes import AnalysisContext, analysis_pass
+
+#: Directories scanned for Python call sites.
+SCANNED = ("src", "tests", "benchmarks", "examples", "tools")
+
+#: The one directory allowed to construct processors.
+ENGINE = "src/repro/engine"
+
+#: Grandfathered files (repo-relative, sorted).  Everything here
+#: predates the engine; new simulation code must use Session.
+ALLOWED = frozenset({
+    # Component microbenchmarks and stream-length sweeps drive the
+    # processor with per-run machine variations the catalog does not
+    # (and should not) expose.
+    "src/repro/workloads/microbench.py",
+    "src/repro/workloads/streamlen.py",
+    # Core unit tests exercise the processor itself.
+    "tests/test_failure_injection.py",
+    "tests/test_faults.py",
+    "tests/test_observability.py",
+    "tests/test_processor.py",
+    "tests/test_timeline_cli.py",
+    # Ablation benchmarks simulate deliberately degraded machines.
+    "benchmarks/bench_ablation_descriptors.py",
+    "benchmarks/bench_ablation_dvfs.py",
+    "benchmarks/bench_ablation_microcode.py",
+    "benchmarks/bench_ablation_scoreboard.py",
+    "benchmarks/bench_ablation_srf_policy.py",
+    # Low-level tool-flow walkthrough, kept processor-explicit.
+    "examples/molecular_dynamics.py",
+})
+
+#: A construction site: the class name followed by an open paren.
+#: (A ``class`` statement and bare imports don't match.)
+CALL = re.compile(r"\bImagineProcessor\s*\(")
+
+#: Files that legitimately mention the pattern: this module and its
+#: standalone shim.
+_EXEMPT = ("src/repro/analysis/rules/entrypoints.py",
+           "tools/check_entrypoints.py")
+
+
+def default_root() -> pathlib.Path:
+    """The repository root this module is installed under."""
+    return pathlib.Path(__file__).resolve().parents[4]
+
+
+def call_sites(path: pathlib.Path) -> list[int]:
+    try:
+        text = path.read_text()
+    except (OSError, UnicodeDecodeError):
+        return []
+    return [lineno for lineno, line in enumerate(text.splitlines(), 1)
+            if CALL.search(line)]
+
+
+def scan(root: pathlib.Path | None = None) -> list[Finding]:
+    """All EP001 findings for the tree rooted at ``root``."""
+    root = pathlib.Path(root) if root is not None else default_root()
+    findings = []
+    for top in SCANNED:
+        if not (root / top).is_dir():
+            continue
+        for path in sorted((root / top).rglob("*.py")):
+            rel = path.relative_to(root).as_posix()
+            if (rel.startswith(ENGINE) or rel in ALLOWED
+                    or rel in _EXEMPT):
+                continue
+            for lineno in call_sites(path):
+                findings.append(Finding(
+                    "EP001", Severity.ERROR, f"{rel}:{lineno}",
+                    "direct ImagineProcessor construction outside "
+                    "repro/engine/",
+                    hint="run simulations through repro.engine."
+                         "Session (docs/engine.md), or extend ALLOWED "
+                         "in repro/analysis/rules/entrypoints.py with "
+                         "a reviewed reason"))
+    return findings
+
+
+@analysis_pass("repo.entrypoints", "repo")
+def check_entrypoints(context: AnalysisContext) -> Iterator[Finding]:
+    """New direct processor call sites outside the engine."""
+    yield from scan(context.scratch.get("repo_root"))
+
+
+def main(root: pathlib.Path | None = None) -> int:
+    """Standalone-script behaviour: print violations, exit 1 if any."""
+    findings = scan(root)
+    if findings:
+        print("direct ImagineProcessor(...) call sites outside "
+              "repro/engine/ (use repro.engine.Session; "
+              "see docs/engine.md):", file=sys.stderr)
+        for finding in findings:
+            print(f"  {finding.location}", file=sys.stderr)
+        print(f"{len(findings)} new call site(s); run simulations "
+              "through the engine or (with a reviewed reason) extend "
+              "ALLOWED in repro/analysis/rules/entrypoints.py",
+              file=sys.stderr)
+        return 1
+    print("entry-point discipline OK: ImagineProcessor is only "
+          "constructed inside repro/engine/")
+    return 0

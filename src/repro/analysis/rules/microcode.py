@@ -1,0 +1,251 @@
+"""Microcode rules: VLIW-schedule legality and store pressure (MC###).
+
+Kernel-scope passes inspect one :class:`~repro.isa.vliw.CompiledKernel`
+against the cluster's structural limits; the image-scope footprint
+pass checks the aggregate microcode-store pressure of a whole
+application.  ``MC005`` is deliberately *independent* of the
+scheduler's own ``_verify``: it reconstructs dependence feasibility
+from the VLIW words alone (a second opinion on
+``kernelc/scheduling.py``), so a bug in the scheduler's bookkeeping
+cannot hide a broken schedule.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.passes import AnalysisContext, analysis_pass
+from repro.isa.kernel_ir import OPCODES
+from repro.isa.vliw import CLUSTER_ISSUE_SLOTS, CompiledKernel
+from repro.kernelc.scheduling import dependence_edges, resource_mii
+
+
+@analysis_pass("microcode.slots", "kernel")
+def check_slots(context: AnalysisContext) -> Iterator[Finding]:
+    """VLIW slot legality: FU classes, unit indices, occupancy."""
+    kernel = context.kernel
+    assert kernel is not None
+    where = context.subject
+
+    if kernel.ii < 1 or len(kernel.schedule) != kernel.ii:
+        yield Finding(
+            "MC001", Severity.ERROR, where,
+            f"malformed schedule: {len(kernel.schedule)} word(s) for "
+            f"II={kernel.ii}",
+            hint="the schedule must hold exactly II VLIW words")
+        return
+
+    slot_budget = sum(CLUSTER_ISSUE_SLOTS.values())
+    seen: dict[tuple, int] = {}
+    for word in kernel.schedule:
+        if word.occupancy() > slot_budget:
+            yield Finding(
+                "MC004", Severity.ERROR, where,
+                f"word at cycle {word.cycle} issues "
+                f"{word.occupancy()} operations but a cluster has "
+                f"only {slot_budget} issue slots",
+                hint="split the word or raise the II",
+                details={"cycle": word.cycle,
+                         "occupancy": word.occupancy(),
+                         "slots": slot_budget})
+        for slot in word.slots:
+            spec = OPCODES.get(slot.opcode)
+            if spec is None:
+                yield Finding(
+                    "MC001", Severity.ERROR, where,
+                    f"op {slot.op} uses unknown opcode "
+                    f"{slot.opcode!r} at cycle {word.cycle}")
+                continue
+            if spec.fu is not slot.fu:
+                yield Finding(
+                    "MC001", Severity.ERROR, where,
+                    f"op {slot.op} ({slot.opcode}) scheduled on "
+                    f"{slot.fu.name} but the opcode needs "
+                    f"{spec.fu.name}",
+                    hint="the scheduler placed the op on the wrong "
+                         "unit class",
+                    details={"cycle": word.cycle})
+            limit = CLUSTER_ISSUE_SLOTS.get(slot.fu, 0)
+            if not 0 <= slot.unit < limit:
+                yield Finding(
+                    "MC003", Severity.ERROR, where,
+                    f"op {slot.op} ({slot.opcode}) on {slot.fu.name} "
+                    f"unit {slot.unit}, but a cluster has {limit} "
+                    f"{slot.fu.name} unit(s)",
+                    details={"cycle": word.cycle, "unit": slot.unit,
+                             "units_available": limit})
+            key = (slot.fu, slot.unit, word.cycle)
+            if key in seen:
+                yield Finding(
+                    "MC002", Severity.ERROR, where,
+                    f"{slot.fu.name} unit {slot.unit} double-booked "
+                    f"at cycle {word.cycle} (ops {seen[key]} and "
+                    f"{slot.op})",
+                    hint="two operations cannot issue on one unit in "
+                         "the same cycle",
+                    details={"cycle": word.cycle})
+            else:
+                seen[key] = slot.op
+
+
+@analysis_pass("microcode.schedule", "kernel")
+def check_schedule(context: AnalysisContext) -> Iterator[Finding]:
+    """Modulo-schedule feasibility, re-derived from the VLIW words."""
+    kernel = context.kernel
+    assert kernel is not None
+    where = context.subject
+    if kernel.ii < 1 or len(kernel.schedule) != kernel.ii:
+        return  # MC001 already fired; nothing to re-derive.
+
+    machine = context.machine
+    mii = resource_mii(kernel.graph, machine.cluster)
+    if kernel.ii < mii:
+        yield Finding(
+            "MC006", Severity.ERROR, where,
+            f"II={kernel.ii} is below the resource lower bound "
+            f"{mii} for this FU mix",
+            hint="the schedule cannot issue this many operations "
+                 "per II on the cluster's units",
+            details={"ii": kernel.ii, "resource_mii": mii})
+
+    # Reconstruct each op's modulo issue slot from the words.
+    slot_of: dict[int, int] = {}
+    for word in kernel.schedule:
+        for slot in word.slots:
+            slot_of[slot.op] = word.cycle
+    missing = [op.ident for op in kernel.graph.schedulable_ops
+               if op.ident not in slot_of]
+    if missing:
+        yield Finding(
+            "MC005", Severity.ERROR, where,
+            f"{len(missing)} schedulable op(s) absent from the VLIW "
+            f"words: {missing[:8]}",
+            hint="every schedulable op must appear in exactly one "
+                 "word of the main loop")
+        return
+
+    yield from _dependence_feasibility(kernel, slot_of, where)
+
+
+def _dependence_feasibility(kernel: CompiledKernel,
+                            slot_of: dict[int, int],
+                            where: str) -> Iterator[Finding]:
+    """Difference-constraint check that some stage assignment makes
+    every dependence hold.
+
+    An op issued in modulo slot ``s`` at pipeline stage ``k`` runs at
+    absolute time ``s + II*k``.  A dependence ``src -> dst`` with
+    latency ``L`` and iteration distance ``d`` requires
+    ``slot_dst + II*k_dst + II*d >= slot_src + II*k_src + L``, i.e.
+    ``k_dst - k_src >= ceil((L - II*d - (slot_dst - slot_src))/II)``.
+    The system is feasible iff the constraint graph has no
+    positive-weight cycle (Bellman-Ford longest path); the longest
+    path also lower-bounds the pipeline depth the schedule needs.
+    """
+    ii = kernel.ii
+    edges = [
+        (edge.src, edge.dst,
+         math.ceil((edge.latency - ii * edge.distance
+                    - (slot_of[edge.dst] - slot_of[edge.src])) / ii))
+        for edge in dependence_edges(kernel.graph)
+    ]
+    stage = {ident: 0 for ident in slot_of}
+    for _ in range(len(stage)):
+        changed = False
+        for src, dst, weight in edges:
+            candidate = stage[src] + weight
+            if candidate > stage[dst]:
+                stage[dst] = candidate
+                changed = True
+        if not changed:
+            break
+    else:
+        for src, dst, weight in edges:
+            if stage[src] + weight > stage[dst]:
+                yield Finding(
+                    "MC005", Severity.ERROR, where,
+                    f"no stage assignment satisfies the dependences "
+                    f"at II={ii} (positive cycle through "
+                    f"{src}->{dst})",
+                    hint="a loop-carried recurrence is tighter than "
+                         "this II allows; the schedule is infeasible",
+                    details={"ii": ii})
+                return
+    needed = max(stage.values(), default=0) + 1
+    if kernel.stages < needed:
+        yield Finding(
+            "MC005", Severity.ERROR, where,
+            f"declared {kernel.stages} pipeline stage(s) but the "
+            f"dependences need at least {needed}",
+            hint="the microcode footprint and prologue/epilogue are "
+                 "derived from the stage count; an understated count "
+                 "corrupts both",
+            details={"declared_stages": kernel.stages,
+                     "required_stages": needed})
+
+
+@analysis_pass("microcode.lrf", "kernel")
+def check_lrf_pressure(context: AnalysisContext) -> Iterator[Finding]:
+    """LRF port pressure against the 272 words/cycle chip budget."""
+    kernel = context.kernel
+    assert kernel is not None
+    if kernel.ii < 1:
+        return
+    machine = context.machine
+    per_cluster = kernel.lrf_accesses_per_iteration / kernel.ii
+    budget = machine.lrf_peak_words_per_cluster_cycle
+    if per_cluster > budget:
+        yield Finding(
+            "MC007", Severity.ERROR, context.subject,
+            f"main loop moves {per_cluster:.1f} LRF words per cluster "
+            f"per cycle, above the {budget:.1f} words/cycle port "
+            f"budget ({machine.lrf_peak_words_per_cycle} chip-wide)",
+            hint="the register files cannot sustain this schedule; "
+                 "raise the II or reduce operand traffic",
+            details={"words_per_cluster_cycle": round(per_cluster, 3),
+                     "budget": budget})
+
+
+@analysis_pass("microcode.store", "kernel")
+def check_store_fit(context: AnalysisContext) -> Iterator[Finding]:
+    """A single kernel must fit the 2K-word microcode store."""
+    kernel = context.kernel
+    assert kernel is not None
+    store = context.machine.microcode_store_words
+    if kernel.microcode_words > store:
+        yield Finding(
+            "MC008", Severity.ERROR, context.subject,
+            f"kernel needs {kernel.microcode_words} microcode words "
+            f"but the store holds {store}",
+            hint="the microcontroller can never load this kernel; "
+                 "reduce unrolling or split the kernel",
+            details={"microcode_words": kernel.microcode_words,
+                     "store_words": store})
+
+
+@analysis_pass("microcode.footprint", "image")
+def check_aggregate_footprint(context: AnalysisContext
+                              ) -> Iterator[Finding]:
+    """Aggregate microcode pressure of one application (warning).
+
+    Exceeding the store across *all* kernels is survivable -- the
+    microcontroller evicts LRU entries and reloads (the paper measures
+    under 6% degradation from reloads) -- so this is a performance
+    hazard, not an error.
+    """
+    image = context.image
+    assert image is not None
+    store = context.machine.microcode_store_words
+    total = sum(kernel.microcode_words
+                for kernel in image.kernels.values())
+    if total > store:
+        yield Finding(
+            "MC009", Severity.WARNING, context.subject,
+            f"kernels total {total} microcode words against a "
+            f"{store}-word store; expect eviction/reload stalls",
+            hint="kernel working sets above the store cost microcode "
+                 "reload time on each recurrence",
+            details={"total_words": total, "store_words": store,
+                     "kernels": len(image.kernels)})

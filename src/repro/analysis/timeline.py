@@ -15,7 +15,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core import MachineConfig, RunResult
-from repro.core.processor import TraceEvent
 
 
 def render_timeline(result: RunResult, width: int = 72,

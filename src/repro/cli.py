@@ -12,7 +12,10 @@ Mirrors the paper's evaluation flow from a shell:
   seeded fault plan and emit the resilience report
   (see ``docs/robustness.md``);
 * ``memory``     -- Figure 9/10 pattern sweep;
-* ``power``      -- the Section 5.5 efficiency comparison.
+* ``power``      -- the Section 5.5 efficiency comparison;
+* ``lint``       -- statically verify every catalog app/kernel and
+  cross-check the static model against the simulator
+  (``docs/analysis.md``).
 
 ``microbench``, ``kernels``, ``app`` and ``evaluate`` accept
 ``--json`` for machine-readable reports (see
@@ -334,6 +337,30 @@ def _cmd_evaluate(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis.lint import lint_catalog
+
+    report = lint_catalog(consistency=not args.no_consistency,
+                          repo=args.repo)
+    if args.json or args.out:
+        text = report.to_json()
+        if args.out:
+            try:
+                with open(args.out, "w") as handle:
+                    handle.write(text + "\n")
+            except OSError as error:
+                print(f"cannot write report: {error}", file=sys.stderr)
+                return 2
+            print(f"wrote {args.out}: {len(report.errors)} error(s), "
+                  f"{len(report.warnings)} warning(s)",
+                  file=sys.stderr)
+        else:
+            print(text)
+    else:
+        print(report.render())
+    return report.exit_code
+
+
 def _cmd_power(args) -> int:
     from repro.analysis import power_efficiency_comparison
     from repro.analysis.report import render_table
@@ -425,6 +452,22 @@ def main(argv: list[str] | None = None) -> int:
                              "every run")
     faults.add_argument("--list-plans", action="store_true",
                         help="list builtin fault plans and exit")
+    lint = sub.add_parser(
+        "lint", help="statically verify every catalog app and kernel "
+                     "(microcode, stream program, analysis-vs-sim "
+                     "consistency; see docs/analysis.md)")
+    lint.add_argument("--json", action="store_true",
+                      help="emit the deterministic "
+                           "repro.analysis-report/1 JSON")
+    lint.add_argument("--out", default=None, metavar="PATH",
+                      help="write the JSON report to PATH "
+                           "(implies --json)")
+    lint.add_argument("--no-consistency", action="store_true",
+                      help="skip the simulator consistency pass "
+                           "(no simulations are run)")
+    lint.add_argument("--repo", action="store_true",
+                      help="also run repository-scope rules "
+                           "(entry-point discipline)")
     memory = sub.add_parser("memory", help="Figure 9/10 sweep")
     memory.add_argument("--ags", type=int, default=1, choices=(1, 2))
     sub.add_parser("power", help="Section 5.5 comparison")
@@ -453,6 +496,7 @@ def main(argv: list[str] | None = None) -> int:
         "app": _cmd_app,
         "trace": _cmd_trace,
         "faults": _cmd_faults,
+        "lint": _cmd_lint,
         "memory": _cmd_memory,
         "power": _cmd_power,
         "kernel": _cmd_kernel,

@@ -129,6 +129,15 @@ class MachineConfig:
                 * self.clock_hz / 1e9)
 
     @property
+    def lrf_peak_words_per_cluster_cycle(self) -> float:
+        """Per-cluster share of the 272 words/cycle LRF port budget.
+
+        The static verifier (rule MC007) checks each kernel's main
+        loop against this bound.
+        """
+        return self.lrf_peak_words_per_cycle / self.num_clusters
+
+    @property
     def srf_words(self) -> int:
         return self.srf_kbytes * 1024 // self.word_bytes
 

@@ -161,8 +161,26 @@ def _simulate(bundle: "AppBundle", request: RunRequest,
 
 
 def _capture(bundle: "AppBundle", request: RunRequest,
-             tracer: "Tracer | None" = None) -> RunOutcome:
+             tracer: "Tracer | None" = None,
+             preflight: bool = False) -> RunOutcome:
     """Run and fold simulation failures into a typed outcome."""
+    if preflight and request.strict:
+        # Opt-in strict-mode gate: statically verify the artifact
+        # before spending any simulated cycles on it.  A failed
+        # pre-flight is a typed, *uncacheable* outcome ("AnalysisError"
+        # is not in _CACHEABLE_ERRORS), so tightening a rule later is
+        # never masked by a stale cached verdict.
+        from repro.analysis.findings import AnalysisError
+        from repro.analysis.lint import preflight_image
+
+        try:
+            preflight_image(bundle.image, request.effective_machine())
+        except AnalysisError as error:
+            return RunOutcome(
+                status="failed",
+                error_type="AnalysisError",
+                error_message=str(error),
+                exception=error)
     try:
         result = _simulate(bundle, request, tracer=tracer)
     except (SimulationError, HostError) as error:
@@ -177,10 +195,11 @@ def _capture(bundle: "AppBundle", request: RunRequest,
     return RunOutcome(status="completed", result=result)
 
 
-def _execute_request(request: RunRequest) -> RunOutcome:
+def _execute_request(request: RunRequest,
+                     preflight: bool = False) -> RunOutcome:
     """Worker entry point: rebuild the bundle from the catalog, run."""
     bundle = catalog.build_app(request.app, **dict(request.sizes))
-    return _capture(bundle, request)
+    return _capture(bundle, request, preflight=preflight)
 
 
 def _stamp(outcome: RunOutcome, digest: str | None,
@@ -268,6 +287,11 @@ class Session:
         reported as a failed ``RunTimeout`` outcome.
     retries:
         Re-dispatch attempts for runs lost to worker crashes.
+    preflight:
+        Statically verify artifacts (``repro.analysis``) before
+        simulating them.  Applies to requests with ``strict=True``; a
+        verifier error becomes a typed ``AnalysisError`` outcome
+        instead of a simulation.
     """
 
     def __init__(self, jobs: int = 1, cache: bool = True,
@@ -275,10 +299,12 @@ class Session:
                  board: BoardConfig | None = None,
                  salt: str | None = None,
                  timeout: float | None = None,
-                 retries: int = 1) -> None:
+                 retries: int = 1,
+                 preflight: bool = False) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
+        self.preflight = preflight
         self.machine = machine
         self.board = board
         self.timeout = timeout
@@ -335,7 +361,8 @@ class Session:
             handle.tracer = tracer if tracer is not None else Tracer()
             bundle = prebuilt if prebuilt is not None else \
                 catalog.build_app(request.app, **dict(request.sizes))
-            outcome = _capture(bundle, request, tracer=handle.tracer)
+            outcome = _capture(bundle, request, tracer=handle.tracer,
+                               preflight=self.preflight)
             self.stats.uncached += 1
             self.stats.executed += 1
             if not outcome.completed:
@@ -367,12 +394,14 @@ class Session:
 
         if self.jobs > 1:
             handle._future = self._pool().submit(_execute_request,
-                                                 request)
+                                                 request,
+                                                 self.preflight)
             handle._attempts = 1
         else:
             bundle = prebuilt if prebuilt is not None else \
                 catalog.build_app(request.app, **dict(request.sizes))
-            self._complete(handle, _capture(bundle, request))
+            self._complete(handle, _capture(bundle, request,
+                                            preflight=self.preflight))
         return handle
 
     def submit_bundle(self, bundle: "AppBundle", *,
@@ -404,7 +433,8 @@ class Session:
         request = request.resolved(self.machine, self.board)
         handle = RunHandle(self, request, digest=None)
         handle.tracer = tracer
-        outcome = _capture(bundle, request, tracer=tracer)
+        outcome = _capture(bundle, request, tracer=tracer,
+                           preflight=self.preflight)
         self.stats.uncached += 1
         self.stats.executed += 1
         if not outcome.completed:
@@ -480,7 +510,7 @@ class Session:
                                             cancel_futures=True)
                     self._executor = None
                 handle._future = self._pool().submit(
-                    _execute_request, handle.request)
+                    _execute_request, handle.request, self.preflight)
         self._complete(handle, outcome)
 
     def _complete(self, handle: RunHandle, outcome: RunOutcome) -> None:

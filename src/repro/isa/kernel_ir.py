@@ -23,7 +23,7 @@ Example
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 class FuClass(enum.Enum):

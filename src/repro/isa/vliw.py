@@ -15,6 +15,19 @@ from dataclasses import dataclass, field
 
 from repro.isa.kernel_ir import FuClass, KernelGraph, OPCODES
 
+#: Issue slots per cluster by FU class.  Mirrors the unit counts in
+#: :class:`repro.kernelc.scheduling.ClusterResources` (3 ADD, 2 MUL,
+#: 1 DSQ, 1 SP, 1 COMM, 2 SB ports); duplicated here because kernelc
+#: imports this module.  BUS is a routing resource, not an issue slot.
+CLUSTER_ISSUE_SLOTS: dict[FuClass, int] = {
+    FuClass.ADD: 3,
+    FuClass.MUL: 2,
+    FuClass.DSQ: 1,
+    FuClass.SP: 1,
+    FuClass.COMM: 1,
+    FuClass.SB: 2,
+}
+
 
 @dataclass(frozen=True)
 class Slot:
@@ -178,9 +191,23 @@ class CompiledKernel:
                 f"{self.name}: schedule has {len(self.schedule)} words "
                 f"but II={self.ii}"
             )
+        slot_budget = sum(CLUSTER_ISSUE_SLOTS.values())
         seen: set[tuple[FuClass, int, int]] = set()
         for word in self.schedule:
+            if word.occupancy() > slot_budget:
+                raise ValueError(
+                    f"{self.name}: word at cycle {word.cycle} issues "
+                    f"{word.occupancy()} operations but a cluster has "
+                    f"only {slot_budget} issue slots"
+                )
             for slot in word.slots:
+                limit = CLUSTER_ISSUE_SLOTS.get(slot.fu, 0)
+                if not 0 <= slot.unit < limit:
+                    raise ValueError(
+                        f"{self.name}: op {slot.op} ({slot.opcode}) on "
+                        f"{slot.fu.name} unit {slot.unit}, but a cluster "
+                        f"has {limit} {slot.fu.name} unit(s)"
+                    )
                 key = (slot.fu, slot.unit, word.cycle)
                 if key in seen:
                     raise ValueError(

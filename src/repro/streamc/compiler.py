@@ -16,6 +16,53 @@ from repro.isa.stream_ops import StreamInstruction, histogram
 from repro.isa.vliw import CompiledKernel
 
 
+@dataclass(frozen=True)
+class ArrayExtent:
+    """Static bounds of one memory array: ``[base, base + words)``."""
+
+    name: str
+    base: int
+    words: int
+
+    @property
+    def end(self) -> int:
+        return self.base + self.words
+
+
+@dataclass(frozen=True)
+class SrfAllocationRecord:
+    """One SRF placement decision made by the stream compiler.
+
+    The word range ``[start, start + words)`` holds stream ``stream``
+    from the emission of instruction ``allocated_at`` until the
+    completion of instruction ``freed_at`` releases it (``None`` when
+    the stream lives to the end of the program).  The static verifier
+    checks that no two records overlap in both words and lifetime
+    (rule SP006) and that every record fits the SRF (SP005).
+    """
+
+    stream: str
+    start: int
+    words: int
+    allocated_at: int
+    freed_at: int | None = None
+
+    @property
+    def end(self) -> int:
+        return self.start + self.words
+
+    def overlaps(self, other: "SrfAllocationRecord") -> bool:
+        """Words AND lifetimes intersect (an illegal double booking)."""
+        if self.start >= other.end or other.start >= self.end:
+            return False
+        self_freed = (self.freed_at if self.freed_at is not None
+                      else float("inf"))
+        other_freed = (other.freed_at if other.freed_at is not None
+                       else float("inf"))
+        return (self.allocated_at < other_freed
+                and other.allocated_at < self_freed)
+
+
 @dataclass
 class StreamProgramImage:
     """Everything ``StreamProgram.build()`` produces."""
@@ -30,6 +77,13 @@ class StreamProgramImage:
     mar_references: int = 0
     ucr_writes: int = 0
     playback: bool = True
+    #: Static metadata for the verifier (``repro.analysis``): memory
+    #: array bounds and the compiler's SRF placement decisions.
+    #: Images restored from playback records or built by hand carry
+    #: empty lists, and the corresponding passes skip them.
+    arrays: list[ArrayExtent] = field(default_factory=list)
+    srf_allocations: list[SrfAllocationRecord] = field(
+        default_factory=list)
 
     def __len__(self) -> int:
         return len(self.instructions)

@@ -37,7 +37,8 @@ from repro.isa.vliw import CompiledKernel
 from repro.kernelc import compile_kernel
 from repro.memsys.address_gen import expand_pattern
 from repro.memsys.patterns import AccessPattern, strided, unit_stride
-from repro.streamc.compiler import StreamProgramImage
+from repro.streamc.compiler import (ArrayExtent, SrfAllocationRecord,
+                                    StreamProgramImage)
 from repro.streamc.descriptors import DescriptorFile
 
 #: Kernel calls over streams longer than this are stripmined into a
@@ -282,6 +283,11 @@ class _Emitter:
         #: Freed SRF intervals -> instruction that released them.
         self.freed: list[tuple[int, int, int]] = []
         self.region_of: dict[int, tuple[int, int]] = {}
+        #: SRF placement log for the static verifier, as mutable
+        #: [stream, start, words, allocated_at, freed_at] rows; frozen
+        #: into SrfAllocationRecords by finish().
+        self.srf_log: list[list] = []
+        self._open_srf_row: dict[int, list] = {}
         self.producer_of: dict[int, int] = {}
         self.microcode_load_of: dict[str, int] = {}
         self.kernels_used: dict[str, CompiledKernel] = {}
@@ -308,6 +314,10 @@ class _Emitter:
                 still_free.append((start, end, releaser))
         self.freed = still_free
         self.region_of[stream.ident] = (region.start, region.words)
+        row = [f"s{stream.ident}:{stream.name}", region.start,
+               region.words, len(self.instructions), None]
+        self.srf_log.append(row)
+        self._open_srf_row[stream.ident] = row
         return deps, region.start
 
     def _release_dead_streams(self, position: int,
@@ -317,6 +327,9 @@ class _Emitter:
                 start, words = self.region_of.pop(ident)
                 self.srf.free(f"s{ident}")
                 self.freed.append((start, start + words, releaser))
+                row = self._open_srf_row.pop(ident, None)
+                if row is not None:
+                    row[4] = releaser
                 del self.last_use[ident]
 
     def _sdr_for(self, stream: StreamRef) -> list[int]:
@@ -459,6 +472,10 @@ class _Emitter:
             mar_references=self.mars.references,
             ucr_writes=self.ucr_writes,
             playback=program.playback,
+            arrays=[ArrayExtent(name, array.base, array.words)
+                    for name, array in sorted(program._arrays.items())],
+            srf_allocations=[SrfAllocationRecord(*row)
+                             for row in self.srf_log],
         )
 
 

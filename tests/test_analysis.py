@@ -1,9 +1,19 @@
-"""Tests for the analysis layer: breakdowns, reporting, power study."""
+"""Tests for the analysis layer: breakdowns, reporting, power study,
+and the static verifier (``repro lint``)."""
 
+import dataclasses
+
+import numpy as np
 import pytest
 
 from repro.analysis import (
+    AnalysisError,
+    REPORT_SCHEMA,
+    Severity,
     kernel_breakdown,
+    lint_catalog,
+    lint_image,
+    lint_kernel,
     measure_kernel,
     power_efficiency_comparison,
 )
@@ -108,3 +118,205 @@ class TestTable2Rows:
             row = measure_kernel(KERNEL_LIBRARY[name])
             expected = "GFLOPS" if name in float_kernels else "GOPS"
             assert row.rate_unit == expected
+
+
+# ----------------------------------------------------------------------
+# Static verifier.
+# ----------------------------------------------------------------------
+
+def small_image():
+    """A tiny but complete stream-program image to seed defects into."""
+    from repro.isa.kernel_ir import KernelBuilder
+    from repro.streamc import StreamProgram
+    from repro.streamc.program import KernelSpec
+
+    b = KernelBuilder("double")
+    x = b.stream_input("x")
+    b.stream_output("o", b.op("fadd", x, x))
+    spec = KernelSpec("double", b.build(),
+                      lambda ins, p: [2 * ins[0]])
+    program = StreamProgram("lintme")
+    data = program.array("d", np.arange(256, dtype=float))
+    out = program.alloc_array("o", 256)
+    s = program.kernel1(spec, [program.load(data)])
+    program.store(s, out)
+    return program.build()
+
+
+def rules_of(report):
+    return {finding.rule for finding in report.findings}
+
+
+class TestVerifierCleanCorpus:
+    def test_catalog_has_zero_findings(self):
+        """Every catalog app and library kernel passes every static
+        rule -- the seed corpus is clean."""
+        report = lint_catalog(consistency=False)
+        assert report.clean
+        assert not report.findings, report.render()
+        assert set(report.coverage) == {"apps", "kernels"}
+        assert len(report.coverage["kernels"]) >= len(KERNEL_LIBRARY)
+        assert report.exit_code == 0
+
+    def test_table2_consistency_no_divergence(self):
+        """The differential gate: static predictions match the
+        simulator for every Table 2 kernel."""
+        report = lint_catalog(apps=(), kernels=TABLE2_KERNELS,
+                              consistency=True)
+        divergences = [f for f in report.findings
+                       if f.rule.startswith("CX")]
+        assert not divergences, report.render()
+        assert "consistency.simulator" in report.passes
+
+    def test_repo_scope_entry_points_clean(self):
+        report = lint_catalog(apps=(), kernels=("vsum7",),
+                              consistency=False, repo=True)
+        assert "repo.entrypoints" in report.passes
+        assert not [f for f in report.findings if f.rule == "EP001"]
+
+    def test_report_is_deterministic(self):
+        first = lint_catalog(consistency=False).to_json()
+        second = lint_catalog(consistency=False).to_json()
+        assert first == second
+        assert f'"schema": "{REPORT_SCHEMA}"' in first
+
+
+class TestSeededDefects:
+    def test_oversized_microcode_flagged(self):
+        kernel = KERNEL_LIBRARY["vsum7"].compiled()
+        bloated = dataclasses.replace(kernel, microcode_words=4096)
+        report = lint_kernel(bloated)
+        assert "MC008" in rules_of(report)
+        assert report.exit_code == 1
+
+    def test_double_booked_slot_flagged(self):
+        import copy
+
+        from repro.isa.vliw import Slot
+
+        # The library memoizes compiled kernels; mutate a deep copy so
+        # the seeded defect cannot leak into other tests.
+        kernel = copy.deepcopy(KERNEL_LIBRARY["vsum7"].compiled())
+        word = next(w for w in kernel.schedule if w.slots)
+        slot = word.slots[0]
+        word.slots.append(Slot(slot.fu, slot.unit, 999, slot.opcode))
+        report = lint_kernel(kernel)
+        assert "MC002" in rules_of(report)
+
+    def test_overlapping_srf_allocations_flagged(self):
+        from repro.streamc.compiler import SrfAllocationRecord
+
+        image = small_image()
+        assert image.srf_allocations, "expected real SRF records"
+        record = image.srf_allocations[0]
+        image.srf_allocations.append(SrfAllocationRecord(
+            "s99:forged", record.start, record.words,
+            record.allocated_at, record.freed_at))
+        report = lint_image(image)
+        assert "SP006" in rules_of(report)
+        assert report.exit_code == 1
+
+    def test_sdr_overflow_flagged(self):
+        image = small_image()
+        image.instructions[0].sdr = 99
+        report = lint_image(image)
+        assert "SP007" in rules_of(report)
+
+    def test_dependency_cycle_flagged(self):
+        image = small_image()
+        image.instructions[0].deps = [1]
+        image.instructions[1].deps = [0]
+        report = lint_image(image)
+        assert "SP003" in rules_of(report)
+
+    def test_dangling_dependency_flagged(self):
+        image = small_image()
+        image.instructions[0].deps = [999]
+        report = lint_image(image)
+        assert "SP001" in rules_of(report)
+
+    def test_forward_dependency_flagged(self):
+        image = small_image()
+        image.instructions[0].deps = [len(image.instructions) - 1]
+        report = lint_image(image)
+        assert "SP002" in rules_of(report)
+
+    def test_clean_image_has_no_findings(self):
+        report = lint_image(small_image())
+        assert not report.findings, report.render()
+
+
+class TestSessionPreflight:
+    def test_strict_preflight_blocks_broken_image(self):
+        from repro.apps.common import AppBundle
+        from repro.engine import Session
+
+        image = small_image()
+        image.instructions[0].sdr = 99
+        bundle = AppBundle(name=image.name, image=image)
+        with Session(jobs=1, cache=False, preflight=True) as session:
+            with pytest.raises(AnalysisError) as excinfo:
+                session.run_bundle(bundle, strict=True)
+        assert any(f.rule == "SP007" for f in excinfo.value.findings)
+
+    def test_strict_preflight_passes_clean_image(self):
+        from repro.apps.common import AppBundle
+        from repro.engine import Session
+
+        image = small_image()
+        bundle = AppBundle(name=image.name, image=image)
+        with Session(jobs=1, cache=False, preflight=True) as session:
+            result = session.run_bundle(bundle, strict=True)
+        assert result.cycles > 0
+
+    def test_preflight_off_by_default(self):
+        from repro.apps.common import AppBundle
+        from repro.engine import Session
+
+        image = small_image()
+        image.instructions[0].sdr = 99   # statically wrong, runs fine
+        bundle = AppBundle(name=image.name, image=image)
+        with Session(jobs=1, cache=False) as session:
+            result = session.run_bundle(bundle, strict=True)
+        assert result.cycles > 0
+
+
+class TestEntryPointRule:
+    def test_violation_detected(self, tmp_path):
+        from repro.analysis.rules.entrypoints import scan
+
+        (tmp_path / "src").mkdir()
+        (tmp_path / "src" / "rogue.py").write_text(
+            "processor = Imagine" "Processor(board=board)\n")
+        findings = scan(tmp_path)
+        assert len(findings) == 1
+        assert findings[0].rule == "EP001"
+        assert findings[0].severity is Severity.ERROR
+        assert "rogue.py" in findings[0].location
+
+    def test_repository_is_clean(self):
+        from repro.analysis.rules.entrypoints import scan
+
+        assert scan() == []
+
+
+class TestLintCli:
+    def test_clean_catalog_exits_zero(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        out = tmp_path / "report.json"
+        code = main(["lint", "--no-consistency", "--out", str(out)])
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["schema"] == REPORT_SCHEMA
+        assert report["counts"]["error"] == 0
+
+    def test_render_mentions_passes(self, capsys):
+        from repro.cli import main
+
+        code = main(["lint", "--no-consistency"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "pass(es)" in captured.out

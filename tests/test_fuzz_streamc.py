@@ -8,10 +8,11 @@ equivalent of the scheduler's random-graph equivalence test.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core import BoardConfig, ImagineProcessor
+from repro.apps.common import AppBundle
+from repro.core import BoardConfig
+from repro.engine import Session
 from repro.isa.kernel_ir import KernelBuilder
 from repro.streamc import StreamProgram
 from repro.streamc.program import KernelSpec
@@ -21,6 +22,13 @@ _BOARDS = {
     "isim": BoardConfig.isim(),
     "slow-host": BoardConfig.hardware(host_mips=0.5),
 }
+
+
+def _run(image, board):
+    """One engine-mediated, in-process, uncached simulation."""
+    with Session(jobs=1, cache=False) as session:
+        return session.run_bundle(
+            AppBundle(name=image.name, image=image), board=board)
 
 
 def _make_spec(name: str, inputs: int) -> KernelSpec:
@@ -93,9 +101,7 @@ class TestStreamFuzz:
                                                    board_name):
         image = program.build()
         image.validate()
-        processor = ImagineProcessor(board=_BOARDS[board_name],
-                                     kernels=image.kernels)
-        result = processor.run(image)
+        result = _run(image, _BOARDS[board_name])
         result.metrics.check_conservation(1e-3)
         assert result.cycles > 0
         # Every instruction was traced and finished.
@@ -108,7 +114,5 @@ class TestStreamFuzz:
         image = program.build()
         cycles = {}
         for name in ("hardware", "isim"):
-            processor = ImagineProcessor(board=_BOARDS[name],
-                                         kernels=image.kernels)
-            cycles[name] = processor.run(image).cycles
+            cycles[name] = _run(image, _BOARDS[name]).cycles
         assert cycles["isim"] <= cycles["hardware"] * 1.02

@@ -7,7 +7,9 @@ from repro.analysis.occupancy import (
     fu_occupancy,
     render_occupancy,
 )
-from repro.core import BoardConfig, ImagineProcessor
+from repro.apps.common import AppBundle
+from repro.core import BoardConfig
+from repro.engine import Session
 from repro.isa.kernel_ir import FuClass, KernelBuilder
 from repro.kernels import KERNEL_LIBRARY
 from repro.kernels.library import TABLE2_KERNELS
@@ -85,10 +87,12 @@ class TestPlaybackRecord:
         image = build_image()
         restored = load_record(save_record(image), image.kernels)
         board = BoardConfig.hardware()
-        original = ImagineProcessor(
-            board=board, kernels=image.kernels).run(image)
-        replayed = ImagineProcessor(
-            board=board, kernels=restored.kernels).run(restored)
+        with Session(jobs=1, cache=False) as session:
+            original = session.run_bundle(
+                AppBundle(name=image.name, image=image), board=board)
+            replayed = session.run_bundle(
+                AppBundle(name=restored.name, image=restored),
+                board=board)
         assert replayed.cycles == pytest.approx(original.cycles)
         assert (replayed.instruction_histogram
                 == original.instruction_histogram)

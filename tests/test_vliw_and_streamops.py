@@ -72,6 +72,35 @@ class TestCompiledKernelValidation:
         total = sum(w.occupancy() for w in kernel.schedule)
         assert total == kernel.instructions_per_iteration
 
+    def test_over_occupied_word_rejected(self):
+        kernel = tiny_kernel()
+        word = kernel.schedule[0]
+        # A cluster issues at most 10 operations per cycle; stuff the
+        # word past that across distinct units so no earlier check
+        # fires first.
+        word.slots[:] = [Slot(FuClass.ADD, unit % 3, 100 + unit, "fadd")
+                         for unit in range(11)]
+        with pytest.raises(ValueError, match="issue slots") as excinfo:
+            kernel.validate()
+        assert "tiny" in str(excinfo.value)
+
+    def test_unit_index_out_of_range_rejected(self):
+        kernel = tiny_kernel()
+        for word in kernel.schedule:
+            if word.slots:
+                slot = word.slots[0]
+                word.slots[0] = Slot(slot.fu, 99, slot.op, slot.opcode)
+                break
+        with pytest.raises(ValueError, match="unit") as excinfo:
+            kernel.validate()
+        assert "tiny" in str(excinfo.value)
+
+    def test_every_validation_error_names_the_kernel(self):
+        kernel = tiny_kernel()
+        kernel.schedule.append(VliwWord(cycle=99))
+        with pytest.raises(ValueError, match="tiny"):
+            kernel.validate()
+
 
 class TestStreamOpTaxonomy:
     def test_category_predicates(self):

@@ -1,19 +1,11 @@
 #!/usr/bin/env python3
 """API-discipline lint: one sanctioned simulation entry point.
 
-Every simulation is supposed to flow through
-:class:`repro.engine.Session`, whose single ``ImagineProcessor``
-construction site lives in ``src/repro/engine/session.py``.  Code
-that builds and runs a processor directly bypasses the engine --
-no result caching, no process sharding, no run manifests -- so this
-lint fails CI when a *new* file grows a direct
-``ImagineProcessor(...)`` call site.
-
-Pre-engine call sites are grandfathered in ``ALLOWED`` below:
-the core's own unit tests, the micro-workloads that sweep processor
-parameters no ``RunRequest`` exposes, and the ablation benchmarks
-that construct deliberately misconfigured machines.  Shrinking the
-list is progress; growing it needs a reason in review.
+Thin shim over :mod:`repro.analysis.rules.entrypoints` (rule EP001),
+kept so CI and pre-commit hooks can keep invoking
+``python tools/check_entrypoints.py``.  The rule itself -- scan
+configuration, grandfather list, reporting -- lives in the analysis
+framework and also runs as part of ``repro lint``.
 
 Exit status: 0 when clean, 1 when a new call site appears.
 """
@@ -21,82 +13,19 @@ Exit status: 0 when clean, 1 when a new call site appears.
 from __future__ import annotations
 
 import pathlib
-import re
 import sys
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
 
-#: Directories scanned for Python call sites.
-SCANNED = ("src", "tests", "benchmarks", "examples", "tools")
+from repro.analysis.rules.entrypoints import (  # noqa: E402
+    ALLOWED,
+    call_sites,
+    main,
+    scan,
+)
 
-#: The one directory allowed to construct processors.
-ENGINE = "src/repro/engine"
-
-#: Grandfathered files (repo-relative, sorted).  Everything here
-#: predates the engine; new simulation code must use Session.
-ALLOWED = frozenset({
-    # Component microbenchmarks and stream-length sweeps drive the
-    # processor with per-run machine variations the catalog does not
-    # (and should not) expose.
-    "src/repro/workloads/microbench.py",
-    "src/repro/workloads/streamlen.py",
-    # Core unit tests exercise the processor itself.
-    "tests/test_failure_injection.py",
-    "tests/test_faults.py",
-    "tests/test_fuzz_streamc.py",
-    "tests/test_observability.py",
-    "tests/test_occupancy_record.py",
-    "tests/test_processor.py",
-    "tests/test_timeline_cli.py",
-    # Ablation benchmarks simulate deliberately degraded machines.
-    "benchmarks/bench_ablation_descriptors.py",
-    "benchmarks/bench_ablation_dvfs.py",
-    "benchmarks/bench_ablation_microcode.py",
-    "benchmarks/bench_ablation_scoreboard.py",
-    "benchmarks/bench_ablation_srf_policy.py",
-    # Low-level tool-flow walkthrough, kept processor-explicit.
-    "examples/molecular_dynamics.py",
-})
-
-#: A construction site: the class name followed by an open paren.
-#: (`class ImagineProcessor:` and bare imports don't match.)
-CALL = re.compile(r"\bImagineProcessor\s*\(")
-
-
-def call_sites(path: pathlib.Path) -> list[int]:
-    try:
-        text = path.read_text()
-    except (OSError, UnicodeDecodeError):
-        return []
-    return [lineno for lineno, line in enumerate(text.splitlines(), 1)
-            if CALL.search(line)]
-
-
-def main() -> int:
-    violations = []
-    for top in SCANNED:
-        for path in sorted((REPO / top).rglob("*.py")):
-            rel = path.relative_to(REPO).as_posix()
-            if (rel.startswith(ENGINE) or rel in ALLOWED
-                    or path == pathlib.Path(__file__).resolve()):
-                continue
-            for lineno in call_sites(path):
-                violations.append((rel, lineno))
-    if violations:
-        print("direct ImagineProcessor(...) call sites outside "
-              "repro/engine/ (use repro.engine.Session; "
-              "see docs/engine.md):", file=sys.stderr)
-        for rel, lineno in violations:
-            print(f"  {rel}:{lineno}", file=sys.stderr)
-        print(f"{len(violations)} new call site(s); run simulations "
-              "through the engine or (with a reviewed reason) extend "
-              "ALLOWED in tools/check_entrypoints.py",
-              file=sys.stderr)
-        return 1
-    print("entry-point discipline OK: ImagineProcessor is only "
-          "constructed inside repro/engine/")
-    return 0
-
+__all__ = ["ALLOWED", "call_sites", "main", "scan"]
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(main(REPO))
