@@ -3,11 +3,16 @@
 Paper shape: kernel run time (first four categories) covers ~90% of
 execution for DEPTH, MPEG and QRD; RTSL loses over 30% to non-kernel
 overheads, chiefly memory stalls and host-dependency stalls.
+
+Rendered from each run's ``repro.profile-report/1`` ``figure11``
+block (the profiler emits the eight categories verbatim, in
+declaration order), so the ``.txt`` output is byte-identical to the
+pre-profiler rendering while sharing one source of truth with
+``repro profile`` and the perf-history store.
 """
 
-from benchlib import APP_NAMES, get_result, save_report
+from benchlib import APP_NAMES, get_profile, save_report
 
-from repro.analysis.breakdown import application_breakdown
 from repro.analysis.report import render_breakdown
 
 
@@ -15,7 +20,7 @@ def regenerate() -> str:
     breakdowns = {}
     average = {}
     for name in APP_NAMES:
-        breakdown = application_breakdown(get_result(name, "isim"))
+        breakdown = get_profile(name, "isim")["figure11"]
         breakdowns[name] = breakdown
         for key, value in breakdown.items():
             average[key] = average.get(key, 0.0) + value / len(

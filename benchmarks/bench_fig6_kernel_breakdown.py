@@ -5,19 +5,21 @@ RLE and GROMACS have the worst main-loop occupancy (scratchpad- and
 DSQ-bound); short-stream kernels (conv7x7/blocksad at DEPTH row
 lengths) show visible non-main-loop shares; cluster stalls stay under
 ~5% except at kernel startup.
+
+Rendered from the profiler's kernel-catalog report
+(:func:`repro.obs.profile.kernel_catalog_profile`), the same single
+source of truth the ``repro profile`` CLI uses; the ``.txt`` output
+is byte-identical to the pre-profiler rendering.
 """
 
 from benchlib import save_report
 
-from repro.analysis import kernel_breakdown
 from repro.analysis.report import render_breakdown
-from repro.kernels import KERNEL_LIBRARY
-from repro.kernels.library import TABLE2_KERNELS
+from repro.obs.profile import kernel_catalog_profile
 
 
 def regenerate() -> str:
-    breakdowns = {name: kernel_breakdown(KERNEL_LIBRARY[name])
-                  for name in TABLE2_KERNELS}
+    breakdowns = dict(kernel_catalog_profile()["kernels"])
     average = {}
     for fractions in breakdowns.values():
         for key, value in fractions.items():

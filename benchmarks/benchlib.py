@@ -33,12 +33,19 @@ ISIM = BoardConfig.isim()
 APP_NAMES = tuple(name.upper() for name in _CATALOG_NAMES)
 
 
+#: The append-only perf-history store every benchmark run feeds
+#: (``repro.perf-history/1``; disable with REPRO_NO_HISTORY=1).
+HISTORY_PATH = RESULTS_DIR / "history.jsonl"
+
+
 @functools.lru_cache(maxsize=None)
 def get_session() -> Session:
     """The one engine session every benchmark shares."""
     session = Session(
         jobs=int(os.environ.get("REPRO_JOBS", "1")),
-        cache=not os.environ.get("REPRO_NO_CACHE"))
+        cache=not os.environ.get("REPRO_NO_CACHE"),
+        history=(None if os.environ.get("REPRO_NO_HISTORY")
+                 else HISTORY_PATH))
     atexit.register(session.close)
     return session
 
@@ -55,6 +62,16 @@ def get_result(name: str, mode: str = "hardware"):
     board = HARDWARE if mode == "hardware" else ISIM
     return get_session().run_bundle(get_bundle(name), board=board,
                                     machine=MACHINE)
+
+
+@functools.lru_cache(maxsize=None)
+def get_profile(name: str, mode: str = "hardware") -> dict:
+    """Cycle-accounting profile (``repro.profile-report/1``) of one
+    cached application run; the single source the figure benchmarks
+    render their breakdowns from."""
+    from repro.obs.profile import build_profile
+
+    return build_profile(get_result(name, mode))
 
 
 def save_report(name: str, text: str) -> pathlib.Path:

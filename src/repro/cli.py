@@ -15,14 +15,20 @@ Mirrors the paper's evaluation flow from a shell:
 * ``power``      -- the Section 5.5 efficiency comparison;
 * ``lint``       -- statically verify every catalog app/kernel and
   cross-check the static model against the simulator
-  (``docs/analysis.md``).
+  (``docs/analysis.md``);
+* ``profile NAME`` -- hierarchical cycle-accounting profile of one
+  run (``repro.profile-report/1``, ``docs/observability.md``);
+* ``diff A B``   -- compare two profile reports category by category;
+* ``perf``       -- profile the whole catalog, append to the
+  perf-history store and flag regressions against a baseline.
 
 ``microbench``, ``kernels``, ``app`` and ``evaluate`` accept
 ``--json`` for machine-readable reports (see
 ``docs/observability.md``).
 
 Simulation-backed commands (``app``, ``trace``, ``faults``,
-``evaluate``) run through the :mod:`repro.engine` session: ``--jobs N``
+``evaluate``, ``profile``, ``perf``) run through the
+:mod:`repro.engine` session: ``--jobs N``
 shards independent runs across worker processes, results are served
 from the content-addressed cache under ``~/.cache/repro`` (disable
 with ``--no-cache``, relocate with ``--cache-dir``), and the engine's
@@ -44,7 +50,8 @@ def _session(args):
 
     return Session(jobs=getattr(args, "jobs", 1),
                    cache=not getattr(args, "no_cache", False),
-                   cache_dir=getattr(args, "cache_dir", None))
+                   cache_dir=getattr(args, "cache_dir", None),
+                   history=getattr(args, "history", None) or None)
 
 
 def _print_engine_stats(session) -> None:
@@ -373,6 +380,162 @@ def _cmd_power(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    from repro.engine import RunRequest
+    from repro.engine.catalog import APP_NAMES
+    from repro.obs.profile import (
+        build_profile,
+        render_profile,
+        validate_profile,
+    )
+
+    name = args.name.lower()
+    if name not in APP_NAMES:
+        print(f"unknown application {args.name!r}; "
+              f"choose from {sorted(APP_NAMES)}", file=sys.stderr)
+        return 2
+    with _session(args) as session:
+        result = session.run(RunRequest.for_app(name,
+                                                board=_board(args)))
+        _print_engine_stats(session)
+    profile = build_profile(result)
+    validate_profile(profile)
+    if args.out:
+        try:
+            with open(args.out, "w") as handle:
+                handle.write(json.dumps(profile, indent=2) + "\n")
+        except OSError as error:
+            print(f"cannot write profile: {error}", file=sys.stderr)
+            return 2
+        print(f"wrote {args.out}: "
+              f"{len(profile['components'])} components, "
+              f"{len(profile['kernels'])} kernels")
+    elif args.json:
+        print(json.dumps(profile, indent=2))
+    else:
+        print(render_profile(profile))
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    from repro.obs.diff import diff_profiles, render_diff
+    from repro.obs.profile import ProfileError
+
+    profiles = []
+    for path in (args.a, args.b):
+        try:
+            with open(path) as handle:
+                profiles.append(json.load(handle))
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"cannot read profile {path!r}: {error}",
+                  file=sys.stderr)
+            return 2
+    try:
+        diff = diff_profiles(profiles[0], profiles[1],
+                             threshold=args.threshold)
+    except ProfileError as error:
+        print(f"bad profile: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(diff, indent=2))
+    else:
+        print(render_diff(diff))
+    if args.fail_on_regression and diff["regression"]:
+        return 1
+    return 0
+
+
+def _cmd_perf(args) -> int:
+    from repro.engine import RunRequest
+    from repro.engine.catalog import APP_NAMES
+    from repro.obs.profile import build_profile, validate_profile
+
+    apps = [name.lower() for name in (args.apps or APP_NAMES)]
+    unknown = set(apps) - set(APP_NAMES)
+    if unknown:
+        print(f"unknown application(s) {sorted(unknown)}; "
+              f"choose from {sorted(APP_NAMES)}", file=sys.stderr)
+        return 2
+    modes = args.boards or ["hardware", "isim"]
+    boards = {"hardware": BoardConfig.hardware(),
+              "isim": BoardConfig.isim()}
+
+    document = {"schema": "repro.bench-profile/1", "apps": {}}
+    with _session(args) as session:
+        handles = {(app, mode): session.submit(
+                       RunRequest.for_app(app, board=boards[mode]))
+                   for app in apps for mode in modes}
+        for app in apps:
+            rows = {}
+            for mode in modes:
+                result = handles[(app, mode)].result()
+                profile = build_profile(result)
+                validate_profile(profile)
+                # Deterministic summary only: wall-clock and engine
+                # counters live in the history store, never here, so
+                # the document is byte-identical across --jobs and
+                # cache temperature.
+                rows[mode] = {
+                    "request_digest": profile["request_digest"],
+                    "cycles": profile["total_cycles"],
+                    "gops": profile["summary"]["gops"],
+                    "gflops": profile["summary"]["gflops"],
+                    "watts": profile["summary"]["watts"],
+                    "busy_fraction":
+                        profile["summary"]["busy_fraction"],
+                    "stall_fraction":
+                        profile["summary"]["stall_fraction"],
+                    "idle_fraction":
+                        profile["summary"]["idle_fraction"],
+                    "stall_cycles": dict(
+                        profile["components"]["clusters"]["stall"]),
+                }
+            document["apps"][app.upper()] = rows
+        _print_engine_stats(session)
+
+    text = json.dumps(document, indent=2)
+    try:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+    except OSError as error:
+        print(f"cannot write {args.out!r}: {error}", file=sys.stderr)
+        return 2
+    print(f"wrote {args.out}: {len(apps)} app(s) x "
+          f"{len(modes)} board(s)"
+          + (f"; history -> {args.history}" if args.history else ""))
+
+    if not args.baseline:
+        return 0
+    try:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"cannot read baseline {args.baseline!r}: {error}",
+              file=sys.stderr)
+        return 2
+    regressions = []
+    for app, rows in document["apps"].items():
+        for mode, row in rows.items():
+            base = baseline.get("apps", {}).get(app, {}).get(mode)
+            if base is None or not base.get("cycles"):
+                continue
+            slowdown = row["cycles"] / base["cycles"] - 1.0
+            marker = "REGRESSION" if slowdown > args.tolerance else "ok"
+            print(f"{app}/{mode}: {base['cycles']:.0f} -> "
+                  f"{row['cycles']:.0f} cycles "
+                  f"({slowdown * 100:+.2f}%) {marker}")
+            if slowdown > args.tolerance:
+                regressions.append((app, mode, slowdown))
+    if regressions:
+        print(f"{len(regressions)} regression(s) beyond "
+              f"{args.tolerance * 100:.0f}% vs {args.baseline}",
+              file=sys.stderr)
+        return 1
+    print(f"no regressions beyond {args.tolerance * 100:.0f}% "
+          f"vs {args.baseline}")
+    return 0
+
+
 def _board(args) -> BoardConfig:
     board = (BoardConfig.isim() if getattr(args, "isim", False)
              else BoardConfig.hardware())
@@ -402,6 +565,10 @@ def main(argv: list[str] | None = None) -> int:
     engine_opts.add_argument("--cache-dir", default=None, metavar="DIR",
                              help="result-cache root (default "
                                   "~/.cache/repro)")
+    engine_opts.add_argument("--history", default=None, metavar="PATH",
+                             help="append per-run profile summaries "
+                                  "to this perf-history JSONL store "
+                                  "(deduplicated by request digest)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     microbench = sub.add_parser("microbench",
@@ -488,6 +655,53 @@ def main(argv: list[str] | None = None) -> int:
     evaluate.add_argument("--out", default=None, metavar="PATH",
                           help="write the JSON report to PATH "
                                "(implies --json)")
+    profile = sub.add_parser(
+        "profile", help="run one application and emit its "
+                        "hierarchical cycle-accounting profile "
+                        "(repro.profile-report/1)",
+        parents=[engine_opts])
+    profile.add_argument("name", help="depth | mpeg | qrd | rtsl")
+    profile.add_argument("--json", action="store_true",
+                         help="emit the JSON report instead of text")
+    profile.add_argument("--out", default=None, metavar="PATH",
+                         help="write the JSON report to PATH")
+    diff = sub.add_parser(
+        "diff", help="compare two profile reports category by "
+                     "category (repro.profile-diff/1)")
+    diff.add_argument("a", help="baseline profile JSON")
+    diff.add_argument("b", help="candidate profile JSON")
+    diff.add_argument("--threshold", type=float, default=0.02,
+                      help="relative-delta significance threshold "
+                           "(default 0.02)")
+    diff.add_argument("--json", action="store_true",
+                      help="emit the JSON diff instead of text")
+    diff.add_argument("--fail-on-regression", action="store_true",
+                      help="exit 1 when B's total cycles regress "
+                           "beyond the threshold")
+    perf = sub.add_parser(
+        "perf", help="profile the app catalog, append to the "
+                     "perf-history store and write "
+                     "BENCH_profile.json; --baseline flags "
+                     "regressions",
+        parents=[engine_opts])
+    perf.add_argument("--apps", nargs="*", default=None,
+                      metavar="NAME",
+                      help="subset of applications (default: all)")
+    perf.add_argument("--boards", nargs="*", default=None,
+                      choices=("hardware", "isim"),
+                      help="board models to sweep (default: both)")
+    perf.add_argument("--out", default="BENCH_profile.json",
+                      metavar="PATH",
+                      help="bench-profile document path "
+                           "(default BENCH_profile.json)")
+    perf.add_argument("--baseline", default=None, metavar="PATH",
+                      help="compare against this earlier "
+                           "BENCH_profile.json; exit 1 on any "
+                           "slowdown beyond --tolerance")
+    perf.add_argument("--tolerance", type=float, default=0.02,
+                      help="slowdown tolerance vs the baseline "
+                           "(default 0.02)")
+    perf.set_defaults(history="benchmarks/results/history.jsonl")
 
     args = parser.parse_args(argv)
     handler = {
@@ -501,6 +715,9 @@ def main(argv: list[str] | None = None) -> int:
         "power": _cmd_power,
         "kernel": _cmd_kernel,
         "evaluate": _cmd_evaluate,
+        "profile": _cmd_profile,
+        "diff": _cmd_diff,
+        "perf": _cmd_perf,
     }[args.command]
     return handler(args)
 

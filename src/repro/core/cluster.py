@@ -65,5 +65,7 @@ class ClusterArray:
             comm_ops=kernel.comm_ops_per_iteration * total_iter_factor,
             dsq_ops=(kernel.graph.fu_count(FuClass.DSQ)
                      * total_iter_factor),
+            fu_cycles={cls.value: busy * iterations for cls, busy
+                       in kernel.fu_busy_per_iteration().items()},
         )
         return InvocationResult(record=record, timing=timing)

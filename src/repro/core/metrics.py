@@ -62,6 +62,11 @@ class KernelInvocationRecord:
     sp_accesses: int
     comm_ops: int
     dsq_ops: int = 0
+    #: Occupancy detail: unit-busy cycles per FU class over the whole
+    #: invocation (concurrent units overlap, so these do not tile the
+    #: invocation's wall-clock cycles; see
+    #: :meth:`repro.isa.vliw.CompiledKernel.fu_busy_per_iteration`).
+    fu_cycles: dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -89,6 +94,15 @@ class Metrics:
     memory_stream_words: list[int] = field(default_factory=list)
     #: Idle-cycle attribution detail: blocking instruction tag -> cycles.
     idle_blame: dict[str, float] = field(default_factory=dict)
+    #: Per-AG lane busy time (cycles a memory stream held the lane),
+    #: recorded at stream completion in the event loop.
+    ag_busy_cycles: dict[int, float] = field(default_factory=dict)
+    #: Per-DRAM-channel busy time in core cycles, from the memory
+    #: system's per-channel service measurement.
+    dram_channel_busy: dict[int, float] = field(default_factory=dict)
+    #: Core cycles the host interface spent transferring stream
+    #: instructions (issue_cycles per delivered instruction).
+    host_busy_cycles: float = 0.0
 
     # ------------------------------------------------------------------
     # Recording.

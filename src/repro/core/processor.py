@@ -116,6 +116,13 @@ class RunResult:
                 f"{metrics.gops:.2f} GOPS, {metrics.gflops:.2f} GFLOPS, "
                 f"IPC {metrics.ipc:.1f}, {self.power.watts:.2f} W")
 
+    def profile(self) -> dict:
+        """Hierarchical cycle-accounting profile of this run
+        (``repro.profile-report/1``; see docs/observability.md)."""
+        from repro.obs.profile import build_profile
+
+        return build_profile(self)
+
 
 @dataclass
 class _InstructionState:
@@ -311,6 +318,11 @@ class ImagineProcessor:
                 server.start(index, measurement)
                 metrics.mem_words += measurement.words
                 metrics.memory_stream_words.append(measurement.words)
+                for channel, busy in enumerate(
+                        measurement.per_channel_core_cycles):
+                    metrics.dram_channel_busy[channel] = (
+                        metrics.dram_channel_busy.get(channel, 0.0)
+                        + busy)
                 # Lane assignment is machine state, not reporting: it
                 # must not depend on whether a tracer is attached.
                 if free_ags:
@@ -340,6 +352,9 @@ class ImagineProcessor:
             instr = state.instruction
             if index in mem_lanes:
                 lane, started = mem_lanes.pop(index)
+                metrics.ag_busy_cycles[lane] = (
+                    metrics.ag_busy_cycles.get(lane, 0.0)
+                    + (t - started))
                 free_ags.append(lane)
                 free_ags.sort()
                 self.ags[lane].trace_stream(
@@ -437,6 +452,7 @@ class ImagineProcessor:
                     states[index].status = "resident"
                     states[index].resident_time = now
                     metrics.host_instructions += 1
+                    metrics.host_busy_cycles += interface.issue_cycles
                     transitions += 1
                     progressed = True
                 if controller_busy_until <= now + _EPS:
@@ -498,8 +514,11 @@ class ImagineProcessor:
                 idle_history.append((idle_start, cause.value,
                                      target - idle_start))
                 if tracer.enabled:
+                    from repro.obs.profile import CATEGORY_LEAF
+
                     tracer.span(TRACK_ACCOUNTING, cause.value,
-                                idle_start, target)
+                                idle_start, target,
+                                leaf=CATEGORY_LEAF[cause])
                     tracer.counter(
                         TRACK_ACCOUNTING, "cycles by category",
                         {cat.value: metrics.cycles.get(cat, 0.0)

@@ -260,6 +260,7 @@ class RunHandle:
             if self._shared is not None:
                 self._outcome = _hit_copy(self._shared.outcome(),
                                           self.digest)
+                self._session._record_history(self, self._outcome)
             else:
                 self._session._finalize(self)
         return self._outcome
@@ -292,6 +293,12 @@ class Session:
         simulating them.  Applies to requests with ``strict=True``; a
         verifier error becomes a typed ``AnalysisError`` outcome
         instead of a simulation.
+    history:
+        Path to an append-only ``repro.perf-history/1`` JSONL store;
+        every completed digest-keyed run this session delivers is
+        recorded there (deduplicated by request digest, so repeat
+        deliveries and warm-cache reruns are no-ops).  ``None``
+        disables recording.
     """
 
     def __init__(self, jobs: int = 1, cache: bool = True,
@@ -300,7 +307,8 @@ class Session:
                  salt: str | None = None,
                  timeout: float | None = None,
                  retries: int = 1,
-                 preflight: bool = False) -> None:
+                 preflight: bool = False,
+                 history=None) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
@@ -309,10 +317,12 @@ class Session:
         self.board = board
         self.timeout = timeout
         self.retries = retries
+        self.history = history
         self.stats = SessionStats()
         self._salt = salt if salt is not None else code_salt()
         self._cache = ResultCache(cache_dir) if cache else None
         self._inflight: dict[str, RunHandle] = {}
+        self._history_recorded: set[str] = set()
         self._executor: concurrent.futures.ProcessPoolExecutor | None = None
         self._closed = False
 
@@ -389,6 +399,7 @@ class Session:
                 handle._outcome = _stamp(cached, digest, "hit")
                 handle.cache_status = "hit"
                 self._inflight[digest] = handle
+                self._record_history(handle, handle._outcome)
                 return handle
             self._inflight[digest] = handle
 
@@ -531,6 +542,44 @@ class Session:
             handle.cache_status = "uncached"
             outcome = _stamp(outcome, handle.digest, "uncached")
         handle._outcome = outcome
+        self._record_history(handle, outcome)
+
+    def _record_history(self, handle: RunHandle,
+                        outcome: RunOutcome) -> None:
+        """Append one perf-history line for a delivered digest-keyed
+        run (no-op without a history path, a digest, or a completed
+        result; each digest is recorded at most once per store)."""
+        if (self.history is None or handle.digest is None
+                or not outcome.completed or outcome.result is None
+                or handle.digest in self._history_recorded):
+            return
+        self._history_recorded.add(handle.digest)
+        from repro.obs.history import append_history, history_entry
+
+        append_history(self.history, [history_entry(
+            outcome.result, engine=self.stats.as_dict())])
+
+    # ------------------------------------------------------------------
+    # Profiling.
+    # ------------------------------------------------------------------
+    def diff(self, request_a: RunRequest, request_b: RunRequest,
+             threshold: float | None = None) -> dict:
+        """Run (or fetch) two requests and diff their cycle profiles.
+
+        Returns a ``repro.profile-diff/1`` document (see
+        :func:`repro.obs.diff.diff_profiles`); both runs go through
+        the normal submit path, so warm-cache diffs are near-instant.
+        """
+        from repro.obs.diff import DEFAULT_THRESHOLD, diff_profiles
+        from repro.obs.profile import build_profile
+
+        handle_a = self.submit(request_a)
+        handle_b = self.submit(request_b)
+        return diff_profiles(
+            build_profile(handle_a.result()),
+            build_profile(handle_b.result()),
+            threshold=(DEFAULT_THRESHOLD if threshold is None
+                       else threshold))
 
     # ------------------------------------------------------------------
     # Observability.

@@ -56,16 +56,27 @@ class Evaluation:
 
     def __init__(self, machine: MachineConfig | None = None,
                  board: BoardConfig | None = None,
-                 session: Session | None = None) -> None:
+                 session: Session | None = None,
+                 history=None) -> None:
         self.machine = machine or MachineConfig()
         self.board = board or BoardConfig.hardware()
         self.session = session
         self._owns_session = session is None
         if self.session is None:
-            self.session = Session(jobs=1, cache=False)
+            # ``history`` only configures an owned session; a supplied
+            # session keeps whatever history store it was built with.
+            self.session = Session(jobs=1, cache=False,
+                                   history=history)
         self._bundles = {}
         self._handles = {}
         self._results = {}
+
+    def profile(self, name: str, mode: str = "hardware") -> dict:
+        """Cycle-accounting profile of one cached app run
+        (``repro.profile-report/1``)."""
+        from repro.obs.profile import build_profile
+
+        return build_profile(self.result(name, mode))
 
     def close(self) -> None:
         if self._owns_session:
@@ -279,19 +290,22 @@ EVALUATION_SCHEMA = "repro.evaluation-report/1"
 def run_full_evaluation(machine: MachineConfig | None = None,
                         board: BoardConfig | None = None,
                         sections: list[str] | None = None,
-                        session: Session | None = None
-                        ) -> dict[str, str]:
+                        session: Session | None = None,
+                        history=None) -> dict[str, str]:
     """Regenerate the paper's evaluation; returns section -> text.
 
     Pass an engine ``session`` (e.g. ``Session(jobs=8)``) to shard
     the application runs across processes and reuse cached results;
-    the returned text is identical either way.
+    the returned text is identical either way.  ``history`` records
+    each digest-keyed run to a perf-history store when no session is
+    supplied (a supplied session keeps its own setting).
     """
     chosen = sections or list(SECTIONS)
     unknown = set(chosen) - set(SECTIONS)
     if unknown:
         raise ValueError(f"unknown sections: {sorted(unknown)}")
-    evaluation = Evaluation(machine, board, session=session)
+    evaluation = Evaluation(machine, board, session=session,
+                            history=history)
     try:
         evaluation.prefetch(chosen)
         return {name: SECTIONS[name](evaluation) for name in chosen}

@@ -102,6 +102,10 @@ class CompiledKernel:
     regs_used: dict[FuClass, int]
     lrf_reads_per_iteration: int
     lrf_writes_per_iteration: int
+    #: Memoized :meth:`fu_busy_per_iteration` result (schedules are
+    #: immutable after compilation, so computing it once is safe).
+    _fu_busy: dict[FuClass, int] | None = field(
+        default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # Derived per-iteration facts.
@@ -147,6 +151,28 @@ class CompiledKernel:
         graph = self.graph
         return (graph.fu_count(FuClass.ADD) + graph.fu_count(FuClass.MUL)
                 + graph.fu_count(FuClass.DSQ))
+
+    def fu_busy_per_iteration(self) -> dict[FuClass, int]:
+        """Unit-busy cycles per FU class in one main-loop iteration.
+
+        Each scheduled slot keeps its unit busy for the opcode's issue
+        interval, capped at the II (a unit cannot be busier than the
+        loop is long).  Summed over the schedule this is the
+        *occupancy* detail behind Figure 7: per-class busy cycles do
+        not tile wall-clock time (several units run concurrently), so
+        the profiler reports them as an annotation next to the
+        exclusive busy/stall/idle tree, never inside it.
+        """
+        busy = self._fu_busy
+        if busy is None:
+            busy = {cls: 0 for cls in CLUSTER_ISSUE_SLOTS}
+            for word in self.schedule:
+                for slot in word.slots:
+                    if slot.fu in busy:
+                        busy[slot.fu] += min(
+                            OPCODES[slot.opcode].issue_interval, self.ii)
+            self._fu_busy = busy
+        return busy
 
     # ------------------------------------------------------------------
     # Timing.

@@ -45,6 +45,11 @@ class StreamMeasurement:
     startup_cycles: float
     rate_words_per_cycle: float
     controller_rate: float
+    #: Estimated DRAM busy time per channel for the whole stream, in
+    #: core cycles (sampled per-channel service cycles scaled to the
+    #: full stream length).  Empty for streams the on-chip cache
+    #: fully captures.
+    per_channel_core_cycles: tuple[float, ...] = ()
 
     @property
     def exclusive_cycles(self) -> float:
@@ -70,11 +75,13 @@ class MemorySystem:
         self.dram = DramModel(machine.dram, precharge_bug=precharge_bug,
                               precharge=precharge,
                               channel_fault=channel_fault)
-        self._rate_cache: dict[tuple,
-                               tuple[float, float, dict | None]] = {}
+        self._rate_cache: dict[
+            tuple, tuple[float, float, dict | None,
+                         tuple[float, ...]]] = {}
 
     def measure(self, pattern: AccessPattern) -> StreamMeasurement:
-        rate, dram_fraction, dram_sample = self._steady_behaviour(pattern)
+        (rate, dram_fraction, dram_sample,
+         channel_cycles_per_word) = self._steady_behaviour(pattern)
         if self.tracer.enabled:
             self.tracer.instant(
                 TRACK_MEMCTRL, f"measure {pattern.kind}",
@@ -97,6 +104,9 @@ class MemorySystem:
             startup_cycles=_STARTUP_CYCLES,
             rate_words_per_cycle=rate,
             controller_rate=self.controller_peak,
+            per_channel_core_cycles=tuple(
+                per_word * pattern.words
+                for per_word in channel_cycles_per_word),
         )
 
     @property
@@ -108,7 +118,8 @@ class MemorySystem:
     # Internals.
     # ------------------------------------------------------------------
     def _steady_behaviour(self, pattern: AccessPattern
-                          ) -> tuple[float, float, dict | None]:
+                          ) -> tuple[float, float, dict | None,
+                                     tuple[float, ...]]:
         key = pattern.signature() + (min(pattern.words, _SAMPLE_WORDS),)
         if key in self._rate_cache:
             return self._rate_cache[key]
@@ -116,6 +127,7 @@ class MemorySystem:
         dram_addresses = self._filter_cache(pattern, addresses)
         dram_core_cycles = 0.0
         dram_sample: dict | None = None
+        channel_cycles_per_word: tuple[float, ...] = ()
         if len(dram_addresses):
             stats = self.dram.service(dram_addresses)
             dram_core_cycles = stats.mem_cycles * self.machine.dram.clock_ratio
@@ -125,12 +137,20 @@ class MemorySystem:
                 "forced_precharges": stats.forced_precharges,
                 "per_channel_cycles": stats.per_channel_cycles,
             }
+            # Sampled per-channel service time, normalised to core
+            # cycles per stream word so measure() can scale it back up
+            # to the full (possibly extrapolated) stream length.
+            channel_cycles_per_word = tuple(
+                float(cycles) * self.machine.dram.clock_ratio
+                / len(addresses)
+                for cycles in stats.per_channel_cycles)
         ag_cycles = len(addresses) / self.machine.ag_peak_words_per_cycle
         controller_cycles = len(addresses) / self.controller_peak
         cycles = max(dram_core_cycles, ag_cycles, controller_cycles)
         rate = len(addresses) / max(cycles, 1e-9)
         dram_fraction = len(dram_addresses) / len(addresses)
-        result = (rate, dram_fraction, dram_sample)
+        result = (rate, dram_fraction, dram_sample,
+                  channel_cycles_per_word)
         self._rate_cache[key] = result
         return result
 

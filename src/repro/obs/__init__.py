@@ -13,9 +13,21 @@ artifacts:
 * :mod:`repro.obs.registry` -- named, self-describing counters with
   units and paper-target (expected value + tolerance) annotations;
 * :mod:`repro.obs.manifest` -- the provenance record attached to
-  every :class:`~repro.core.RunResult`.
+  every :class:`~repro.core.RunResult`;
+* :mod:`repro.obs.profile` -- hierarchical cycle-accounting profiler
+  (``repro.profile-report/1``: exclusive busy/stall/idle trees per
+  component, per-kernel and per-stream-op rollups);
+* :mod:`repro.obs.diff` -- category-by-category comparison of two
+  profile reports with significance thresholds;
+* :mod:`repro.obs.history` -- the append-only perf-history store
+  behind ``repro perf`` and the benchmark trajectory.
 """
 
+from repro.obs.diff import (
+    DIFF_SCHEMA,
+    diff_profiles,
+    render_diff,
+)
 from repro.obs.export import (
     TraceValidationError,
     counters_csv,
@@ -23,13 +35,28 @@ from repro.obs.export import (
     validate_chrome_trace,
     write_chrome_trace,
 )
+from repro.obs.history import (
+    HISTORY_SCHEMA,
+    append_history,
+    history_entry,
+    read_history,
+)
 from repro.obs.manifest import (
     REPORT_SCHEMA,
     RunManifest,
     build_manifest,
     machine_summary,
 )
+from repro.obs.profile import (
+    PROFILE_SCHEMA,
+    ProfileError,
+    build_profile,
+    kernel_catalog_profile,
+    render_profile,
+    validate_profile,
+)
 from repro.obs.registry import (
+    COUNTER_UNITS,
     PAPER_TARGETS,
     PaperTarget,
     Probe,
@@ -46,6 +73,20 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "DIFF_SCHEMA",
+    "diff_profiles",
+    "render_diff",
+    "HISTORY_SCHEMA",
+    "append_history",
+    "history_entry",
+    "read_history",
+    "PROFILE_SCHEMA",
+    "ProfileError",
+    "build_profile",
+    "kernel_catalog_profile",
+    "render_profile",
+    "validate_profile",
+    "COUNTER_UNITS",
     "TraceValidationError",
     "counters_csv",
     "to_chrome_trace",

@@ -1,0 +1,136 @@
+"""Profile-report differ (``repro.profile-diff/1``).
+
+Compares two ``repro.profile-report/1`` documents category by
+category: every component leaf (``clusters.stall.memory``,
+``dram_ch0.busy.access``, ...) plus the run totals, each with its
+absolute and relative delta and a significance flag.  The paper's own
+methodology is differential -- page policies, host bandwidths and
+board-vs-ISIM splits are all read as "which category moved" -- and
+``repro diff`` (or :meth:`repro.engine.Session.diff`) answers exactly
+that question from two artifacts.
+
+Significance is two-sided: a row is significant when its absolute
+delta clears ``min_cycles`` (to ignore float dust on tiny categories)
+*and* its relative delta clears ``threshold``.  ``regression`` is the
+headline verdict: B's total cycles exceed A's by more than the
+threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.profile import PROFILE_SCHEMA, ProfileError
+
+#: Version tag for the diff layout.
+DIFF_SCHEMA = "repro.profile-diff/1"
+
+#: Default relative-delta significance threshold.
+DEFAULT_THRESHOLD = 0.02
+
+#: Default absolute-delta floor, in cycles.
+DEFAULT_MIN_CYCLES = 1.0
+
+
+def _flatten(profile: dict[str, Any]) -> dict[str, float]:
+    """Leaf path -> cycles for every component category."""
+    rows: dict[str, float] = {
+        "total_cycles": float(profile["total_cycles"])}
+    for name, component in profile["components"].items():
+        for side in ("busy", "stall"):
+            for leaf, cycles in component[side].items():
+                rows[f"{name}.{side}.{leaf}"] = float(cycles)
+            rows[f"{name}.{side}_total"] = float(
+                component[f"{side}_total"])
+        rows[f"{name}.idle"] = float(component["idle"])
+    return rows
+
+
+def diff_profiles(a: dict[str, Any], b: dict[str, Any],
+                  threshold: float = DEFAULT_THRESHOLD,
+                  min_cycles: float = DEFAULT_MIN_CYCLES
+                  ) -> dict[str, Any]:
+    """Category-by-category comparison of two run profiles."""
+    for side, profile in (("A", a), ("B", b)):
+        if not isinstance(profile, dict) or profile.get(
+                "schema") != PROFILE_SCHEMA:
+            raise ProfileError(
+                f"{side} is not a {PROFILE_SCHEMA} document")
+        if profile.get("kind") != "run":
+            raise ProfileError(
+                f"{side} is a {profile.get('kind')!r} profile; only "
+                f"run profiles can be diffed")
+    flat_a, flat_b = _flatten(a), _flatten(b)
+    rows = []
+    for path in sorted(set(flat_a) | set(flat_b)):
+        value_a = flat_a.get(path, 0.0)
+        value_b = flat_b.get(path, 0.0)
+        delta = value_b - value_a
+        scale = max(abs(value_a), abs(value_b))
+        relative = delta / scale if scale > 0 else 0.0
+        rows.append({
+            "path": path,
+            "a": value_a,
+            "b": value_b,
+            "delta": delta,
+            "relative": relative,
+            "significant": (abs(delta) >= min_cycles
+                            and abs(relative) >= threshold),
+        })
+    total_a = flat_a["total_cycles"]
+    total_b = flat_b["total_cycles"]
+    return {
+        "schema": DIFF_SCHEMA,
+        "a": {"program": a["program"], "board_mode": a["board_mode"],
+              "request_digest": a.get("request_digest"),
+              "total_cycles": total_a},
+        "b": {"program": b["program"], "board_mode": b["board_mode"],
+              "request_digest": b.get("request_digest"),
+              "total_cycles": total_b},
+        "threshold": threshold,
+        "min_cycles": min_cycles,
+        "categories": rows,
+        "significant": [row["path"] for row in rows
+                        if row["significant"]],
+        #: Headline verdict: B is slower than A beyond the threshold.
+        "regression": total_b > total_a * (1.0 + threshold),
+    }
+
+
+def render_diff(diff: dict[str, Any]) -> str:
+    """Human-readable view: significant rows, then the verdict."""
+    from repro.analysis.report import render_table
+
+    a, b = diff["a"], diff["b"]
+    lines = [f"profile diff: {a['program']}/{a['board_mode']} "
+             f"({a['total_cycles']:.0f} cycles) -> "
+             f"{b['program']}/{b['board_mode']} "
+             f"({b['total_cycles']:.0f} cycles)"]
+    significant = [row for row in diff["categories"]
+                   if row["significant"]]
+    if significant:
+        rows = [[row["path"], f"{row['a']:.0f}", f"{row['b']:.0f}",
+                 f"{row['delta']:+.0f}",
+                 f"{row['relative'] * 100:+.1f}%"]
+                for row in significant]
+        lines.append(render_table(
+            f"Significant category deltas "
+            f"(|rel| >= {diff['threshold'] * 100:.0f}%)",
+            ["category", "A", "B", "delta", "relative"], rows))
+    else:
+        lines.append(f"no category moved by more than "
+                     f"{diff['threshold'] * 100:.0f}% "
+                     f"(and {diff['min_cycles']:.0f} cycles)")
+    lines.append(
+        "verdict: REGRESSION (B slower beyond threshold)"
+        if diff["regression"] else "verdict: no total-cycle regression")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "DIFF_SCHEMA",
+    "DEFAULT_THRESHOLD",
+    "DEFAULT_MIN_CYCLES",
+    "diff_profiles",
+    "render_diff",
+]

@@ -16,6 +16,7 @@ for spreadsheet-side analysis.
 from __future__ import annotations
 
 import json
+import math
 from typing import Any
 
 from repro.obs.tracer import Tracer
@@ -104,8 +105,10 @@ def validate_chrome_trace(document: Any) -> list[str]:
 
     Checks the structural invariants the exporter guarantees: a
     ``traceEvents`` list whose entries carry name/ph/ts/pid/tid, known
-    phase codes, non-negative timestamps, ``dur`` on complete events,
-    and thread-name metadata for every tid referenced.
+    phase codes, finite non-negative timestamps, finite non-negative
+    ``dur`` on complete events, per-series monotonically non-decreasing
+    counter timestamps, and thread-name metadata for every tid
+    referenced.
     """
     if not isinstance(document, dict):
         raise TraceValidationError("trace document must be an object")
@@ -114,6 +117,7 @@ def validate_chrome_trace(document: Any) -> list[str]:
         raise TraceValidationError("traceEvents must be a non-empty list")
     named_tids: dict[int, str] = {}
     used_tids: set[int] = set()
+    counter_clock: dict[tuple[int, str], float] = {}
     for i, event in enumerate(events):
         if not isinstance(event, dict):
             raise TraceValidationError(f"event {i} is not an object")
@@ -125,15 +129,28 @@ def validate_chrome_trace(document: Any) -> list[str]:
             raise TraceValidationError(
                 f"event {i} has unknown phase {phase!r}")
         ts = event["ts"]
-        if not isinstance(ts, (int, float)) or ts < 0:
+        # NaN fails every comparison, so `ts < 0` alone would let it
+        # through; require a finite number explicitly.
+        if (not isinstance(ts, (int, float)) or not math.isfinite(ts)
+                or ts < 0):
             raise TraceValidationError(f"event {i} has bad ts {ts!r}")
         if phase == "X":
             dur = event.get("dur")
-            if not isinstance(dur, (int, float)) or dur < 0:
+            if (not isinstance(dur, (int, float))
+                    or not math.isfinite(dur) or dur < 0):
                 raise TraceValidationError(
                     f"complete event {i} has bad dur {dur!r}")
             used_tids.add(event["tid"])
-        elif phase in ("i", "I", "C"):
+        elif phase == "C":
+            key = (event["tid"], event["name"])
+            if ts < counter_clock.get(key, 0.0):
+                raise TraceValidationError(
+                    f"counter event {i} ({event['name']!r}) has "
+                    f"non-monotonic ts {ts!r} (previous "
+                    f"{counter_clock[key]!r})")
+            counter_clock[key] = ts
+            used_tids.add(event["tid"])
+        elif phase in ("i", "I"):
             used_tids.add(event["tid"])
         elif phase == "M" and event["name"] == "thread_name":
             named_tids[event["tid"]] = event["args"]["name"]
@@ -146,10 +163,27 @@ def validate_chrome_trace(document: Any) -> list[str]:
 
 
 def counters_csv(tracer: Tracer) -> str:
-    """Flatten counter samples to ``track,name,series,cycle,value``."""
-    lines = ["track,name,series,cycle,value"]
+    """Flatten counter samples to
+    ``track,name,series,cycle,value,unit``.
+
+    Rows are sorted (track, name, series, cycle, value) and each
+    counter's unit comes from the probe-registry vocabulary
+    (:data:`repro.obs.registry.COUNTER_UNITS`), so the CSV is
+    byte-stable across ``PYTHONHASHSEED`` and emission order -- the
+    same determinism contract the analysis reports carry (asserted in
+    CI).
+    """
+    from repro.obs.registry import COUNTER_UNITS
+
+    rows = []
     for sample in tracer.counters:
+        unit = COUNTER_UNITS.get(sample.name, "")
         for series, value in sample.values.items():
-            lines.append(f"{sample.track},{sample.name},{series},"
-                         f"{sample.ts:.6g},{value:.10g}")
+            rows.append((sample.track, sample.name, series,
+                         sample.ts, value, unit))
+    rows.sort(key=lambda row: row[:5])
+    lines = ["track,name,series,cycle,value,unit"]
+    for track, name, series, ts, value, unit in rows:
+        lines.append(f"{track},{name},{series},"
+                     f"{ts:.6g},{value:.10g},{unit}")
     return "\n".join(lines) + "\n"

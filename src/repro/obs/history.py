@@ -1,0 +1,127 @@
+"""Append-only perf-history store (``repro.perf-history/1``).
+
+One JSONL line per *distinct* engine run -- keyed by the request's
+content digest -- capturing the profile summary, throughput, host
+wall-clock and the session's cache counters at record time.  The store
+is the repo's performance trajectory: ``repro perf`` appends to it on
+every benchmark sweep and compares fresh numbers against a baseline
+``BENCH_profile.json``, and ``benchmarks/`` records every simulation
+it pays for.
+
+Dedup is by ``request_digest``: appending an entry whose digest is
+already present is a no-op, so re-running a warm-cache sweep leaves
+the file byte-identical (asserted in CI).  Runs without a digest
+(traced or hand-built bundles) are not recordable -- they have no
+stable identity to key on.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import TYPE_CHECKING, Any, Iterable
+
+from repro.obs.profile import build_profile
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.processor import RunResult
+
+#: Version tag for history entries.
+HISTORY_SCHEMA = "repro.perf-history/1"
+
+#: Where the benchmark suite keeps its trajectory.
+DEFAULT_HISTORY_PATH = "benchmarks/results/history.jsonl"
+
+
+def history_entry(result: "RunResult",
+                  engine: dict[str, Any] | None = None
+                  ) -> dict[str, Any] | None:
+    """One history line for a finished engine run.
+
+    Returns ``None`` for runs without a ``request_digest`` (nothing
+    stable to key the append-only store on).
+    """
+    manifest = result.manifest
+    digest = manifest.request_digest if manifest is not None else None
+    if digest is None:
+        return None
+    profile = build_profile(result)
+    clusters = profile["components"]["clusters"]
+    return {
+        "schema": HISTORY_SCHEMA,
+        "digest": digest,
+        "program": result.name,
+        "board_mode": result.board.mode,
+        "cycles": float(result.metrics.total_cycles),
+        "gops": result.metrics.gops,
+        "gflops": result.metrics.gflops,
+        "watts": result.power.watts,
+        "busy_fraction": profile["summary"]["busy_fraction"],
+        "stall_fraction": profile["summary"]["stall_fraction"],
+        "idle_fraction": profile["summary"]["idle_fraction"],
+        "stall_cycles": dict(clusters["stall"]),
+        "wall_time_s": manifest.wall_time_s,
+        "cache": manifest.cache,
+        "recorded_at": manifest.created_at,
+        "engine": dict(engine) if engine is not None else None,
+    }
+
+
+def read_history(path: str | pathlib.Path) -> list[dict[str, Any]]:
+    """All well-formed entries, in file order; corrupt or alien lines
+    are skipped (an append-only log must tolerate torn writes)."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        return []
+    entries = []
+    with path.open() as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if (isinstance(entry, dict)
+                    and entry.get("schema") == HISTORY_SCHEMA
+                    and isinstance(entry.get("digest"), str)):
+                entries.append(entry)
+    return entries
+
+
+def recorded_digests(path: str | pathlib.Path) -> set[str]:
+    """Digests already present in the store."""
+    return {entry["digest"] for entry in read_history(path)}
+
+
+def append_history(path: str | pathlib.Path,
+                   entries: Iterable[dict[str, Any] | None]) -> int:
+    """Append new entries, deduplicated by digest; returns the number
+    actually written.  ``None`` entries (digest-less runs) are
+    skipped."""
+    path = pathlib.Path(path)
+    seen = recorded_digests(path)
+    fresh = []
+    for entry in entries:
+        if entry is None or entry["digest"] in seen:
+            continue
+        seen.add(entry["digest"])
+        fresh.append(entry)
+    if not fresh:
+        return 0
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a") as handle:
+        for entry in fresh:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return len(fresh)
+
+
+__all__ = [
+    "HISTORY_SCHEMA",
+    "DEFAULT_HISTORY_PATH",
+    "history_entry",
+    "read_history",
+    "recorded_digests",
+    "append_history",
+]

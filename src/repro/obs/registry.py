@@ -115,6 +115,16 @@ class ProbeRegistry:
                 if probe.within_target is False]
 
 
+#: Units for the tracer's counter series, by counter name -- the
+#: registry's unit vocabulary applied to the counter tracks, so CSV
+#: exports are self-describing (``counters_csv`` joins on this).
+COUNTER_UNITS: dict[str, str] = {
+    "scoreboard": "slots",
+    "cycles by category": "cycles",
+    "channel busy (sampled mem cycles)": "mem cycles",
+}
+
+
 #: Table-3 paper values for the four applications at their default
 #: (reproduction-scale) builds.  The reproduction criterion is *shape*
 #: (EXPERIMENTS.md), so the tolerances are generous; a probe outside

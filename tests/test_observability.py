@@ -147,9 +147,53 @@ class TestChromeExport:
         _, _, tracer = traced_depth
         text = counters_csv(tracer)
         lines = text.strip().splitlines()
-        assert lines[0] == "track,name,series,cycle,value"
+        assert lines[0] == "track,name,series,cycle,value,unit"
         assert len(lines) > 1
-        assert all(line.count(",") == 4 for line in lines)
+        assert all(line.count(",") == 5 for line in lines)
+
+    def test_counters_csv_is_sorted_and_has_units(self, traced_depth):
+        """Rows are lexicographically sorted (deterministic across
+        PYTHONHASHSEED) and every row carries a registry unit."""
+        from repro.obs.registry import COUNTER_UNITS
+
+        _, _, tracer = traced_depth
+        text = counters_csv(tracer)
+        rows = [line.split(",") for line in
+                text.strip().splitlines()[1:]]
+        keys = [(row[0], row[1], row[2], float(row[3]))
+                for row in rows]
+        assert keys == sorted(keys)
+        names = {row[1] for row in rows}
+        assert names <= set(COUNTER_UNITS)
+        for row in rows:
+            assert row[5] == COUNTER_UNITS[row[1]]
+
+    def test_rejects_nonfinite_timestamps(self):
+        base = {"name": "x", "ph": "X", "pid": 1, "tid": 0}
+        with pytest.raises(TraceValidationError):
+            validate_chrome_trace({"traceEvents": [
+                dict(base, ts=float("nan"), dur=1)]})
+        with pytest.raises(TraceValidationError):
+            validate_chrome_trace({"traceEvents": [
+                dict(base, ts=0, dur=float("nan"))]})
+        with pytest.raises(TraceValidationError):
+            validate_chrome_trace({"traceEvents": [
+                dict(base, ts=float("inf"), dur=1)]})
+
+    def test_rejects_nonmonotonic_counter_series(self):
+        meta = {"name": "thread_name", "ph": "M", "ts": 0, "pid": 1,
+                "tid": 0, "args": {"name": "track"}}
+        counter = {"name": "c", "ph": "C", "pid": 1, "tid": 0,
+                   "args": {"v": 1}}
+        # Strictly decreasing timestamps within one series: invalid.
+        with pytest.raises(TraceValidationError):
+            validate_chrome_trace({"traceEvents": [
+                meta, dict(counter, ts=10.0), dict(counter, ts=5.0)]})
+        # Non-decreasing is fine, and distinct series are independent.
+        validate_chrome_trace({"traceEvents": [
+            meta, dict(counter, ts=5.0), dict(counter, ts=5.0),
+            dict(counter, ts=10.0),
+            dict(counter, name="other", ts=0.0)]})
 
 
 class TestRegistry:
