@@ -417,6 +417,87 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_critpath(args) -> int:
+    from repro.engine import RunRequest
+    from repro.engine.catalog import APP_NAMES
+    from repro.obs.critpath import (
+        render_critpath,
+        validate_critpath,
+    )
+
+    name = args.name.lower()
+    if name not in APP_NAMES:
+        print(f"unknown application {args.name!r}; "
+              f"choose from {sorted(APP_NAMES)}", file=sys.stderr)
+        return 2
+    with _session(args) as session:
+        report = session.critpath(
+            RunRequest.for_app(name, board=_board(args)))
+        _print_engine_stats(session)
+    validate_critpath(report)
+    if args.out:
+        try:
+            with open(args.out, "w") as handle:
+                handle.write(json.dumps(report, indent=2) + "\n")
+        except OSError as error:
+            print(f"cannot write critpath report: {error}",
+                  file=sys.stderr)
+            return 2
+        print(f"wrote {args.out}: {len(report['segments'])} "
+              f"segments, binding resource "
+              f"{report['top_resources'][0]['resource']}")
+    elif args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(render_critpath(report))
+    return 0
+
+
+def _cmd_whatif(args) -> int:
+    from repro.engine import RunRequest
+    from repro.engine.catalog import APP_NAMES
+    from repro.obs.critpath import (
+        CritpathError,
+        parse_scales,
+        render_whatif,
+    )
+
+    name = args.name.lower()
+    if name not in APP_NAMES:
+        print(f"unknown application {args.name!r}; "
+              f"choose from {sorted(APP_NAMES)}", file=sys.stderr)
+        return 2
+    try:
+        scales = parse_scales(args.scale)
+    except CritpathError as error:
+        print(f"bad --scale: {error}", file=sys.stderr)
+        return 2
+    with _session(args) as session:
+        try:
+            report = session.whatif(
+                RunRequest.for_app(name, board=_board(args)),
+                scales, validate=args.validate)
+        except CritpathError as error:
+            print(f"cannot project: {error}", file=sys.stderr)
+            return 2
+        _print_engine_stats(session)
+    if args.out:
+        try:
+            with open(args.out, "w") as handle:
+                handle.write(json.dumps(report, indent=2) + "\n")
+        except OSError as error:
+            print(f"cannot write whatif report: {error}",
+                  file=sys.stderr)
+            return 2
+        print(f"wrote {args.out}: predicted speedup "
+              f"{report['predicted_speedup']:.2f}x")
+    elif args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(render_whatif(report))
+    return 0
+
+
 def _cmd_diff(args) -> int:
     from repro.obs.diff import diff_profiles, render_diff
     from repro.obs.profile import ProfileError
@@ -448,6 +529,7 @@ def _cmd_diff(args) -> int:
 def _cmd_perf(args) -> int:
     from repro.engine import RunRequest
     from repro.engine.catalog import APP_NAMES
+    from repro.obs.critpath import build_critpath
     from repro.obs.profile import build_profile, validate_profile
 
     apps = [name.lower() for name in (args.apps or APP_NAMES)]
@@ -461,6 +543,11 @@ def _cmd_perf(args) -> int:
               "isim": BoardConfig.isim()}
 
     document = {"schema": "repro.bench-profile/1", "apps": {}}
+    # Critical-path facts for the reference board only: which
+    # resource binds each app, with how much slack.
+    reference_mode = "hardware" if "hardware" in modes else modes[0]
+    critpath_document = {"schema": "repro.bench-critpath/1",
+                         "board_mode": reference_mode, "apps": {}}
     with _session(args) as session:
         handles = {(app, mode): session.submit(
                        RunRequest.for_app(app, board=boards[mode]))
@@ -471,6 +558,14 @@ def _cmd_perf(args) -> int:
                 result = handles[(app, mode)].result()
                 profile = build_profile(result)
                 validate_profile(profile)
+                if mode == reference_mode:
+                    report = build_critpath(result)
+                    critpath_document["apps"][app.upper()] = {
+                        "binding_resources": report["top_resources"],
+                        "path_cycles": report["path_cycles"],
+                        "conservation_ok":
+                            report["checks"]["conservation"]["ok"],
+                    }
                 # Deterministic summary only: wall-clock and engine
                 # counters live in the history store, never here, so
                 # the document is byte-identical across --jobs and
@@ -503,6 +598,18 @@ def _cmd_perf(args) -> int:
     print(f"wrote {args.out}: {len(apps)} app(s) x "
           f"{len(modes)} board(s)"
           + (f"; history -> {args.history}" if args.history else ""))
+
+    if args.critpath_out:
+        try:
+            with open(args.critpath_out, "w") as handle:
+                handle.write(json.dumps(critpath_document, indent=2)
+                             + "\n")
+        except OSError as error:
+            print(f"cannot write {args.critpath_out!r}: {error}",
+                  file=sys.stderr)
+            return 2
+        print(f"wrote {args.critpath_out}: binding resources on "
+              f"{reference_mode}")
 
     if not args.baseline:
         return 0
@@ -665,6 +772,34 @@ def main(argv: list[str] | None = None) -> int:
                          help="emit the JSON report instead of text")
     profile.add_argument("--out", default=None, metavar="PATH",
                          help="write the JSON report to PATH")
+    critpath = sub.add_parser(
+        "critpath", help="run one application and extract the "
+                         "critical path through its recorded event "
+                         "DAG (repro.critpath-report/1)",
+        parents=[engine_opts])
+    critpath.add_argument("name", help="depth | mpeg | qrd | rtsl")
+    critpath.add_argument("--json", action="store_true",
+                          help="emit the JSON report instead of text")
+    critpath.add_argument("--out", default=None, metavar="PATH",
+                          help="write the JSON report to PATH")
+    whatif = sub.add_parser(
+        "whatif", help="predict the speedup of scaling a resource by "
+                       "replaying the recorded event DAG "
+                       "(repro.whatif-report/1)",
+        parents=[engine_opts])
+    whatif.add_argument("name", help="depth | mpeg | qrd | rtsl")
+    whatif.add_argument("--scale", required=True, metavar="SPEC",
+                        help="comma-separated NAME=FACTOR scalings, "
+                             "e.g. dram=2x,ags=3 (resources: dram, "
+                             "ags, host, microcode, srf, clusters)")
+    whatif.add_argument("--validate", action="store_true",
+                        help="also rerun the simulator with the "
+                             "corresponding config change and report "
+                             "prediction error")
+    whatif.add_argument("--json", action="store_true",
+                        help="emit the JSON report instead of text")
+    whatif.add_argument("--out", default=None, metavar="PATH",
+                        help="write the JSON report to PATH")
     diff = sub.add_parser(
         "diff", help="compare two profile reports category by "
                      "category (repro.profile-diff/1)")
@@ -701,6 +836,11 @@ def main(argv: list[str] | None = None) -> int:
     perf.add_argument("--tolerance", type=float, default=0.02,
                       help="slowdown tolerance vs the baseline "
                            "(default 0.02)")
+    perf.add_argument("--critpath-out",
+                      default="BENCH_critpath.json", metavar="PATH",
+                      help="bench-critpath document path (top-3 "
+                           "binding resources + slack per app on the "
+                           "reference board; empty string disables)")
     perf.set_defaults(history="benchmarks/results/history.jsonl")
 
     args = parser.parse_args(argv)
@@ -716,6 +856,8 @@ def main(argv: list[str] | None = None) -> int:
         "kernel": _cmd_kernel,
         "evaluate": _cmd_evaluate,
         "profile": _cmd_profile,
+        "critpath": _cmd_critpath,
+        "whatif": _cmd_whatif,
         "diff": _cmd_diff,
         "perf": _cmd_perf,
     }[args.command]

@@ -103,6 +103,13 @@ class Metrics:
     #: Core cycles the host interface spent transferring stream
     #: instructions (issue_cycles per delivered instruction).
     host_busy_cycles: float = 0.0
+    #: Core cycles the microcode loader spent transferring kernels
+    #: into the micro-controller store (explicit MICROCODE_LOAD
+    #: instructions plus inline safety-net loads).
+    microcode_loader_busy_cycles: float = 0.0
+    #: Completions the host was blocked on (each costs one
+    #: host round trip before the next issue).
+    host_round_trips: int = 0
 
     # ------------------------------------------------------------------
     # Recording.

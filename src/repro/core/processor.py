@@ -40,6 +40,24 @@ from repro.isa.vliw import CompiledKernel
 from repro.memsys.address_gen import AddressGenerator
 from repro.memsys.controller import MemorySystem, SharedMemoryServer
 from repro.memsys.dram import PrechargeFault
+from repro.obs.critpath import (
+    EDGE_AG_BUSY,
+    EDGE_CLUSTER_BUSY,
+    EDGE_CONTROLLER_ISSUE,
+    EDGE_DATA_DEP,
+    EDGE_HOST_DEPENDENCY,
+    EDGE_HOST_ISSUE,
+    EDGE_HOST_OP,
+    EDGE_KERNEL_EXEC,
+    EDGE_LOADER_BUSY,
+    EDGE_MEM_STREAM,
+    EDGE_MICROCODE_LOAD,
+    EDGE_PROGRAM_START,
+    EDGE_RESIDENT,
+    EDGE_RETIRE,
+    EDGE_SCOREBOARD_SLOT,
+    EventGraph,
+)
 from repro.obs.manifest import RunManifest, build_manifest
 from repro.obs.tracer import (
     NULL_TRACER,
@@ -100,6 +118,10 @@ class RunResult:
     fault_events: list[FaultEvent] = field(default_factory=list)
     #: Host transfer retries forced by injected drops.
     host_retries: int = 0
+    #: Typed dependency DAG recorded during the run; feeds
+    #: critical-path extraction and what-if projection
+    #: (:mod:`repro.obs.critpath`).
+    event_graph: EventGraph | None = None
 
     @property
     def cycles(self) -> float:
@@ -122,6 +144,13 @@ class RunResult:
         from repro.obs.profile import build_profile
 
         return build_profile(self)
+
+    def critpath(self) -> dict:
+        """Critical-path report for this run
+        (``repro.critpath-report/1``; see docs/observability.md)."""
+        from repro.obs.critpath import build_critpath
+
+        return build_critpath(self)
 
 
 @dataclass
@@ -214,6 +243,43 @@ class ImagineProcessor:
         issue_overhead = (machine.stream_controller_issue_cycles
                           + self.board.issue_pipeline_cycles)
 
+        # Event DAG for critical-path extraction: one node per
+        # instruction lifetime event, one typed edge per timing
+        # constraint (see repro.obs.critpath).  Recording is pure --
+        # it never changes a simulation decision.
+        graph = EventGraph(meta={
+            "num_ags": float(machine.num_ags),
+            "issue_overhead": float(issue_overhead),
+            # Pure host-rate spacing between issues; the what-if
+            # replay scales only this much of a host_issue gap (the
+            # excess is blocked time that a faster host cannot
+            # shrink).
+            "host_issue_cycles": float(
+                self.board.host_issue_cycles(machine)),
+        })
+        graph.add_node("source", -1, 0.0, "start")
+        issue_nodes: list[int | None] = [None] * len(instructions)
+        begin_nodes: list[int | None] = [None] * len(instructions)
+        complete_nodes: list[int | None] = [None] * len(instructions)
+        exec_detail: dict[int, dict] = {}
+        last_issue_node: int | None = None
+        last_issue_time = 0.0
+        #: Host-rate constraint on the *next* issue, captured when the
+        #: previous issue advanced ``host.ready_at`` (widened by
+        #: injected-drop back-off windows).
+        last_issue_gap = 0.0
+        #: Completion the host is blocked on; the next issue gets a
+        #: round-trip edge from it.
+        pending_unblock: int | None = None
+        #: The host was ready but the scoreboard was full; the next
+        #: issue gets a slot edge from the freeing completion.
+        slot_waiting = False
+        last_begin_node: int | None = None
+        last_kernel_complete: int | None = None
+        last_loader_complete: int | None = None
+        last_mem_complete: int | None = None
+        last_complete_node: int | None = None
+
         completions: list[tuple[float, int, int]] = []
         tiebreak = itertools.count()
         now = 0.0
@@ -268,6 +334,7 @@ class ImagineProcessor:
 
         def begin(index: int, t: float) -> None:
             nonlocal cluster_busy_until, loader_busy_until, transitions
+            nonlocal last_begin_node
             state = states[index]
             instr = state.instruction
             state.status = "running"
@@ -275,6 +342,35 @@ class ImagineProcessor:
             transitions += 1
             if tracer.enabled:
                 tracer.clock = t
+            node = graph.add_node("begin", index, t,
+                                  instr.tag or instr.op.value)
+            begin_nodes[index] = node
+            src_issue = issue_nodes[index]
+            if src_issue is not None:
+                graph.add_edge(src_issue, node, EDGE_RESIDENT,
+                               issue_overhead)
+            for dep in instr.deps:
+                dep_node = complete_nodes[dep]
+                if dep_node is not None:
+                    graph.add_edge(dep_node, node, EDGE_DATA_DEP,
+                                   issue_overhead)
+            if last_begin_node is not None:
+                graph.add_edge(last_begin_node, node,
+                               EDGE_CONTROLLER_ISSUE, issue_overhead)
+            if instr.op.is_kernel and last_kernel_complete is not None:
+                graph.add_edge(last_kernel_complete, node,
+                               EDGE_CLUSTER_BUSY, issue_overhead)
+            if (instr.op is StreamOpType.MICROCODE_LOAD
+                    and last_loader_complete is not None):
+                graph.add_edge(last_loader_complete, node,
+                               EDGE_LOADER_BUSY, issue_overhead)
+            if (instr.op.is_memory and last_mem_complete is not None
+                    and len(server.active()) >= machine.num_ags - 1):
+                # Starting this stream (nearly) fills the AG lanes, so
+                # the last freeing completion plausibly gated it.
+                graph.add_edge(last_mem_complete, node, EDGE_AG_BUSY,
+                               issue_overhead)
+            last_begin_node = node
             if instr.op.is_kernel:
                 # The issue window [decision, t] kept the clusters
                 # idle; charge it so cycle accounting stays exact.
@@ -296,6 +392,7 @@ class ImagineProcessor:
                         kernel.name, kernel.microcode_words)
                     metrics.add_cycles(
                         CycleCategory.MICROCODE_LOAD_STALL, extra)
+                    metrics.microcode_loader_busy_cycles += extra
                 self.microcontroller.touch(kernel.name)
                 result = self.clusters.run_kernel(
                     kernel, instr.stream_elements)
@@ -304,6 +401,16 @@ class ImagineProcessor:
                 state.invocation = result
                 finish = t + extra + result.total_cycles
                 cluster_busy_until = finish
+                exec_detail[index] = {
+                    "kernel": kernel.name,
+                    "microcode": float(extra),
+                    "operations": float(result.timing.operations),
+                    "main_loop_overhead": float(
+                        result.timing.main_loop_overhead),
+                    "non_main_loop": float(
+                        result.timing.non_main_loop),
+                    "stall": float(result.record.stall_cycles),
+                }
                 if tracer.enabled:
                     tracer.span(
                         TRACK_CLUSTERS, kernel.name, t, finish,
@@ -316,6 +423,16 @@ class ImagineProcessor:
             elif instr.op.is_memory:
                 measurement = self.memory.measure(instr.pattern)
                 server.start(index, measurement)
+                exec_detail[index] = {
+                    "kind": instr.pattern.kind,
+                    "words": float(measurement.words),
+                    "startup": float(measurement.startup_cycles),
+                    "dram_cycles": float(
+                        measurement.dram_core_cycles),
+                    "ag_cycles": float(measurement.ag_core_cycles),
+                    "controller_cycles": float(
+                        measurement.controller_core_cycles),
+                }
                 metrics.mem_words += measurement.words
                 metrics.memory_stream_words.append(measurement.words)
                 for channel, busy in enumerate(
@@ -332,12 +449,20 @@ class ImagineProcessor:
                 duration = self.microcontroller.load(
                     kernel.name, kernel.microcode_words)
                 loader_busy_until = t + max(duration, 1.0)
+                metrics.microcode_loader_busy_cycles += max(
+                    duration, 1.0)
+                exec_detail[index] = {
+                    "kernel": kernel.name,
+                    "words": float(kernel.microcode_words),
+                }
                 push_completion(loader_busy_until, index)
             else:
                 push_completion(t + 1.0, index)
 
         def complete(index: int, t: float) -> None:
-            nonlocal transitions
+            nonlocal transitions, pending_unblock, last_complete_node
+            nonlocal last_kernel_complete, last_loader_complete
+            nonlocal last_mem_complete
             state = states[index]
             state.status = "done"
             state.finish_time = t
@@ -347,9 +472,37 @@ class ImagineProcessor:
                                  state.start_time, t)
             if tracer.enabled:
                 tracer.clock = t
+            instr = state.instruction
+            node = graph.add_node("complete", index, t,
+                                  instr.tag or instr.op.value)
+            complete_nodes[index] = node
+            begin_node = begin_nodes[index]
+            if begin_node is not None:
+                if instr.op.is_kernel:
+                    edge_type = EDGE_KERNEL_EXEC
+                elif instr.op.is_memory:
+                    edge_type = EDGE_MEM_STREAM
+                elif instr.op is StreamOpType.MICROCODE_LOAD:
+                    edge_type = EDGE_MICROCODE_LOAD
+                else:
+                    edge_type = EDGE_HOST_OP
+                detail = exec_detail.pop(index, {})
+                if index in mem_lanes:
+                    detail = {**detail, "lane": mem_lanes[index][0]}
+                graph.add_edge(begin_node, node, edge_type,
+                               t - state.start_time, **detail)
+            if instr.op.is_kernel:
+                last_kernel_complete = node
+            elif instr.op.is_memory:
+                last_mem_complete = node
+            elif instr.op is StreamOpType.MICROCODE_LOAD:
+                last_loader_complete = node
+            last_complete_node = node
+            if host.blocked_on == index:
+                pending_unblock = node
+                metrics.host_round_trips += 1
             scoreboard.complete(index)
             host.notify_completion(index, t)
-            instr = state.instruction
             if index in mem_lanes:
                 lane, started = mem_lanes.pop(index)
                 metrics.ag_busy_cycles[lane] = (
@@ -440,9 +593,36 @@ class ImagineProcessor:
                     issued = host.issue(now)
                     if issued is None:
                         # Transfer dropped by an injected fault; the
-                        # host backs off and retries later.
+                        # host backs off and retries later.  The next
+                        # host_issue edge absorbs the back-off window.
+                        if last_issue_node is not None:
+                            last_issue_gap = (host.ready_at
+                                              - last_issue_time)
                         break
                     index, instr = issued
+                    node = graph.add_node(
+                        "issue", index, now,
+                        instr.tag or instr.op.value)
+                    issue_nodes[index] = node
+                    if last_issue_node is None:
+                        graph.add_edge(0, node, EDGE_PROGRAM_START,
+                                       0.0)
+                    else:
+                        graph.add_edge(last_issue_node, node,
+                                       EDGE_HOST_ISSUE,
+                                       last_issue_gap)
+                    if pending_unblock is not None:
+                        graph.add_edge(pending_unblock, node,
+                                       EDGE_HOST_DEPENDENCY,
+                                       interface.round_trip_cycles)
+                        pending_unblock = None
+                    if slot_waiting and last_complete_node is not None:
+                        graph.add_edge(last_complete_node, node,
+                                       EDGE_SCOREBOARD_SLOT, 0.0)
+                    slot_waiting = False
+                    last_issue_node = node
+                    last_issue_time = now
+                    last_issue_gap = host.ready_at - now
                     if tracer.enabled:
                         tracer.instant(
                             TRACK_HOST,
@@ -473,6 +653,13 @@ class ImagineProcessor:
                         begin(index, now + issue_overhead)
                         progressed = True
                         break
+
+            # Host ready but every scoreboard slot taken: the next
+            # issue is gated by the completion that frees a slot.
+            ready_at = host.next_event_time()
+            if (ready_at is not None and ready_at <= now + _EPS
+                    and not scoreboard.has_free_slot()):
+                slot_waiting = True
 
             while (next_kernel_pos < len(kernel_indices)
                    and states[kernel_indices[next_kernel_pos]].status
@@ -542,6 +729,13 @@ class ImagineProcessor:
             if tracer.enabled:
                 tracer.clock = now
 
+        end_node = graph.add_node("end", -1, now, "end")
+        for complete_node in complete_nodes:
+            if complete_node is not None:
+                graph.add_edge(complete_node, end_node, EDGE_RETIRE,
+                               0.0)
+        graph.meta["total_cycles"] = now
+
         metrics.total_cycles = now
         metrics.check_conservation(tolerance=1e-3)
         power = self.energy.report(metrics, dsq_ops=metrics.dsq_ops)
@@ -571,6 +765,7 @@ class ImagineProcessor:
             fault_events=(list(self.injector.events)
                           if self.injector is not None else []),
             host_retries=host.retries,
+            event_graph=graph,
         )
 
     def _lookup_kernel(self, instr: StreamInstruction) -> CompiledKernel:

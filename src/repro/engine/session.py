@@ -581,6 +581,47 @@ class Session:
             threshold=(DEFAULT_THRESHOLD if threshold is None
                        else threshold))
 
+    def critpath(self, request: RunRequest) -> dict:
+        """Run (or fetch) one request and extract its critical path.
+
+        Returns a ``repro.critpath-report/1`` document (see
+        :func:`repro.obs.critpath.build_critpath`): the binding
+        dependency chain through the recorded event DAG, every
+        critical cycle attributed to a profile-vocabulary leaf, plus
+        per-resource slack and the conservation cross-checks.
+        """
+        from repro.obs.critpath import build_critpath
+
+        return build_critpath(self.run(request))
+
+    def whatif(self, request: RunRequest, scales: dict[str, float],
+               validate: bool = False) -> dict:
+        """Project the speedup of scaling resources, optionally
+        validating against a real rerun.
+
+        ``scales`` maps resource names (see
+        :data:`repro.obs.critpath.KNOWN_SCALES`) to factors, e.g.
+        ``{"dram": 2.0}``.  The recorded event DAG is replayed with
+        scaled edge weights to *predict* the new cycle count; with
+        ``validate=True`` the simulator is rerun with the
+        corresponding machine/board change
+        (:func:`repro.obs.critpath.whatif_configs`) and the report
+        gains ``actual_cycles`` / ``prediction_error``.  Returns a
+        ``repro.whatif-report/1`` document.
+        """
+        from repro.obs.critpath import build_whatif, whatif_configs
+
+        request = request.resolved(self.machine, self.board)
+        baseline = self.run(request)
+        rerun = None
+        if validate:
+            machine, board = whatif_configs(
+                request.effective_machine(),
+                request.effective_board(), scales)
+            rerun = self.run(dataclasses.replace(
+                request, machine=machine, board=board))
+        return build_whatif(baseline, scales, validated=rerun)
+
     # ------------------------------------------------------------------
     # Observability.
     # ------------------------------------------------------------------

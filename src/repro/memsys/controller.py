@@ -50,6 +50,14 @@ class StreamMeasurement:
     #: full stream length).  Empty for streams the on-chip cache
     #: fully captures.
     per_channel_core_cycles: tuple[float, ...] = ()
+    #: Isolated service demand of the whole stream against each
+    #: shared resource, in core cycles: the steady rate is
+    #: ``words / max`` of these three.  The critical-path projector
+    #: uses them to rescale memory-stream durations under what-if
+    #: resource scalings.
+    dram_core_cycles: float = 0.0
+    ag_core_cycles: float = 0.0
+    controller_core_cycles: float = 0.0
 
     @property
     def exclusive_cycles(self) -> float:
@@ -77,11 +85,12 @@ class MemorySystem:
                               channel_fault=channel_fault)
         self._rate_cache: dict[
             tuple, tuple[float, float, dict | None,
-                         tuple[float, ...]]] = {}
+                         tuple[float, ...], float]] = {}
 
     def measure(self, pattern: AccessPattern) -> StreamMeasurement:
         (rate, dram_fraction, dram_sample,
-         channel_cycles_per_word) = self._steady_behaviour(pattern)
+         channel_cycles_per_word,
+         dram_cycles_per_word) = self._steady_behaviour(pattern)
         if self.tracer.enabled:
             self.tracer.instant(
                 TRACK_MEMCTRL, f"measure {pattern.kind}",
@@ -107,6 +116,11 @@ class MemorySystem:
             per_channel_core_cycles=tuple(
                 per_word * pattern.words
                 for per_word in channel_cycles_per_word),
+            dram_core_cycles=dram_cycles_per_word * pattern.words,
+            ag_core_cycles=(pattern.words
+                            / self.machine.ag_peak_words_per_cycle),
+            controller_core_cycles=(pattern.words
+                                    / self.controller_peak),
         )
 
     @property
@@ -119,7 +133,7 @@ class MemorySystem:
     # ------------------------------------------------------------------
     def _steady_behaviour(self, pattern: AccessPattern
                           ) -> tuple[float, float, dict | None,
-                                     tuple[float, ...]]:
+                                     tuple[float, ...], float]:
         key = pattern.signature() + (min(pattern.words, _SAMPLE_WORDS),)
         if key in self._rate_cache:
             return self._rate_cache[key]
@@ -150,7 +164,8 @@ class MemorySystem:
         rate = len(addresses) / max(cycles, 1e-9)
         dram_fraction = len(dram_addresses) / len(addresses)
         result = (rate, dram_fraction, dram_sample,
-                  channel_cycles_per_word)
+                  channel_cycles_per_word,
+                  dram_core_cycles / len(addresses))
         self._rate_cache[key] = result
         return result
 

@@ -20,9 +20,27 @@ artifacts:
 * :mod:`repro.obs.diff` -- category-by-category comparison of two
   profile reports with significance thresholds;
 * :mod:`repro.obs.history` -- the append-only perf-history store
-  behind ``repro perf`` and the benchmark trajectory.
+  behind ``repro perf`` and the benchmark trajectory;
+* :mod:`repro.obs.critpath` -- critical-path extraction over the
+  simulator's recorded event DAG (``repro.critpath-report/1``) and
+  the what-if speedup projector behind ``repro whatif``.
 """
 
+from repro.obs.critpath import (
+    CRITPATH_SCHEMA,
+    WHATIF_SCHEMA,
+    CritpathError,
+    EventGraph,
+    build_critpath,
+    build_whatif,
+    critpath_summary,
+    parse_scales,
+    project_whatif,
+    render_critpath,
+    render_whatif,
+    validate_critpath,
+    whatif_configs,
+)
 from repro.obs.diff import (
     DIFF_SCHEMA,
     diff_profiles,
@@ -73,6 +91,19 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "CRITPATH_SCHEMA",
+    "WHATIF_SCHEMA",
+    "CritpathError",
+    "EventGraph",
+    "build_critpath",
+    "build_whatif",
+    "critpath_summary",
+    "parse_scales",
+    "project_whatif",
+    "render_critpath",
+    "render_whatif",
+    "validate_critpath",
+    "whatif_configs",
     "DIFF_SCHEMA",
     "diff_profiles",
     "render_diff",

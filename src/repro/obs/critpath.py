@@ -1,0 +1,833 @@
+"""Critical-path extraction and what-if projection
+(``repro.critpath-report/1`` / ``repro.whatif-report/1``).
+
+The profiler (:mod:`repro.obs.profile`) answers "where did the cycles
+go?" with aggregate busy/stall trees, but aggregates cannot say which
+resource actually *bound* runtime: a cluster can show 40% memory
+stall while the true limiter is a single address generator.  This
+module answers the causal question from an **event DAG** the
+simulator records as it runs (see
+:class:`~repro.core.processor.ImagineProcessor`): one node per
+instruction lifetime event (host issue, execution begin, completion)
+plus a source and an end node, and one typed, weighted edge per
+timing constraint --
+
+====================  =================================================
+edge type             constraint it models
+====================  =================================================
+``program_start``     run start -> first host issue
+``host_issue``        host interface rate limit between issues
+``host_dependency``   host blocked on a completion + round trip
+``scoreboard_slot``   host waited for a free scoreboard slot
+``resident``          issue -> begin through one controller window
+``data_dep``          scoreboard data dependency -> begin
+``cluster_busy``      previous kernel occupied the cluster array
+``loader_busy``       previous explicit microcode load serialised
+``ag_busy``           a freed AG lane enabled this memory stream
+``controller_issue``  one stream-controller issue window per begin
+``kernel_exec``       kernel begin -> completion (VLIW schedule)
+``mem_stream``        memory-stream begin -> completion (DRAM model)
+``microcode_load``    explicit microcode-load begin -> completion
+``host_op``           register/sync/host-read execution (1 cycle)
+``retire``            completion -> run end
+====================  =================================================
+
+The critical path is recovered by walking backwards from the end
+node, always following the incoming edge with the latest arrival
+time (``t_src + weight``); each segment's **elapsed** time
+(``t_dst - t_src``) telescopes, so the path length equals total run
+cycles *exactly* -- the conservation check.  Every critical cycle is
+attributed to one ``component.side.leaf`` in the PR 5 profile
+vocabulary, and per-leaf critical cycles are cross-validated against
+that leaf's busy+stall cycles in the profile tree (a critical cycle
+cannot exceed the cycles the profiler says the resource consumed).
+
+The **what-if projector** replays the recorded DAG forwards with
+scaled edge weights (``dram=2x`` shortens memory-stream service,
+``ags=3`` removes AG-serialisation edges, ...) to predict speedup,
+and :func:`whatif_configs` maps the same scaling onto a real
+machine/board change so :meth:`repro.engine.Session.whatif` can rerun
+the simulator and report prediction error.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.config import BoardConfig, MachineConfig
+    from repro.core.processor import RunResult
+
+#: Version tag for the critical-path report layout.
+CRITPATH_SCHEMA = "repro.critpath-report/1"
+#: Version tag for the what-if projection layout.
+WHATIF_SCHEMA = "repro.whatif-report/1"
+
+# Edge-type vocabulary (docstring table above).
+EDGE_PROGRAM_START = "program_start"
+EDGE_HOST_ISSUE = "host_issue"
+EDGE_HOST_DEPENDENCY = "host_dependency"
+EDGE_SCOREBOARD_SLOT = "scoreboard_slot"
+EDGE_RESIDENT = "resident"
+EDGE_DATA_DEP = "data_dep"
+EDGE_CLUSTER_BUSY = "cluster_busy"
+EDGE_LOADER_BUSY = "loader_busy"
+EDGE_AG_BUSY = "ag_busy"
+EDGE_CONTROLLER_ISSUE = "controller_issue"
+EDGE_KERNEL_EXEC = "kernel_exec"
+EDGE_MEM_STREAM = "mem_stream"
+EDGE_MICROCODE_LOAD = "microcode_load"
+EDGE_HOST_OP = "host_op"
+EDGE_RETIRE = "retire"
+
+#: Tie-break order when several incoming edges share the maximal
+#: arrival time: most-specific cause first (execution beats
+#: serialisation beats host bookkeeping), so the extracted path is
+#: deterministic and blames the narrowest constraint.
+_TIE_PRIORITY = {
+    name: rank for rank, name in enumerate((
+        EDGE_KERNEL_EXEC, EDGE_MEM_STREAM, EDGE_MICROCODE_LOAD,
+        EDGE_HOST_OP, EDGE_DATA_DEP, EDGE_CLUSTER_BUSY,
+        EDGE_LOADER_BUSY, EDGE_AG_BUSY, EDGE_CONTROLLER_ISSUE,
+        EDGE_RESIDENT, EDGE_HOST_DEPENDENCY, EDGE_SCOREBOARD_SLOT,
+        EDGE_HOST_ISSUE, EDGE_RETIRE, EDGE_PROGRAM_START,
+    ))
+}
+
+#: Leaf for critical cycles no recorded constraint explains exactly
+#: (fault back-off windows, slot-loss gaps); bounded in tests, never
+#: checked against the profile tree.
+UNATTRIBUTED_LEAF = "unattributed.wait"
+
+#: Resource scalings the projector understands.  ``dram``, ``ags``,
+#: ``host``, ``microcode`` and ``srf`` can also be *validated* by a
+#: rerun (see :func:`whatif_configs`); ``clusters`` is predict-only.
+KNOWN_SCALES = ("ags", "clusters", "dram", "host", "microcode", "srf")
+
+#: Conservation tolerance for path length vs total cycles (relative).
+PATH_TOLERANCE = 1e-6
+
+
+class CritpathError(ValueError):
+    """The event graph or report is malformed, or a scaling spec /
+    projection request cannot be honoured."""
+
+
+# ----------------------------------------------------------------------
+# The event DAG (recorded by the simulator, pickled with RunResult).
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GraphNode:
+    """One lifetime event: ``source``/``issue``/``begin``/
+    ``complete``/``end``."""
+
+    ident: int
+    kind: str
+    index: int          # instruction index; -1 for source/end
+    t: float
+    label: str = ""
+
+
+@dataclass
+class GraphEdge:
+    """One timing constraint between two events."""
+
+    src: int
+    dst: int
+    type: str
+    weight: float
+    detail: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class EventGraph:
+    """Append-only event DAG.  Nodes are created in simulation order
+    and every edge points from an earlier node to a later one, so the
+    graph is acyclic by construction."""
+
+    nodes: list[GraphNode] = field(default_factory=list)
+    edges: list[GraphEdge] = field(default_factory=list)
+    #: Machine facts the projector needs (``num_ags``,
+    #: ``issue_overhead``, ``host_issue_cycles``, ``total_cycles``).
+    meta: dict[str, float] = field(default_factory=dict)
+
+    def add_node(self, kind: str, index: int, t: float,
+                 label: str = "") -> int:
+        ident = len(self.nodes)
+        self.nodes.append(GraphNode(ident, kind, index, float(t), label))
+        return ident
+
+    def add_edge(self, src: int, dst: int, type: str, weight: float,
+                 **detail: Any) -> None:
+        if src < 0 or dst >= len(self.nodes) or src >= dst:
+            raise CritpathError(
+                f"edge {src}->{dst} violates creation order "
+                f"({len(self.nodes)} nodes)")
+        self.edges.append(GraphEdge(src, dst, type, float(weight),
+                                    detail))
+
+    @property
+    def end(self) -> GraphNode:
+        if not self.nodes or self.nodes[-1].kind != "end":
+            raise CritpathError("event graph has no end node")
+        return self.nodes[-1]
+
+
+# ----------------------------------------------------------------------
+# Attribution: edge + elapsed -> profile-vocabulary leaves.
+# ----------------------------------------------------------------------
+def _split(parts: list[tuple[str, float]], elapsed: float
+           ) -> dict[str, float]:
+    """Distribute ``elapsed`` over weighted leaves; anything beyond
+    the parts' own total is unexplained wait."""
+    total = sum(max(value, 0.0) for _, value in parts)
+    leaves: dict[str, float] = {}
+    if total <= 0.0:
+        if elapsed > 0.0:
+            leaves[UNATTRIBUTED_LEAF] = elapsed
+        return leaves
+    usable = min(elapsed, total)
+    for leaf, value in parts:
+        if value > 0.0:
+            leaves[leaf] = leaves.get(leaf, 0.0) + value * usable / total
+    rest = elapsed - usable
+    if rest > 1e-9:
+        leaves[UNATTRIBUTED_LEAF] = leaves.get(
+            UNATTRIBUTED_LEAF, 0.0) + rest
+    return leaves
+
+
+def _edge_leaves(edge: GraphEdge, elapsed: float) -> dict[str, float]:
+    """Attribute one critical segment's elapsed cycles to
+    ``component.side.leaf`` paths from the profile vocabulary."""
+    detail = edge.detail
+    if edge.type == EDGE_KERNEL_EXEC:
+        return _split([
+            ("clusters.busy.operations",
+             float(detail.get("operations", 0.0))),
+            ("clusters.busy.kernel_main_loop_overhead",
+             float(detail.get("main_loop_overhead", 0.0))),
+            ("clusters.busy.kernel_non_main_loop",
+             float(detail.get("non_main_loop", 0.0))),
+            ("clusters.stall.srf_starve",
+             float(detail.get("stall", 0.0))),
+            ("microcontroller.busy.load",
+             float(detail.get("microcode", 0.0))),
+        ], elapsed)
+    if edge.type == EDGE_MEM_STREAM:
+        lane = detail.get("lane")
+        leaf = (f"ag{lane}.busy.stream_transfer" if lane is not None
+                else "controller.busy.dispatch")
+        return {leaf: elapsed} if elapsed > 0.0 else {}
+    if edge.type == EDGE_MICROCODE_LOAD:
+        return _split([("microcontroller.busy.load", edge.weight)],
+                      elapsed)
+    if edge.type == EDGE_HOST_OP:
+        return {"controller.busy.dispatch": elapsed} if elapsed else {}
+    if edge.type == EDGE_HOST_ISSUE:
+        return _split([("host.busy.issue", edge.weight)], elapsed)
+    if edge.type == EDGE_HOST_DEPENDENCY:
+        return _split([("host.busy.round_trip", edge.weight)], elapsed)
+    if edge.type in (EDGE_RESIDENT, EDGE_DATA_DEP, EDGE_CLUSTER_BUSY,
+                     EDGE_LOADER_BUSY, EDGE_AG_BUSY,
+                     EDGE_CONTROLLER_ISSUE):
+        return _split([("controller.busy.issue", edge.weight)], elapsed)
+    # Zero-weight bookkeeping edges (program_start, scoreboard_slot,
+    # retire): any elapsed time is an unexplained gap.
+    return {UNATTRIBUTED_LEAF: elapsed} if elapsed > 1e-9 else {}
+
+
+def _edge_resource(edge: GraphEdge) -> str | None:
+    """Which machine resource an edge's constraint belongs to (for
+    slack aggregation); ``None`` for pure bookkeeping."""
+    if edge.type == EDGE_KERNEL_EXEC:
+        return "clusters"
+    if edge.type == EDGE_MEM_STREAM:
+        lane = edge.detail.get("lane")
+        return f"ag{lane}" if lane is not None else "controller"
+    if edge.type in (EDGE_MICROCODE_LOAD, EDGE_LOADER_BUSY):
+        return "microcontroller"
+    if edge.type in (EDGE_HOST_ISSUE, EDGE_HOST_DEPENDENCY):
+        return "host"
+    if edge.type == EDGE_CLUSTER_BUSY:
+        return "clusters"
+    if edge.type == EDGE_AG_BUSY:
+        return "ags"
+    if edge.type in (EDGE_HOST_OP, EDGE_RESIDENT, EDGE_DATA_DEP,
+                     EDGE_CONTROLLER_ISSUE):
+        return "controller"
+    if edge.type == EDGE_SCOREBOARD_SLOT:
+        return "scoreboard"
+    return None
+
+
+def _leaf_component(leaf: str) -> str:
+    return leaf.split(".", 1)[0]
+
+
+# ----------------------------------------------------------------------
+# Extraction.
+# ----------------------------------------------------------------------
+def _incoming(graph: EventGraph) -> list[list[GraphEdge]]:
+    incoming: list[list[GraphEdge]] = [[] for _ in graph.nodes]
+    for edge in graph.edges:
+        incoming[edge.dst].append(edge)
+    return incoming
+
+
+def _extract(graph: EventGraph) -> dict[str, Any]:
+    """Walk backwards from the end node along latest-arrival edges."""
+    if not graph.nodes:
+        raise CritpathError("empty event graph")
+    nodes = graph.nodes
+    incoming = _incoming(graph)
+    end = graph.end
+
+    def choice_key(edge: GraphEdge) -> tuple:
+        arrival = nodes[edge.src].t + edge.weight
+        return (arrival, -_TIE_PRIORITY.get(edge.type, 99),
+                nodes[edge.src].t, edge.src)
+
+    path: list[GraphEdge] = []
+    current = end.ident
+    while current != 0:
+        candidates = incoming[current]
+        if not candidates:
+            raise CritpathError(
+                f"node {current} ({nodes[current].kind}) has no "
+                f"incoming edges; the DAG is disconnected")
+        best = max(candidates, key=choice_key)
+        path.append(best)
+        current = best.src
+    path.reverse()
+
+    leaves: dict[str, float] = {}
+    edge_types: dict[str, float] = {}
+    memory_driver: dict[str, float] = {}
+    segments: list[dict[str, Any]] = []
+    for edge in path:
+        src, dst = nodes[edge.src], nodes[edge.dst]
+        elapsed = dst.t - src.t
+        seg_leaves = _edge_leaves(edge, elapsed)
+        for leaf, cycles in seg_leaves.items():
+            leaves[leaf] = leaves.get(leaf, 0.0) + cycles
+        edge_types[edge.type] = (edge_types.get(edge.type, 0.0)
+                                 + elapsed)
+        if edge.type == EDGE_MEM_STREAM and elapsed > 0.0:
+            detail = edge.detail
+            startup = min(float(detail.get("startup", 0.0)), elapsed)
+            drivers = (
+                ("dram", float(detail.get("dram_cycles", 0.0))),
+                ("ag", float(detail.get("ag_cycles", 0.0))),
+                ("controller_port",
+                 float(detail.get("controller_cycles", 0.0))),
+            )
+            driver = max(drivers, key=lambda item: item[1])[0]
+            memory_driver["startup"] = (
+                memory_driver.get("startup", 0.0) + startup)
+            memory_driver[driver] = (
+                memory_driver.get(driver, 0.0) + elapsed - startup)
+        segments.append({
+            "src": {"id": src.ident, "kind": src.kind,
+                    "index": src.index, "t": src.t,
+                    "label": src.label},
+            "dst": {"id": dst.ident, "kind": dst.kind,
+                    "index": dst.index, "t": dst.t,
+                    "label": dst.label},
+            "type": edge.type,
+            "weight": edge.weight,
+            "elapsed": elapsed,
+            "leaves": {leaf: seg_leaves[leaf]
+                       for leaf in sorted(seg_leaves)},
+        })
+
+    path_edges = set(map(id, path))
+    slack: dict[str, float] = {}
+    resource_edges: dict[str, int] = {}
+    for edge in graph.edges:
+        resource = _edge_resource(edge)
+        if resource is None:
+            continue
+        arrival = nodes[edge.src].t + edge.weight
+        local = max(nodes[edge.dst].t - arrival, 0.0)
+        if id(edge) in path_edges:
+            local = 0.0
+        previous = slack.get(resource)
+        slack[resource] = (local if previous is None
+                           else min(previous, local))
+        resource_edges[resource] = resource_edges.get(resource, 0) + 1
+
+    by_component: dict[str, float] = {}
+    for leaf, cycles in leaves.items():
+        component = _leaf_component(leaf)
+        by_component[component] = (by_component.get(component, 0.0)
+                                   + cycles)
+    total = end.t
+    resources: dict[str, dict[str, float | int]] = {}
+    for name in sorted(set(by_component) | set(slack)):
+        resources[name] = {
+            "critical_cycles": by_component.get(name, 0.0),
+            "share": (by_component.get(name, 0.0) / total
+                      if total > 0 else 0.0),
+            "min_slack": slack.get(name, 0.0),
+            "edges": resource_edges.get(name, 0),
+        }
+    ranked = sorted(
+        (name for name in resources if name != "unattributed"),
+        key=lambda name: (-resources[name]["critical_cycles"], name))
+
+    return {
+        "total_cycles": total,
+        "path_cycles": sum(seg["elapsed"] for seg in segments),
+        "segments": segments,
+        "critical_leaves": {leaf: leaves[leaf]
+                            for leaf in sorted(
+                                leaves,
+                                key=lambda key: (-leaves[key], key))},
+        "critical_edge_types": {
+            name: edge_types[name]
+            for name in sorted(edge_types,
+                               key=lambda key: (-edge_types[key],
+                                                key))},
+        "memory_driver": {name: memory_driver[name]
+                          for name in sorted(memory_driver)},
+        "resources": resources,
+        "top_resources": [{
+            "resource": name,
+            "critical_cycles": resources[name]["critical_cycles"],
+            "share": resources[name]["share"],
+            "min_slack": resources[name]["min_slack"],
+        } for name in ranked[:3]],
+        "unattributed_cycles": leaves.get(UNATTRIBUTED_LEAF, 0.0),
+    }
+
+
+def critpath_summary(result: "RunResult") -> dict[str, Any] | None:
+    """Compact critical-path block for profile reports and history
+    lines; ``None`` when the run recorded no event graph."""
+    graph = getattr(result, "event_graph", None)
+    if graph is None or not graph.nodes:
+        return None
+    extraction = _extract(graph)
+    top = extraction["top_resources"]
+    return {
+        "path_cycles": extraction["path_cycles"],
+        "binding_resource": top[0]["resource"] if top else None,
+        "top_resources": top,
+        "unattributed_cycles": extraction["unattributed_cycles"],
+    }
+
+
+def build_critpath(result: "RunResult") -> dict[str, Any]:
+    """Full ``repro.critpath-report/1`` for a finished run, including
+    the conservation and profile-bounds cross-checks.
+
+    Deterministic for a given run: maps are emitted in sorted or
+    rank order and nothing wall-clock dependent is included.
+    """
+    from repro.obs.profile import build_profile
+
+    graph = getattr(result, "event_graph", None)
+    if graph is None or not graph.nodes:
+        raise CritpathError(
+            f"run {result.name!r} carries no event graph (produced "
+            f"by an older simulator build?)")
+    extraction = _extract(graph)
+    total = float(result.metrics.total_cycles)
+    path_cycles = extraction["path_cycles"]
+    residual = abs(path_cycles - total)
+    conservation_ok = residual <= PATH_TOLERANCE * max(total, 1.0)
+
+    profile = build_profile(result)
+    bounds = _profile_bounds(extraction["critical_leaves"], profile,
+                             total)
+
+    manifest = result.manifest
+    return {
+        "schema": CRITPATH_SCHEMA,
+        "kind": "run",
+        "program": result.name,
+        "board_mode": result.board.mode,
+        "request_digest": (manifest.request_digest
+                           if manifest is not None else None),
+        "total_cycles": total,
+        "path_cycles": path_cycles,
+        "graph": {"nodes": len(graph.nodes),
+                  "edges": len(graph.edges)},
+        "segments": extraction["segments"],
+        "critical_leaves": extraction["critical_leaves"],
+        "critical_edge_types": extraction["critical_edge_types"],
+        "memory_driver": extraction["memory_driver"],
+        "resources": extraction["resources"],
+        "top_resources": extraction["top_resources"],
+        "unattributed_cycles": extraction["unattributed_cycles"],
+        "checks": {
+            "conservation": {
+                "ok": conservation_ok,
+                "path_cycles": path_cycles,
+                "total_cycles": total,
+                "residual": residual,
+            },
+            "profile_bounds": bounds,
+        },
+    }
+
+
+def _profile_bounds(critical_leaves: dict[str, float],
+                    profile: dict[str, Any], total: float
+                    ) -> dict[str, Any]:
+    """Cross-validate: critical cycles per leaf cannot exceed the
+    cycles the profile tree attributes to that leaf."""
+    components = profile["components"]
+    tolerance = 1e-6 * max(total, 1.0) + 1e-6
+    checked = 0
+    violations = []
+    for leaf, critical in critical_leaves.items():
+        if leaf == UNATTRIBUTED_LEAF:
+            continue
+        component, side, name = leaf.split(".", 2)
+        tree = components.get(component, {}).get(side, {})
+        if name not in tree:
+            violations.append({"leaf": leaf, "critical": critical,
+                               "bound": None,
+                               "reason": "leaf missing from profile"})
+            continue
+        checked += 1
+        bound = float(tree[name])
+        if critical > bound + tolerance:
+            violations.append({"leaf": leaf, "critical": critical,
+                               "bound": bound,
+                               "reason": "critical exceeds profile"})
+    return {"ok": not violations, "checked": checked,
+            "violations": violations}
+
+
+def validate_critpath(report: Any) -> None:
+    """Schema + conservation check for a critpath report; raises
+    :class:`CritpathError`."""
+    if not isinstance(report, dict):
+        raise CritpathError("critpath report must be an object")
+    if report.get("schema") != CRITPATH_SCHEMA:
+        raise CritpathError(
+            f"schema is {report.get('schema')!r}, expected "
+            f"{CRITPATH_SCHEMA!r}")
+    for key in ("total_cycles", "path_cycles", "segments",
+                "critical_leaves", "resources", "checks"):
+        if key not in report:
+            raise CritpathError(f"critpath report missing {key!r}")
+    checks = report["checks"]
+    if not checks.get("conservation", {}).get("ok"):
+        raise CritpathError(
+            f"conservation check failed: path "
+            f"{report['path_cycles']} vs total "
+            f"{report['total_cycles']}")
+    attributed = sum(report["critical_leaves"].values())
+    if abs(attributed - report["path_cycles"]) > 1e-6 * max(
+            report["path_cycles"], 1.0) + 1e-6:
+        raise CritpathError(
+            f"critical leaves sum to {attributed}, path is "
+            f"{report['path_cycles']}")
+
+
+def render_critpath(report: dict[str, Any]) -> str:
+    """Human-readable view: binding resources, leaves, checks."""
+    from repro.analysis.report import render_table
+
+    total = max(report["total_cycles"], 1e-30)
+    lines = [
+        f"critical path of {report['program']} "
+        f"({report['board_mode']}): {report['path_cycles']:.0f} of "
+        f"{report['total_cycles']:.0f} cycles over "
+        f"{len(report['segments'])} segments",
+    ]
+    rows = [[entry["resource"],
+             f"{entry['critical_cycles']:.0f}",
+             f"{entry['share'] * 100:.1f}%",
+             f"{entry['min_slack']:.0f}"]
+            for entry in report["top_resources"]]
+    lines.append(render_table(
+        "Binding resources",
+        ["resource", "critical cycles", "share", "min slack"], rows))
+    leaf_rows = [[leaf, f"{cycles:.0f}",
+                  f"{cycles / total * 100:.1f}%"]
+                 for leaf, cycles
+                 in report["critical_leaves"].items()]
+    lines.append(render_table(
+        "Critical cycles by cause leaf",
+        ["leaf", "cycles", "of total"], leaf_rows))
+    checks = report["checks"]
+    conservation = checks["conservation"]
+    lines.append(
+        f"conservation: "
+        f"{'ok' if conservation['ok'] else 'FAILED'} "
+        f"(residual {conservation['residual']:.3g} cycles); "
+        f"profile bounds: "
+        f"{'ok' if checks['profile_bounds']['ok'] else 'VIOLATED'} "
+        f"({checks['profile_bounds']['checked']} leaves checked)")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# What-if projection.
+# ----------------------------------------------------------------------
+def parse_scales(spec: str) -> dict[str, float]:
+    """Parse ``"dram=2x,ags=3"`` into ``{"dram": 2.0, "ags": 3.0}``.
+
+    A trailing ``x`` marks a speed factor; for ``ags`` the value is a
+    lane *count*.  Unknown resources raise :class:`CritpathError`.
+    """
+    scales: dict[str, float] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, sep, value = part.partition("=")
+        name = name.strip().lower()
+        if not sep or not value.strip():
+            raise CritpathError(
+                f"bad scale {part!r}: expected NAME=FACTOR "
+                f"(e.g. dram=2x)")
+        try:
+            factor = float(value.strip().lower().rstrip("x"))
+        except ValueError:
+            raise CritpathError(
+                f"bad scale factor in {part!r}") from None
+        if not math.isfinite(factor) or factor <= 0:
+            raise CritpathError(
+                f"scale factor must be positive, got {part!r}")
+        if name not in KNOWN_SCALES:
+            raise CritpathError(
+                f"unknown resource {name!r}; choose from "
+                f"{', '.join(KNOWN_SCALES)}")
+        scales[name] = factor
+    if not scales:
+        raise CritpathError("empty scale spec")
+    return scales
+
+
+def _scaled_weight_fn(graph: EventGraph, scales: dict[str, float]
+                      ) -> Callable[[GraphEdge], float | None]:
+    """Per-edge scaled weight; ``None`` drops the edge entirely."""
+    num_ags = int(graph.meta.get("num_ags", 0))
+    host_rate = float(graph.meta.get("host_issue_cycles", 0.0))
+    dram = scales.get("dram", 1.0)
+    host = scales.get("host", 1.0)
+    microcode = scales.get("microcode", 1.0)
+    srf = scales.get("srf", 1.0)
+    clusters = scales.get("clusters", 1.0)
+    drop_ag_edges = scales.get("ags", 0.0) > num_ags > 0
+
+    def weight(edge: GraphEdge) -> float | None:
+        w = edge.weight
+        if edge.type == EDGE_AG_BUSY and drop_ag_edges:
+            return None
+        if edge.type == EDGE_HOST_ISSUE:
+            # Only the pure host-rate spacing scales with MIPS; any
+            # excess in the gap is blocked/back-off time a faster
+            # host cannot shrink.
+            if host_rate > 0.0:
+                pure = min(w, host_rate)
+                return pure / host + (w - pure)
+            return w / host
+        if edge.type == EDGE_MICROCODE_LOAD:
+            return w / microcode
+        if edge.type == EDGE_KERNEL_EXEC:
+            detail = edge.detail
+            busy = (float(detail.get("operations", 0.0))
+                    + float(detail.get("main_loop_overhead", 0.0))
+                    + float(detail.get("non_main_loop", 0.0)))
+            stall = float(detail.get("stall", 0.0))
+            load = float(detail.get("microcode", 0.0))
+            parts = busy + stall + load
+            rest = max(w - parts, 0.0)
+            return (busy / clusters + stall / srf + load / microcode
+                    + rest)
+        if edge.type == EDGE_MEM_STREAM and dram != 1.0:
+            detail = edge.detail
+            startup = min(float(detail.get("startup", 0.0)), w)
+            d = float(detail.get("dram_cycles", 0.0))
+            a = float(detail.get("ag_cycles", 0.0))
+            # Scaling the DRAM clock also scales the controller port
+            # (mem_peak_words_per_cycle = channels / clock_ratio).
+            c = float(detail.get("controller_cycles", 0.0))
+            base = max(d, a, c)
+            if base <= 0.0:
+                return w
+            scaled = max(d / dram, a, c / dram)
+            return startup + (w - startup) * scaled / base
+        return w
+
+    return weight
+
+
+def _replay(graph: EventGraph,
+            weight: Callable[[GraphEdge], float | None]) -> float:
+    """Forward-propagate node times over the DAG under ``weight``."""
+    incoming = _incoming(graph)
+    times = [0.0] * len(graph.nodes)
+    for node in graph.nodes:
+        best = 0.0
+        for edge in incoming[node.ident]:
+            w = weight(edge)
+            if w is None:
+                continue
+            arrival = times[edge.src] + w
+            if arrival > best:
+                best = arrival
+        times[node.ident] = best
+    return times[graph.end.ident]
+
+
+def project_whatif(graph: EventGraph, scales: dict[str, float]
+                   ) -> dict[str, Any]:
+    """Replay the DAG with scaled weights and predict the speedup.
+
+    The unscaled replay calibrates the projection: any structural
+    error in the recorded constraints (shared-resource rate changes
+    the replay cannot see) shows up as ``replay_fidelity`` != 1 and
+    is divided out of the prediction.
+    """
+    unknown = set(scales) - set(KNOWN_SCALES)
+    if unknown:
+        raise CritpathError(
+            f"unknown resource(s) {sorted(unknown)}; choose from "
+            f"{', '.join(KNOWN_SCALES)}")
+    total = float(graph.meta.get("total_cycles", graph.end.t))
+    baseline = _replay(graph, lambda edge: edge.weight)
+    scaled = _replay(graph, _scaled_weight_fn(graph, scales))
+    calibration = total / baseline if baseline > 0 else 1.0
+    predicted = scaled * calibration
+    return {
+        "baseline_cycles": total,
+        "replay_cycles": baseline,
+        "replay_fidelity": baseline / total if total > 0 else 1.0,
+        "scaled_replay_cycles": scaled,
+        "predicted_cycles": predicted,
+        "predicted_speedup": (total / predicted
+                              if predicted > 0 else math.inf),
+    }
+
+
+def whatif_configs(machine: "MachineConfig", board: "BoardConfig",
+                   scales: dict[str, float]
+                   ) -> "tuple[MachineConfig, BoardConfig]":
+    """Map a scaling spec onto a real machine/board change for
+    validation reruns.  Raises :class:`CritpathError` for scalings
+    the simulator cannot realise (``clusters``, fractional DRAM
+    ratios, AG counts below the recorded machine)."""
+    from dataclasses import replace
+
+    for name in sorted(scales):
+        factor = scales[name]
+        if name == "dram":
+            ratio = machine.dram.clock_ratio / factor
+            if abs(ratio - round(ratio)) > 1e-9 or round(ratio) < 1:
+                raise CritpathError(
+                    f"dram={factor:g}x needs an integer clock ratio; "
+                    f"{machine.dram.clock_ratio} / {factor:g} is not")
+            machine = replace(
+                machine,
+                dram=replace(machine.dram,
+                             clock_ratio=int(round(ratio))))
+        elif name == "ags":
+            count = int(round(factor))
+            if count < 1 or abs(count - factor) > 1e-9:
+                raise CritpathError(
+                    f"ags={factor:g} must be a positive lane count")
+            machine = replace(machine, num_ags=count)
+        elif name == "host":
+            board = board.with_host_mips(board.host_mips * factor)
+        elif name == "microcode":
+            machine = replace(
+                machine,
+                microcode_load_cycles_per_word=(
+                    machine.microcode_load_cycles_per_word / factor))
+        elif name == "srf":
+            machine = replace(
+                machine,
+                srf_prime_cycles=max(
+                    0, int(round(machine.srf_prime_cycles / factor))))
+        else:
+            raise CritpathError(
+                f"a {name!r} scaling cannot be validated by rerun "
+                f"(predict-only)")
+    return machine, board
+
+
+def build_whatif(result: "RunResult", scales: dict[str, float],
+                 validated: "RunResult | None" = None
+                 ) -> dict[str, Any]:
+    """One ``repro.whatif-report/1`` document: the projection, plus
+    measured speedup and prediction error when a validation rerun is
+    supplied."""
+    graph = getattr(result, "event_graph", None)
+    if graph is None or not graph.nodes:
+        raise CritpathError(
+            f"run {result.name!r} carries no event graph")
+    projection = project_whatif(graph, scales)
+    report: dict[str, Any] = {
+        "schema": WHATIF_SCHEMA,
+        "program": result.name,
+        "board_mode": result.board.mode,
+        "request_digest": (result.manifest.request_digest
+                           if result.manifest is not None else None),
+        "scales": {name: scales[name] for name in sorted(scales)},
+        **projection,
+        "validated": False,
+    }
+    if validated is not None:
+        actual = float(validated.metrics.total_cycles)
+        report["validated"] = True
+        report["actual_cycles"] = actual
+        report["actual_speedup"] = (
+            projection["baseline_cycles"] / actual if actual > 0
+            else math.inf)
+        report["prediction_error"] = (
+            abs(projection["predicted_cycles"] - actual) / actual
+            if actual > 0 else math.inf)
+    return report
+
+
+def render_whatif(report: dict[str, Any]) -> str:
+    """One-paragraph human-readable projection summary."""
+    scales = ", ".join(f"{name}={factor:g}"
+                       for name, factor in report["scales"].items())
+    lines = [
+        f"what-if {scales} on {report['program']} "
+        f"({report['board_mode']}): "
+        f"{report['baseline_cycles']:.0f} -> "
+        f"{report['predicted_cycles']:.0f} predicted cycles "
+        f"(speedup {report['predicted_speedup']:.2f}x, replay "
+        f"fidelity {report['replay_fidelity'] * 100:.2f}%)",
+    ]
+    if report["validated"]:
+        lines.append(
+            f"validated: {report['actual_cycles']:.0f} actual cycles "
+            f"(speedup {report['actual_speedup']:.2f}x); prediction "
+            f"error {report['prediction_error'] * 100:.2f}%")
+    else:
+        lines.append("not validated against a rerun (--validate)")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "CRITPATH_SCHEMA",
+    "WHATIF_SCHEMA",
+    "KNOWN_SCALES",
+    "UNATTRIBUTED_LEAF",
+    "CritpathError",
+    "EventGraph",
+    "GraphEdge",
+    "GraphNode",
+    "build_critpath",
+    "build_whatif",
+    "critpath_summary",
+    "parse_scales",
+    "project_whatif",
+    "render_critpath",
+    "render_whatif",
+    "validate_critpath",
+    "whatif_configs",
+]

@@ -79,6 +79,34 @@ def diff_profiles(a: dict[str, Any], b: dict[str, Any],
         })
     total_a = flat_a["total_cycles"]
     total_b = flat_b["total_cycles"]
+
+    # One-line verdict material: the *leaf* (not rollup) with the
+    # largest significant relative regression, and whether the
+    # critical path moved to a different binding resource.
+    worst = None
+    for row in rows:
+        if not row["significant"] or row["delta"] <= 0:
+            continue
+        if ".busy." not in row["path"] and ".stall." not in row["path"]:
+            continue
+        key = (row["relative"], row["delta"], row["path"])
+        if worst is None or key > (worst["relative"], worst["delta"],
+                                   worst["path"]):
+            worst = row
+    critpath_a = a.get("critpath") or {}
+    critpath_b = b.get("critpath") or {}
+    binding_a = critpath_a.get("binding_resource")
+    binding_b = critpath_b.get("binding_resource")
+    critical_path = None
+    if binding_a is not None or binding_b is not None:
+        critical_path = {
+            "binding_resource_a": binding_a,
+            "binding_resource_b": binding_b,
+            "moved": binding_a != binding_b,
+            "top_a": critpath_a.get("top_resources", []),
+            "top_b": critpath_b.get("top_resources", []),
+        }
+
     return {
         "schema": DIFF_SCHEMA,
         "a": {"program": a["program"], "board_mode": a["board_mode"],
@@ -94,6 +122,18 @@ def diff_profiles(a: dict[str, Any], b: dict[str, Any],
                         if row["significant"]],
         #: Headline verdict: B is slower than A beyond the threshold.
         "regression": total_b > total_a * (1.0 + threshold),
+        #: Leaf with the largest significant relative regression
+        #: (None when nothing regressed).
+        "worst_regression": (None if worst is None else {
+            "path": worst["path"],
+            "a": worst["a"],
+            "b": worst["b"],
+            "delta": worst["delta"],
+            "relative": worst["relative"],
+        }),
+        #: Did the binding resource change between A and B?  None
+        #: when neither profile carries a critpath summary.
+        "critical_path": critical_path,
     }
 
 
@@ -121,6 +161,23 @@ def render_diff(diff: dict[str, Any]) -> str:
         lines.append(f"no category moved by more than "
                      f"{diff['threshold'] * 100:.0f}% "
                      f"(and {diff['min_cycles']:.0f} cycles)")
+    worst = diff.get("worst_regression")
+    if worst is not None:
+        lines.append(
+            f"worst regression: {worst['path']} "
+            f"{worst['relative'] * 100:+.1f}% "
+            f"({worst['delta']:+.0f} cycles)")
+    critical_path = diff.get("critical_path")
+    if critical_path is not None:
+        if critical_path["moved"]:
+            lines.append(
+                f"critical path: MOVED "
+                f"{critical_path['binding_resource_a']} -> "
+                f"{critical_path['binding_resource_b']}")
+        else:
+            lines.append(
+                f"critical path: unchanged (binding resource "
+                f"{critical_path['binding_resource_a']})")
     lines.append(
         "verdict: REGRESSION (B slower beyond threshold)"
         if diff["regression"] else "verdict: no total-cycle regression")

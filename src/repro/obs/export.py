@@ -27,9 +27,33 @@ _KNOWN_PHASES = {"X", "i", "I", "C", "M", "B", "E"}
 
 _PID = 1
 
+#: Phase sort rank within a timestamp tie: spans open before the
+#: instants and counter samples that land inside them.
+_PHASE_ORDER = {"M": 0, "B": 1, "X": 2, "E": 3, "i": 4, "I": 4, "C": 5}
+
 
 def _us(cycles: float, clock_hz: float) -> float:
     return cycles / clock_hz * 1e6
+
+
+def _event_key(event: dict[str, Any]) -> tuple:
+    """Total deterministic order over trace events.
+
+    Ties on timestamp (common: zero-duration accounting spans at a
+    shared event-loop instant) are broken by tid, phase, name,
+    duration and canonicalised args, so the exported byte stream
+    never depends on tracer emission order.
+    """
+    return (
+        0 if event["ph"] == "M" else 1,     # metadata leads
+        event["ts"],
+        event["tid"],
+        _PHASE_ORDER.get(event["ph"], 9),
+        event["name"],
+        event.get("dur", -1.0),
+        json.dumps(event.get("args", {}), sort_keys=True,
+                   default=str),
+    )
 
 
 def to_chrome_trace(tracer: Tracer, clock_hz: float = 200e6,
@@ -79,6 +103,15 @@ def to_chrome_trace(tracer: Tracer, clock_hz: float = 200e6,
             "tid": tid_of[sample.track],
             "args": dict(sample.values),
         })
+    events.sort(key=_event_key)
+    # Sequential span ids assigned *after* the deterministic sort:
+    # stable labels for diffing two exports of the same run, and the
+    # validator's duplicate-id check.
+    span_id = 0
+    for event in events:
+        if event["ph"] == "X":
+            event["id"] = span_id
+            span_id += 1
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -106,9 +139,10 @@ def validate_chrome_trace(document: Any) -> list[str]:
     Checks the structural invariants the exporter guarantees: a
     ``traceEvents`` list whose entries carry name/ph/ts/pid/tid, known
     phase codes, finite non-negative timestamps, finite non-negative
-    ``dur`` on complete events, per-series monotonically non-decreasing
-    counter timestamps, and thread-name metadata for every tid
-    referenced.
+    ``dur`` on complete events (zero-duration accounting spans are
+    legal), unique ``id`` values across complete events that carry
+    one, per-series monotonically non-decreasing counter timestamps,
+    and thread-name metadata for every tid referenced.
     """
     if not isinstance(document, dict):
         raise TraceValidationError("trace document must be an object")
@@ -118,6 +152,7 @@ def validate_chrome_trace(document: Any) -> list[str]:
     named_tids: dict[int, str] = {}
     used_tids: set[int] = set()
     counter_clock: dict[tuple[int, str], float] = {}
+    span_ids: set[Any] = set()
     for i, event in enumerate(events):
         if not isinstance(event, dict):
             raise TraceValidationError(f"event {i} is not an object")
@@ -140,6 +175,12 @@ def validate_chrome_trace(document: Any) -> list[str]:
                     or not math.isfinite(dur) or dur < 0):
                 raise TraceValidationError(
                     f"complete event {i} has bad dur {dur!r}")
+            if "id" in event:
+                if event["id"] in span_ids:
+                    raise TraceValidationError(
+                        f"complete event {i} reuses span id "
+                        f"{event['id']!r}")
+                span_ids.add(event["id"])
             used_tids.add(event["tid"])
         elif phase == "C":
             key = (event["tid"], event["name"])

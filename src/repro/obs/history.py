@@ -47,6 +47,7 @@ def history_entry(result: "RunResult",
         return None
     profile = build_profile(result)
     clusters = profile["components"]["clusters"]
+    critpath = profile.get("critpath") or {}
     return {
         "schema": HISTORY_SCHEMA,
         "digest": digest,
@@ -60,6 +61,10 @@ def history_entry(result: "RunResult",
         "stall_fraction": profile["summary"]["stall_fraction"],
         "idle_fraction": profile["summary"]["idle_fraction"],
         "stall_cycles": dict(clusters["stall"]),
+        "binding_resource": critpath.get("binding_resource"),
+        "critpath_top": [entry["resource"] for entry
+                         in critpath.get("top_resources", [])],
+        "critpath_cycles": critpath.get("path_cycles"),
         "wall_time_s": manifest.wall_time_s,
         "cache": manifest.cache,
         "recorded_at": manifest.created_at,

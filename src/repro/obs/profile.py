@@ -45,6 +45,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any
 
 from repro.core.metrics import CycleCategory
+from repro.isa.stream_ops import StreamOpType
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.config import MachineConfig
@@ -197,8 +198,38 @@ def build_profile(result: "RunResult") -> dict[str, Any]:
         components[f"dram_ch{channel}"] = _component(
             total, busy={"access": busy}, stall={})
     host_busy = min(metrics.host_busy_cycles, total)
+    # Round-trip waits never overlap issue transfers (the host does
+    # one thing at a time), but clamp so busy can never exceed total.
+    round_trip_busy = min(
+        metrics.host_round_trips * result.board.host_round_trip_cycles,
+        max(0.0, total - host_busy))
     components["host"] = _component(
-        total, busy={"issue": host_busy}, stall={})
+        total, busy={"issue": host_busy,
+                     "round_trip": round_trip_busy}, stall={})
+
+    # Stream-controller occupancy: one disjoint issue window per
+    # instruction, plus one dispatch cycle per register/misc op it
+    # executes itself.  Dispatch can overlap the next issue window,
+    # hence the nested clamp.
+    issue_overhead = (metrics.machine.stream_controller_issue_cycles
+                      + result.board.issue_pipeline_cycles)
+    dispatched = sum(
+        1 for event in result.trace
+        if StreamOpType(event.op).is_register_op
+        or StreamOpType(event.op).is_misc)
+    controller_issue = min(issue_overhead * len(result.trace), total)
+    components["controller"] = _component(
+        total,
+        busy={"issue": controller_issue,
+              "dispatch": min(float(dispatched),
+                              max(0.0, total - controller_issue))},
+        stall={})
+
+    components["microcontroller"] = _component(
+        total,
+        busy={"load": min(metrics.microcode_loader_busy_cycles,
+                          total)},
+        stall={})
 
     kernels = _kernel_rollup(result)
     figure6 = {row["kernel"]: {"busy": row["busy_fraction"],
@@ -211,6 +242,8 @@ def build_profile(result: "RunResult") -> dict[str, Any]:
     figure11 = {category.value: fractions[category]
                 for category in CycleCategory}
 
+    from repro.obs.critpath import critpath_summary
+
     manifest = result.manifest
     return {
         "schema": PROFILE_SCHEMA,
@@ -220,6 +253,7 @@ def build_profile(result: "RunResult") -> dict[str, Any]:
         "request_digest": (manifest.request_digest
                            if manifest is not None else None),
         "total_cycles": total,
+        "critpath": critpath_summary(result),
         "summary": {
             "busy_fraction": clusters["busy_total"] / max(total, 1e-30),
             "stall_fraction": clusters["stall_total"] / max(total, 1e-30),

@@ -1,0 +1,350 @@
+"""Critical-path extraction and what-if projection tests.
+
+Covers: the ``repro.critpath-report/1`` document on all four
+applications x both board models (conservation, profile bounds,
+chain structure, determinism across independent simulations); the
+what-if projector validated against real reruns for two scalings per
+application; the scale-spec parser and machine/board realisation;
+DAG invariants on Hypothesis-generated random stream programs
+(reusing the fuzz generators); the differ's one-line verdict and
+critical-path-move detection; and the ``repro critpath`` /
+``repro whatif`` CLI surfaces including the perf gate's
+``BENCH_critpath.json``.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import depth, mpeg, qrd, rtsl, run_app
+from repro.cli import main as cli_main
+from repro.core import BoardConfig, MachineConfig
+from repro.engine import Session
+from repro.engine.session import RunRequest
+from repro.obs.critpath import (
+    CRITPATH_SCHEMA,
+    WHATIF_SCHEMA,
+    CritpathError,
+    build_critpath,
+    build_whatif,
+    critpath_summary,
+    parse_scales,
+    project_whatif,
+    render_critpath,
+    render_whatif,
+    validate_critpath,
+    whatif_configs,
+)
+from repro.obs.diff import diff_profiles, render_diff
+from repro.obs.profile import build_profile
+from tests.test_fuzz_streamc import _BOARDS, _run, random_program
+
+SMALL_BUILDS = {
+    "DEPTH": lambda: depth.build(height=24, width=64, disparities=4),
+    "MPEG": lambda: mpeg.build(height=48, width=128, frames=2),
+    "QRD": lambda: qrd.build(rows=64, cols=32, block_columns=8),
+    "RTSL": lambda: rtsl.build(triangles=60, width=64, height=48),
+}
+
+#: The same sizings as request overrides, for engine-path tests.
+SMALL_SIZES = {
+    "depth": {"height": 24, "width": 64, "disparities": 4},
+    "mpeg": {"height": 48, "width": 128, "frames": 2},
+    "qrd": {"rows": 64, "cols": 32, "block_columns": 8},
+    "rtsl": {"triangles": 60, "width": 64, "height": 48},
+}
+
+BOARDS = {"hardware": BoardConfig.hardware, "isim": BoardConfig.isim}
+
+
+@pytest.fixture(scope="module")
+def critpath_matrix():
+    """App x board -> (result, validated critpath report)."""
+    matrix = {}
+    for app, build in SMALL_BUILDS.items():
+        for mode, board in BOARDS.items():
+            result = run_app(build(), board=board())
+            matrix[app, mode] = (result, build_critpath(result))
+    return matrix
+
+
+class TestExtraction:
+    def test_reports_validate(self, critpath_matrix):
+        for (app, mode), (_, report) in critpath_matrix.items():
+            validate_critpath(report)
+            assert report["schema"] == CRITPATH_SCHEMA
+            assert report["program"] == app
+            assert report["board_mode"] == mode
+
+    def test_conservation_is_exact(self, critpath_matrix):
+        """The path telescopes through every wait: its length must
+        equal the run's total cycles (the tentpole's acceptance
+        bar)."""
+        for (app, mode), (result, report) in critpath_matrix.items():
+            total = result.metrics.total_cycles
+            conservation = report["checks"]["conservation"]
+            assert conservation["ok"], (app, mode)
+            assert report["path_cycles"] == pytest.approx(
+                total, abs=1e-6 * max(total, 1.0)), (app, mode)
+
+    def test_profile_bounds_hold(self, critpath_matrix):
+        """Critical cycles per leaf never exceed what the profiler
+        attributed to that leaf."""
+        for (app, mode), (_, report) in critpath_matrix.items():
+            bounds = report["checks"]["profile_bounds"]
+            assert bounds["ok"], (app, mode, bounds["violations"])
+            assert bounds["checked"] > 0, (app, mode)
+
+    def test_segments_chain_from_source_to_end(self, critpath_matrix):
+        for (app, mode), (result, report) in critpath_matrix.items():
+            segments = report["segments"]
+            assert segments, (app, mode)
+            assert segments[0]["src"]["kind"] == "source"
+            assert segments[0]["src"]["t"] == 0.0
+            assert segments[-1]["dst"]["kind"] == "end"
+            assert segments[-1]["dst"]["t"] == pytest.approx(
+                result.metrics.total_cycles)
+            for before, after in zip(segments, segments[1:]):
+                assert before["dst"]["id"] == after["src"]["id"]
+
+    def test_leaves_sum_to_path_and_sort_by_weight(
+            self, critpath_matrix):
+        for (app, mode), (_, report) in critpath_matrix.items():
+            leaves = report["critical_leaves"]
+            assert sum(leaves.values()) == pytest.approx(
+                report["path_cycles"],
+                abs=1e-6 * max(report["path_cycles"], 1.0))
+            cycles = list(leaves.values())
+            assert cycles == sorted(cycles, reverse=True), (app, mode)
+
+    def test_nothing_is_unattributed(self, critpath_matrix):
+        for (app, mode), (result, report) in critpath_matrix.items():
+            total = max(result.metrics.total_cycles, 1.0)
+            assert report["unattributed_cycles"] <= 1e-6 * total, (
+                app, mode)
+
+    def test_top_resources_carry_share_and_slack(
+            self, critpath_matrix):
+        for (app, mode), (_, report) in critpath_matrix.items():
+            top = report["top_resources"]
+            assert 1 <= len(top) <= 3, (app, mode)
+            for entry in top:
+                assert 0.0 <= entry["share"] <= 1.0 + 1e-9
+                assert entry["min_slack"] >= 0.0
+                assert entry["resource"] in report["resources"]
+
+    def test_summary_matches_full_report(self, critpath_matrix):
+        for (result, report) in critpath_matrix.values():
+            summary = critpath_summary(result)
+            assert summary is not None
+            assert summary["path_cycles"] == report["path_cycles"]
+            assert (summary["binding_resource"]
+                    == report["top_resources"][0]["resource"])
+
+    def test_render_mentions_checks(self, critpath_matrix):
+        _, report = critpath_matrix["DEPTH", "hardware"]
+        text = render_critpath(report)
+        assert "conservation: ok" in text
+        assert "profile bounds: ok" in text
+
+
+class TestDeterminism:
+    def test_reports_are_bit_identical_across_runs(
+            self, critpath_matrix):
+        """An independent second simulation of the same request must
+        produce the same critpath document, byte for byte."""
+        for (app, mode), (_, report) in critpath_matrix.items():
+            fresh = run_app(SMALL_BUILDS[app](),
+                            board=BOARDS[mode]())
+            assert (json.dumps(build_critpath(fresh), sort_keys=True)
+                    == json.dumps(report, sort_keys=True)), (app, mode)
+
+
+class TestWhatif:
+    #: Two realisable scalings per application (acceptance bar).
+    #: RTSL's second scaling is the AG count: its host scaling shifts
+    #: the issue schedule enough that the recorded resource edges
+    #: become pessimistic (a known replay limitation).
+    SCALINGS = {
+        "depth": ({"dram": 2.0}, {"host": 2.0}),
+        "mpeg": ({"dram": 2.0}, {"host": 2.0}),
+        "qrd": ({"dram": 2.0}, {"host": 2.0}),
+        "rtsl": ({"dram": 2.0}, {"ags": 3.0}),
+    }
+
+    @pytest.mark.parametrize("app", sorted(SMALL_SIZES))
+    def test_validated_projection_per_app(self, app):
+        request = RunRequest(app=app, sizes=SMALL_SIZES[app])
+        with Session(jobs=1, cache=False) as session:
+            for scales in self.SCALINGS[app]:
+                report = session.whatif(request, scales,
+                                        validate=True)
+                assert report["schema"] == WHATIF_SCHEMA
+                assert report["validated"] is True
+                assert report["prediction_error"] < 0.15, (
+                    app, scales, report["prediction_error"])
+                assert report["replay_fidelity"] == pytest.approx(
+                    1.0, abs=1e-6)
+
+    def test_clusters_is_predict_only(self, critpath_matrix):
+        result, _ = critpath_matrix["MPEG", "hardware"]
+        report = build_whatif(result, {"clusters": 2.0})
+        assert report["validated"] is False
+        assert report["predicted_cycles"] <= (
+            report["baseline_cycles"] + 1e-6)
+        with pytest.raises(CritpathError):
+            whatif_configs(MachineConfig(), BoardConfig.hardware(),
+                           {"clusters": 2.0})
+
+    def test_render_whatif_states_validation(self, critpath_matrix):
+        result, _ = critpath_matrix["DEPTH", "hardware"]
+        text = render_whatif(build_whatif(result, {"dram": 2.0}))
+        assert "not validated" in text
+
+    def test_project_rejects_unknown_resource(self, critpath_matrix):
+        result, _ = critpath_matrix["DEPTH", "hardware"]
+        with pytest.raises(CritpathError):
+            project_whatif(result.event_graph, {"warp": 9.0})
+
+
+class TestScaleSpecs:
+    def test_parse_scales_roundtrip(self):
+        assert parse_scales("dram=2x,ags=3") == {
+            "dram": 2.0, "ags": 3.0}
+        assert parse_scales(" host = 1.5X ") == {"host": 1.5}
+
+    @pytest.mark.parametrize("spec", [
+        "", "dram", "dram=", "dram=abc", "dram=-1", "dram=0",
+        "dram=inf", "warp=2x",
+    ])
+    def test_parse_scales_rejects(self, spec):
+        with pytest.raises(CritpathError):
+            parse_scales(spec)
+
+    def test_whatif_configs_realise_scalings(self):
+        machine, board = MachineConfig(), BoardConfig.hardware()
+        scaled, _ = whatif_configs(machine, board, {"dram": 2.0})
+        assert (scaled.dram.clock_ratio
+                == machine.dram.clock_ratio // 2)
+        scaled, _ = whatif_configs(machine, board, {"ags": 3.0})
+        assert scaled.num_ags == 3
+        _, faster = whatif_configs(machine, board, {"host": 2.0})
+        assert faster.host_mips == pytest.approx(
+            board.host_mips * 2.0)
+
+    def test_whatif_configs_reject_unrealisable(self):
+        machine, board = MachineConfig(), BoardConfig.hardware()
+        with pytest.raises(CritpathError):
+            whatif_configs(machine, board,
+                           {"dram": machine.dram.clock_ratio * 2.0})
+        with pytest.raises(CritpathError):
+            whatif_configs(machine, board, {"ags": 2.5})
+
+
+class TestGraphProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(random_program(), st.sampled_from(sorted(_BOARDS)))
+    def test_random_program_path_invariants(self, program,
+                                            board_name):
+        """On arbitrary well-formed stream programs the critical path
+        is acyclic, starts at the host-issue origin, ends at the last
+        retiring event, and its length equals the run's cycles."""
+        image = program.build()
+        result = _run(image, _BOARDS[board_name])
+        graph = result.event_graph
+        assert graph is not None
+        # Acyclic by construction: every edge goes forward in id order.
+        assert all(edge.src < edge.dst for edge in graph.edges)
+        report = build_critpath(result)
+        validate_critpath(report)
+        segments = report["segments"]
+        first, last = segments[0], segments[-1]
+        assert first["src"]["kind"] == "source"
+        assert first["src"]["t"] == 0.0
+        assert last["dst"]["kind"] == "end"
+        assert last["dst"]["t"] == pytest.approx(
+            result.metrics.total_cycles)
+        for before, after in zip(segments, segments[1:]):
+            assert before["dst"]["id"] == after["src"]["id"]
+        total = result.metrics.total_cycles
+        assert report["path_cycles"] == pytest.approx(
+            total, abs=1e-6 * max(total, 1.0))
+        assert report["checks"]["conservation"]["ok"]
+
+
+class TestDiffIntegration:
+    def test_identical_profiles_report_no_movement(
+            self, critpath_matrix):
+        result, _ = critpath_matrix["DEPTH", "hardware"]
+        profile = build_profile(result)
+        diff = diff_profiles(profile, profile)
+        assert diff["worst_regression"] is None
+        critical_path = diff["critical_path"]
+        assert critical_path is not None
+        assert critical_path["moved"] is False
+        assert "critical path: unchanged" in render_diff(diff)
+
+    def test_slow_host_names_the_regressing_leaf(
+            self, critpath_matrix):
+        result, _ = critpath_matrix["DEPTH", "hardware"]
+        slow = run_app(SMALL_BUILDS["DEPTH"](),
+                       board=BoardConfig.hardware(host_mips=0.5))
+        diff = diff_profiles(build_profile(result),
+                             build_profile(slow))
+        worst = diff["worst_regression"]
+        assert worst is not None
+        assert worst["delta"] > 0
+        assert (".busy." in worst["path"]
+                or ".stall." in worst["path"])
+        text = render_diff(diff)
+        assert "worst regression:" in text
+        assert "critical path:" in text
+
+
+class TestCli:
+    def test_critpath_cli_writes_valid_report(self, tmp_path,
+                                              capsys):
+        out = tmp_path / "critpath.json"
+        cache = ["--cache-dir", str(tmp_path / "cache")]
+        assert cli_main(["critpath", "depth",
+                         "--out", str(out)] + cache) == 0
+        assert "binding resource" in capsys.readouterr().out
+        # Second invocation hits the result cache and prints JSON.
+        assert cli_main(["critpath", "depth", "--json"] + cache) == 0
+        printed = json.loads(capsys.readouterr().out)
+        document = json.loads(out.read_text())
+        for report in (printed, document):
+            validate_critpath(report)
+            assert report["checks"]["conservation"]["ok"]
+        assert (json.dumps(printed, sort_keys=True)
+                == json.dumps(document, sort_keys=True))
+
+    def test_whatif_cli_predicts(self, tmp_path, capsys):
+        assert cli_main(["whatif", "depth", "--scale", "dram=2x",
+                         "--json", "--cache-dir",
+                         str(tmp_path / "cache")]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema"] == WHATIF_SCHEMA
+        assert report["validated"] is False
+        assert report["predicted_speedup"] >= 1.0 - 1e-6
+
+    def test_cli_rejects_bad_inputs(self, tmp_path):
+        assert cli_main(["whatif", "depth",
+                         "--scale", "warp=9x"]) == 2
+        assert cli_main(["critpath", "doom"]) == 2
+
+    def test_perf_gate_emits_bench_critpath(self, tmp_path):
+        critpath_out = tmp_path / "BENCH_critpath.json"
+        argv = ["perf", "--apps", "depth", "--boards", "hardware",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--history", str(tmp_path / "history.jsonl"),
+                "--out", str(tmp_path / "BENCH_profile.json"),
+                "--critpath-out", str(critpath_out)]
+        assert cli_main(argv) == 0
+        document = json.loads(critpath_out.read_text())
+        assert document["schema"] == "repro.bench-critpath/1"
+        row = document["apps"]["DEPTH"]
+        assert row["conservation_ok"] is True
+        assert row["path_cycles"] > 0
+        assert 1 <= len(row["binding_resources"]) <= 3

@@ -180,6 +180,59 @@ class TestChromeExport:
             validate_chrome_trace({"traceEvents": [
                 dict(base, ts=float("inf"), dur=1)]})
 
+    def test_zero_duration_spans_are_legal(self):
+        """Accounting spans may open and close on the same cycle."""
+        events = [
+            {"name": "thread_name", "ph": "M", "ts": 0, "pid": 1,
+             "tid": 0, "args": {"name": "track"}},
+            {"name": "x", "ph": "X", "ts": 4.0, "dur": 0.0,
+             "pid": 1, "tid": 0},
+        ]
+        assert validate_chrome_trace(
+            {"traceEvents": events}) == ["track"]
+
+    def test_rejects_duplicate_span_ids(self):
+        meta = {"name": "thread_name", "ph": "M", "ts": 0, "pid": 1,
+                "tid": 0, "args": {"name": "track"}}
+        span = {"name": "x", "ph": "X", "ts": 0, "dur": 1,
+                "pid": 1, "tid": 0}
+        with pytest.raises(TraceValidationError):
+            validate_chrome_trace({"traceEvents": [
+                meta, dict(span, id=7), dict(span, ts=2, id=7)]})
+        # Distinct ids (or no ids at all) are fine.
+        validate_chrome_trace({"traceEvents": [
+            meta, dict(span, id=7), dict(span, ts=2, id=8),
+            dict(span, ts=4)]})
+
+    def test_export_assigns_unique_sequential_span_ids(
+            self, traced_depth):
+        _, _, tracer = traced_depth
+        document = to_chrome_trace(tracer)
+        ids = [event["id"] for event in document["traceEvents"]
+               if event["ph"] == "X"]
+        assert ids == list(range(len(ids)))
+
+    def test_export_is_deterministic_when_spans_tie(self):
+        """Same events in a different emission order export to the
+        same bytes -- ties on timestamp must not leak tracer
+        internals into the artifact."""
+        def build(order):
+            tracer = Tracer()
+            tracer.span("track a", "first", 0.0, 0.0)  # pin tids
+            tracer.span("track b", "other", 0.0, 0.0)
+            spans = [("track a", "k0", 10.0, 10.0, {"n": 1}),
+                     ("track a", "k0", 10.0, 10.0, {"n": 2}),
+                     ("track a", "k1", 10.0, 12.0, {}),
+                     ("track b", "k0", 10.0, 10.0, {})]
+            for track, name, start, end, args in order(spans):
+                tracer.span(track, name, start, end, **args)
+            tracer.instant("track b", "tick", 10.0)
+            tracer.counter("track a", "occ", {"v": 1.0}, ts=10.0)
+            return json.dumps(to_chrome_trace(tracer),
+                              sort_keys=True)
+
+        assert build(list) == build(lambda s: list(reversed(s)))
+
     def test_rejects_nonmonotonic_counter_series(self):
         meta = {"name": "thread_name", "ph": "M", "ts": 0, "pid": 1,
                 "tid": 0, "args": {"name": "track"}}

@@ -71,7 +71,8 @@ class TestConservation:
 
     def test_components_cover_the_machine(self, profile_matrix):
         machine = MachineConfig()
-        expected = ({"clusters", "host"}
+        expected = ({"clusters", "host", "controller",
+                     "microcontroller"}
                     | {f"ag{i}" for i in range(machine.num_ags)}
                     | {f"dram_ch{i}"
                        for i in range(machine.dram.channels)})
@@ -248,7 +249,9 @@ class TestPerfCli:
         history = tmp_path / "history.jsonl"
         argv = ["perf", "--apps", "depth", "--boards", "hardware",
                 "--cache-dir", str(tmp_path / "cache"),
-                "--history", str(history), "--out", str(out)]
+                "--history", str(history), "--out", str(out),
+                "--critpath-out",
+                str(tmp_path / "BENCH_critpath.json")]
         assert cli_main(argv) == 0
         doc = json.loads(out.read_text())
         assert doc["schema"] == "repro.bench-profile/1"
