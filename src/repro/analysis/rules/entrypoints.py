@@ -45,6 +45,10 @@ ALLOWED = frozenset({
     "tests/test_faults.py",
     "tests/test_observability.py",
     "tests/test_processor.py",
+    # Wedges a processor mid-run (hand-built instruction list with a
+    # forward dependency) to assert watchdog diagnostics carry the
+    # partial critical path; Session only runs well-formed images.
+    "tests/test_serve.py",
     "tests/test_timeline_cli.py",
     # Ablation benchmarks simulate deliberately degraded machines.
     "benchmarks/bench_ablation_descriptors.py",

@@ -20,7 +20,12 @@ Mirrors the paper's evaluation flow from a shell:
   run (``repro.profile-report/1``, ``docs/observability.md``);
 * ``diff A B``   -- compare two profile reports category by category;
 * ``perf``       -- profile the whole catalog, append to the
-  perf-history store and flag regressions against a baseline.
+  perf-history store and flag regressions against a baseline;
+* ``serve``      -- the resilient async HTTP/JSON experiment service
+  (submit/poll/fetch), or ``--soak`` for the seeded chaos load
+  harness (``docs/serving.md``);
+* ``cache``      -- inspect or LRU-prune the content-addressed
+  result cache.
 
 ``microbench``, ``kernels``, ``app`` and ``evaluate`` accept
 ``--json`` for machine-readable reports (see
@@ -643,6 +648,101 @@ def _cmd_perf(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve import (
+        ChaosMonkey,
+        ExperimentService,
+        ServiceConfig,
+        ServiceServer,
+        get_chaos_plan,
+    )
+    from repro.serve.chaos import ChaosPlanError
+
+    try:
+        plan = get_chaos_plan(args.chaos).with_seed(args.seed)
+    except ChaosPlanError as error:
+        print(f"bad chaos plan: {error}", file=sys.stderr)
+        return 2
+
+    if args.soak:
+        from repro.serve.load import run_soak, soak_report_bytes
+
+        report = asyncio.run(run_soak(
+            seed=args.seed, requests=args.soak,
+            cold_digests=args.cold_digests,
+            concurrency=args.concurrency, chaos=args.chaos,
+            data_dir=args.data_dir, workers=args.workers,
+            history=args.history or None))
+        data = soak_report_bytes(report)
+        invariants = report["invariants"]
+        if args.report:
+            try:
+                with open(args.report, "wb") as handle:
+                    handle.write(data)
+            except OSError as error:
+                print(f"cannot write report: {error}", file=sys.stderr)
+                return 2
+            print(f"wrote {args.report}: {args.soak} requests, "
+                  f"plan {args.chaos!r}, "
+                  f"{invariants['accepted_jobs']} accepted, "
+                  f"lost={not invariants['no_lost_jobs']}, "
+                  f"wrong_digest="
+                  f"{invariants['wrong_digest_serves']}")
+        else:
+            sys.stdout.write(data.decode())
+        healthy = (invariants["no_lost_jobs"]
+                   and invariants["digest_integrity"])
+        return 0 if healthy else 1
+
+    config = ServiceConfig(data_dir=args.data_dir,
+                           cache_dir=args.cache_dir,
+                           workers=args.workers,
+                           queue_limit=args.queue_limit,
+                           history=args.history or None)
+    service = ExperimentService(config, chaos=ChaosMonkey(plan))
+    server = ServiceServer(service, host=args.host, port=args.port)
+
+    async def _serve() -> None:
+        await server.start()
+        print(f"serving on http://{server.host}:{server.port} "
+              f"(data {service.data_dir}, {config.workers} workers"
+              + (f", chaos plan {plan.name!r}" if plan.faults else "")
+              + ")", file=sys.stderr)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.engine.cache import ResultCache
+
+    cache = ResultCache(args.cache_dir, max_bytes=args.max_bytes)
+    if args.prune:
+        report = cache.prune(args.max_bytes)
+        print(f"{cache.root}: evicted {report['evicted']} entries "
+              f"({report['freed']} bytes); {report['entries']} "
+              f"entries / {report['bytes']} bytes remain"
+              + (f" (budget {report['max_bytes']})"
+                 if report["max_bytes"] is not None else ""))
+        return 0
+    stats = cache.stats()
+    if args.json:
+        print(json.dumps(stats, indent=2))
+        return 0
+    budget = (f"{stats['max_bytes']}" if stats["max_bytes"] is not None
+              else "unbounded")
+    print(f"{stats['root']}: {stats['entries']} entries, "
+          f"{stats['bytes']} bytes (budget {budget}"
+          + (", OVER BUDGET" if stats["over_budget"] else "") + ")")
+    return 0
+
+
 def _board(args) -> BoardConfig:
     board = (BoardConfig.isim() if getattr(args, "isim", False)
              else BoardConfig.hardware())
@@ -842,6 +942,67 @@ def main(argv: list[str] | None = None) -> int:
                            "binding resources + slack per app on the "
                            "reference board; empty string disables)")
     perf.set_defaults(history="benchmarks/results/history.jsonl")
+    serve = sub.add_parser(
+        "serve", help="run the async experiment service (HTTP/JSON "
+                      "submit/poll/fetch over the engine), or with "
+                      "--soak drive it through the seeded chaos "
+                      "load harness (docs/serving.md)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8321,
+                       help="TCP port (default 8321; 0 = ephemeral)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="engine worker threads (default 2)")
+    serve.add_argument("--queue-limit", type=int, default=64,
+                       help="max queued+running jobs before 429 "
+                            "backpressure (default 64)")
+    serve.add_argument("--data-dir", default=None, metavar="DIR",
+                       help="journal + artifact root (default: a "
+                            "fresh temp dir)")
+    serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="engine result-cache root (default "
+                            "<data-dir>/engine-cache)")
+    serve.add_argument("--chaos", default="none", metavar="PLAN",
+                       help="chaos plan: none | ci-soak | full | a "
+                            ".json plan file (default none)")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="chaos/soak seed; same seed => "
+                            "byte-identical soak report")
+    serve.add_argument("--soak", type=int, default=0, metavar="N",
+                       help="run the load harness with N seeded "
+                            "requests instead of serving, then exit "
+                            "non-zero if any invariant failed")
+    serve.add_argument("--cold-digests", type=int, default=4,
+                       help="distinct request digests in the soak "
+                            "mix (default 4)")
+    serve.add_argument("--concurrency", type=int, default=8,
+                       help="soak client concurrency (default 8)")
+    serve.add_argument("--report", default=None, metavar="PATH",
+                       help="write the repro.soak-report/1 here "
+                            "instead of stdout")
+    serve.add_argument("--history", default=None, metavar="PATH",
+                       help="append repro.serve-load/1 "
+                            "latency/throughput percentiles to this "
+                            "perf-history store")
+    cache = sub.add_parser(
+        "cache", help="inspect or prune the content-addressed "
+                      "result cache (LRU eviction; "
+                      "REPRO_CACHE_MAX_BYTES sets the budget)")
+    cache.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="cache root (default ~/.cache/repro or "
+                            "REPRO_CACHE_DIR)")
+    cache.add_argument("--stats", action="store_true",
+                       help="print occupancy (the default action)")
+    cache.add_argument("--prune", action="store_true",
+                       help="evict least-recently-used entries down "
+                            "to the budget (--max-bytes or "
+                            "REPRO_CACHE_MAX_BYTES)")
+    cache.add_argument("--max-bytes", type=int, default=None,
+                       metavar="N",
+                       help="size budget in bytes (0 empties the "
+                            "cache when pruning)")
+    cache.add_argument("--json", action="store_true",
+                       help="emit stats as JSON")
 
     args = parser.parse_args(argv)
     handler = {
@@ -860,6 +1021,8 @@ def main(argv: list[str] | None = None) -> int:
         "whatif": _cmd_whatif,
         "diff": _cmd_diff,
         "perf": _cmd_perf,
+        "serve": _cmd_serve,
+        "cache": _cmd_cache,
     }[args.command]
     return handler(args)
 

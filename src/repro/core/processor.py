@@ -312,11 +312,20 @@ class ImagineProcessor:
                               "op": states[dep].instruction.op.value}
                              for dep in state.instruction.deps],
                 })
+            # Best-effort: attribution must never mask the original
+            # diagnosis, so any summarisation failure degrades to
+            # critpath=None.
+            try:
+                from repro.obs.critpath import partial_critpath_summary
+
+                critpath = partial_critpath_summary(graph)
+            except Exception:
+                critpath = None
             return DiagnosticBundle(
                 program=name, reason=reason, cycle=now,
                 stalled_events=stalled, scoreboard=scoreboard.dump(),
                 stuck=stuck, host=host.dump(),
-                idle_causes=list(idle_history))
+                idle_causes=list(idle_history), critpath=critpath)
 
         watchdog = ProgressWatchdog(diagnose)
 

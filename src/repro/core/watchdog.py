@@ -45,6 +45,11 @@ class DiagnosticBundle:
     #: Most recent idle-cause attributions: (cycle, cause, duration).
     idle_causes: list[tuple[float, str, float]] = field(
         default_factory=list)
+    #: Partial critical-path attribution at kill time (binding
+    #: resource + heaviest recorded segment), from
+    #: :func:`repro.obs.critpath.partial_critpath_summary`; ``None``
+    #: when the run recorded no usable event graph.
+    critpath: dict | None = None
 
     def as_dict(self) -> dict:
         return {
@@ -56,6 +61,8 @@ class DiagnosticBundle:
             "stuck": [dict(entry) for entry in self.stuck],
             "host": dict(self.host),
             "idle_causes": [list(entry) for entry in self.idle_causes],
+            "critpath": (dict(self.critpath)
+                         if self.critpath is not None else None),
         }
 
     def render(self) -> str:
@@ -95,6 +102,14 @@ class DiagnosticBundle:
             for cycle, cause, duration in self.idle_causes[-5:]:
                 lines.append(f"    @{cycle:.0f} {cause} "
                              f"({duration:.0f} cycles)")
+        if self.critpath:
+            segment = self.critpath.get("top_segment") or {}
+            lines.append(
+                f"  partial critical path: binding resource "
+                f"{self.critpath.get('binding_resource')}; heaviest "
+                f"segment {segment.get('type')} "
+                f"({segment.get('weight', 0):.0f} cycles on "
+                f"{segment.get('resource')})")
         return "\n".join(lines)
 
 

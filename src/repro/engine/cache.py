@@ -7,10 +7,16 @@ or the ``Session(cache_dir=...)`` override)::
     <root>/objects/<d0d1>/<digest>.json   # human-readable manifest
 
 The digest is the :meth:`RunRequest.digest` content hash, so the
-cache needs no eviction logic to stay correct: a changed request,
+cache needs no eviction logic to stay *correct*: a changed request,
 config, fault plan, seed or code salt simply addresses a different
-object.  Writes are atomic (temp file + ``os.replace``); unreadable
-or corrupt entries are treated as misses and removed.
+object.  Eviction exists only to bound disk usage: set
+``REPRO_CACHE_MAX_BYTES`` (or ``ResultCache(max_bytes=...)``) and the
+cache evicts least-recently-*used* entries -- loads refresh an
+entry's mtime, which is the LRU clock -- until it fits.  Writes are
+atomic (temp file + ``os.replace``), as is the ``index.json``
+summary the eviction pass maintains; unreadable or corrupt entries
+are treated as misses and removed.  ``repro cache --stats/--prune``
+exposes the same machinery from the command line.
 """
 
 from __future__ import annotations
@@ -20,7 +26,7 @@ import os
 import pathlib
 import pickle
 import tempfile
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.request import RunRequest
@@ -28,6 +34,22 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: Version tag stored with every cache object; bump on layout changes.
 CACHE_FORMAT = 1
+
+#: Environment override for the size budget (bytes; unset/0 = unbounded).
+MAX_BYTES_ENV = "REPRO_CACHE_MAX_BYTES"
+
+
+def configured_max_bytes() -> int | None:
+    """The ``REPRO_CACHE_MAX_BYTES`` budget, or ``None`` when unset,
+    zero or unparseable (an unbounded cache, the historical default)."""
+    raw = os.environ.get(MAX_BYTES_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
 
 
 def default_cache_dir() -> pathlib.Path:
@@ -41,13 +63,23 @@ def default_cache_dir() -> pathlib.Path:
 
 
 class ResultCache:
-    """Digest -> RunOutcome store with atomic writes."""
+    """Digest -> RunOutcome store with atomic writes and optional
+    size-capped LRU eviction."""
 
-    def __init__(self, root: pathlib.Path | str | None = None) -> None:
+    def __init__(self, root: pathlib.Path | str | None = None,
+                 max_bytes: int | None = None) -> None:
         self.root = pathlib.Path(root) if root else default_cache_dir()
+        self.max_bytes = (max_bytes if max_bytes is not None
+                          else configured_max_bytes())
+        if self.max_bytes is not None and self.max_bytes <= 0:
+            self.max_bytes = None
 
     def _object_path(self, digest: str) -> pathlib.Path:
         return self.root / "objects" / digest[:2] / f"{digest}.pkl"
+
+    @property
+    def index_path(self) -> pathlib.Path:
+        return self.root / "index.json"
 
     # ------------------------------------------------------------------
     def load(self, digest: str) -> "RunOutcome | None":
@@ -66,7 +98,16 @@ class ResultCache:
         if not isinstance(entry, dict) or entry.get("format") != CACHE_FORMAT:
             self._discard(digest)
             return None
+        self._touch(path)
         return entry.get("outcome")
+
+    @staticmethod
+    def _touch(path: pathlib.Path) -> None:
+        """Refresh the LRU clock (entry mtime) on a hit."""
+        try:
+            os.utime(path)
+        except OSError:
+            pass
 
     def store(self, digest: str, outcome: "RunOutcome",
               request: "RunRequest") -> None:
@@ -90,8 +131,85 @@ class ResultCache:
                 path.with_suffix(".json"),
                 (json.dumps(summary, sort_keys=True, indent=2)
                  + "\n").encode())
+            if self.max_bytes is not None:
+                self.prune(self.max_bytes)
         except OSError:
             # A read-only or full cache dir must never fail the run.
+            pass
+
+    # ------------------------------------------------------------------
+    # Size accounting, LRU eviction and the on-disk index.
+    # ------------------------------------------------------------------
+    def entries(self) -> list[dict[str, Any]]:
+        """Every cached object, oldest-use first: digest, byte size
+        (pickle + manifest) and last-use timestamp."""
+        base = self.root / "objects"
+        if not base.exists():
+            return []
+        rows = []
+        for path in base.glob("*/*.pkl"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            size = stat.st_size
+            try:
+                size += path.with_suffix(".json").stat().st_size
+            except OSError:
+                pass
+            rows.append({"digest": path.stem, "bytes": size,
+                         "last_used": stat.st_mtime})
+        rows.sort(key=lambda row: (row["last_used"], row["digest"]))
+        return rows
+
+    def stats(self) -> dict[str, Any]:
+        """Occupancy summary (also persisted as ``index.json``)."""
+        rows = self.entries()
+        total = sum(row["bytes"] for row in rows)
+        return {
+            "root": str(self.root),
+            "entries": len(rows),
+            "bytes": total,
+            "max_bytes": self.max_bytes,
+            "over_budget": (self.max_bytes is not None
+                            and total > self.max_bytes),
+        }
+
+    def prune(self, max_bytes: int | None = None) -> dict[str, Any]:
+        """Evict least-recently-used entries until the cache fits in
+        ``max_bytes`` (defaults to the configured budget; 0 empties
+        the cache).  Returns ``{"evicted": n, "freed": bytes, ...}``
+        and atomically rewrites ``index.json``."""
+        budget = self.max_bytes if max_bytes is None else max_bytes
+        rows = self.entries()
+        total = sum(row["bytes"] for row in rows)
+        evicted = 0
+        freed = 0
+        if budget is not None:
+            for row in rows:
+                if total <= budget:
+                    break
+                self._discard(row["digest"])
+                total -= row["bytes"]
+                freed += row["bytes"]
+                evicted += 1
+        self._write_index(entries=len(rows) - evicted, total=total)
+        return {"evicted": evicted, "freed": freed,
+                "entries": len(rows) - evicted, "bytes": total,
+                "max_bytes": budget}
+
+    def _write_index(self, entries: int, total: int) -> None:
+        """Atomic ``index.json`` refresh (temp file + rename), so a
+        concurrent reader never sees a torn summary."""
+        index = {"format": CACHE_FORMAT, "entries": entries,
+                 "bytes": total, "max_bytes": self.max_bytes}
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            self._atomic_write(
+                self.index_path,
+                (json.dumps(index, sort_keys=True, indent=2)
+                 + "\n").encode())
+        except OSError:
             pass
 
     def _discard(self, digest: str) -> None:
@@ -118,4 +236,5 @@ class ResultCache:
             raise
 
 
-__all__ = ["CACHE_FORMAT", "ResultCache", "default_cache_dir"]
+__all__ = ["CACHE_FORMAT", "MAX_BYTES_ENV", "ResultCache",
+           "configured_max_bytes", "default_cache_dir"]

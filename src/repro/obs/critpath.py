@@ -420,6 +420,56 @@ def critpath_summary(result: "RunResult") -> dict[str, Any] | None:
     }
 
 
+def partial_critpath_summary(graph: "EventGraph | None"
+                             ) -> dict[str, Any] | None:
+    """Best-effort attribution for an *unfinished* run.
+
+    A killed or stuck run has no end node, so no path can be
+    extracted; what the graph does hold is every timing constraint
+    recorded so far.  Summing recorded edge weights per resource
+    (and per profile leaf) says which resource had consumed the most
+    constrained cycles when the run died -- the watchdog attaches
+    this to its :class:`~repro.core.watchdog.DiagnosticBundle` so a
+    livelock report names a suspect, not just a cycle count.
+    """
+    if graph is None or not getattr(graph, "edges", None):
+        return None
+    resources: dict[str, float] = {}
+    leaves: dict[str, float] = {}
+    top_edge = None
+    for edge in graph.edges:
+        resource = _edge_resource(edge)
+        if resource is None:
+            continue
+        resources[resource] = (resources.get(resource, 0.0)
+                               + edge.weight)
+        for leaf, cycles in _edge_leaves(edge, edge.weight).items():
+            leaves[leaf] = leaves.get(leaf, 0.0) + cycles
+        if top_edge is None or edge.weight > top_edge.weight:
+            top_edge = edge
+    if not resources or top_edge is None:
+        return None
+    ranked = sorted(resources,
+                    key=lambda name: (-resources[name], name))
+    return {
+        "kind": "partial",
+        "edges": len(graph.edges),
+        "binding_resource": ranked[0],
+        "resource_cycles": {name: resources[name]
+                            for name in ranked},
+        "top_segment": {
+            "type": top_edge.type,
+            "weight": top_edge.weight,
+            "resource": _edge_resource(top_edge),
+        },
+        "top_leaves": {
+            leaf: leaves[leaf]
+            for leaf in sorted(leaves,
+                               key=lambda key: (-leaves[key],
+                                                key))[:5]},
+    }
+
+
 def build_critpath(result: "RunResult") -> dict[str, Any]:
     """Full ``repro.critpath-report/1`` for a finished run, including
     the conservation and profile-bounds cross-checks.
@@ -825,6 +875,7 @@ __all__ = [
     "build_whatif",
     "critpath_summary",
     "parse_scales",
+    "partial_critpath_summary",
     "project_whatif",
     "render_critpath",
     "render_whatif",

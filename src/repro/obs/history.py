@@ -13,15 +13,29 @@ already present is a no-op, so re-running a warm-cache sweep leaves
 the file byte-identical (asserted in CI).  Runs without a digest
 (traced or hand-built bundles) are not recordable -- they have no
 stable identity to key on.
+
+Appends go through :func:`append_entries`, which holds an exclusive
+``flock`` on the file for the whole dedup-scan-plus-write, so
+concurrent writers (parallel benchmark jobs, the serve load harness)
+cannot interleave partial lines or double-append the same digest.
+The store is shared: serve-load lines (``repro.serve-load/1``) live
+in the same file and :func:`read_history` skips them, exactly as it
+skips any alien line.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
-from typing import TYPE_CHECKING, Any, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 from repro.obs.profile import build_profile
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.processor import RunResult
@@ -100,26 +114,78 @@ def recorded_digests(path: str | pathlib.Path) -> set[str]:
     return {entry["digest"] for entry in read_history(path)}
 
 
+def append_entries(path: str | pathlib.Path,
+                   entries: Iterable[dict[str, Any] | None],
+                   dedup: Callable[[dict[str, Any]], str | None]
+                   | None = None) -> int:
+    """Append JSONL entries under an exclusive file lock.
+
+    The lock is held across the dedup scan *and* the write, so two
+    concurrent appenders serialize: each sees the other's completed
+    lines, no line is ever torn, and (with ``dedup``) no key is
+    written twice.  ``dedup`` maps an entry to its identity key (or
+    ``None`` for skip-dedup); existing lines that fail to parse are
+    ignored, exactly as :func:`read_history` ignores them.  Returns
+    the number of entries written.
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    # a+ so the file is created when absent; reads must rewind first.
+    with path.open("a+", encoding="utf-8") as handle:
+        if fcntl is not None:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        try:
+            seen: set[str] = set()
+            if dedup is not None:
+                handle.seek(0)
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        existing = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue
+                    if isinstance(existing, dict):
+                        key = dedup(existing)
+                        if key is not None:
+                            seen.add(key)
+            handle.seek(0, os.SEEK_END)
+            written = 0
+            for entry in entries:
+                if entry is None:
+                    continue
+                if dedup is not None:
+                    key = dedup(entry)
+                    if key is not None:
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                handle.write(json.dumps(entry, sort_keys=True) + "\n")
+                written += 1
+            handle.flush()
+            os.fsync(handle.fileno())
+        finally:
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+    return written
+
+
+def _perf_digest(entry: dict[str, Any]) -> str | None:
+    """Dedup key for perf-history lines: the request digest, scoped
+    to this schema so serve-load lines never collide."""
+    if (entry.get("schema") == HISTORY_SCHEMA
+            and isinstance(entry.get("digest"), str)):
+        return entry["digest"]
+    return None
+
+
 def append_history(path: str | pathlib.Path,
                    entries: Iterable[dict[str, Any] | None]) -> int:
-    """Append new entries, deduplicated by digest; returns the number
-    actually written.  ``None`` entries (digest-less runs) are
-    skipped."""
-    path = pathlib.Path(path)
-    seen = recorded_digests(path)
-    fresh = []
-    for entry in entries:
-        if entry is None or entry["digest"] in seen:
-            continue
-        seen.add(entry["digest"])
-        fresh.append(entry)
-    if not fresh:
-        return 0
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("a") as handle:
-        for entry in fresh:
-            handle.write(json.dumps(entry, sort_keys=True) + "\n")
-    return len(fresh)
+    """Append new perf entries, deduplicated by digest under the file
+    lock; returns the number actually written.  ``None`` entries
+    (digest-less runs) are skipped."""
+    return append_entries(path, entries, dedup=_perf_digest)
 
 
 __all__ = [
@@ -128,5 +194,6 @@ __all__ = [
     "history_entry",
     "read_history",
     "recorded_digests",
+    "append_entries",
     "append_history",
 ]

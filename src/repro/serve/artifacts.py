@@ -1,0 +1,131 @@
+"""Digest-keyed artifact store (``repro.serve.artifact/1``).
+
+Finished results are written as self-checking JSON envelopes::
+
+    <root>/artifacts/<d0d1>/<digest>.json
+
+Each envelope records the request digest it answers and a sha256
+checksum over its canonical body; :meth:`ArtifactStore.load` verifies
+both before serving, so a corrupted or truncated entry -- including
+one mangled by the chaos harness -- reads as a *miss*, never as a
+wrong-digest artifact.  Loading is pure I/O over the standard
+library: the hot path of the service imports no simulator code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from typing import Any, Callable
+
+#: Version tag on every artifact envelope.
+ARTIFACT_SCHEMA = "repro.serve.artifact/1"
+
+
+def _canonical(body: Any) -> str:
+    return json.dumps(body, sort_keys=True, separators=(",", ":"))
+
+
+def _checksum(digest: str, body: Any) -> str:
+    material = f"{digest}\n{_canonical(body)}".encode()
+    return hashlib.sha256(material).hexdigest()
+
+
+class ArtifactStore:
+    """Content-addressed JSON artifacts with integrity verification."""
+
+    def __init__(self, root: str | pathlib.Path,
+                 on_written: Callable[[pathlib.Path], None]
+                 | None = None) -> None:
+        self.root = pathlib.Path(root)
+        #: Post-write hook; the chaos harness uses it to corrupt or
+        #: truncate freshly written entries.
+        self.on_written = on_written
+
+    def path(self, digest: str) -> pathlib.Path:
+        return (self.root / "artifacts" / digest[:2]
+                / f"{digest}.json")
+
+    # ------------------------------------------------------------------
+    def store(self, digest: str, body: Any) -> pathlib.Path:
+        """Atomically persist ``body`` as the artifact for ``digest``."""
+        envelope = {
+            "schema": ARTIFACT_SCHEMA,
+            "digest": digest,
+            "checksum": _checksum(digest, body),
+            "body": body,
+        }
+        path = self.path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        data = (json.dumps(envelope, sort_keys=True, indent=2)
+                + "\n").encode()
+        fd, tmp = tempfile.mkstemp(dir=path.parent,
+                                   prefix=f".{path.name}.")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        if self.on_written is not None:
+            self.on_written(path)
+        return path
+
+    def load(self, digest: str) -> dict[str, Any] | None:
+        """The verified envelope for ``digest``, or ``None``.
+
+        A missing, unparseable, mis-addressed or checksum-mismatched
+        entry is a miss; corrupt entries are discarded so the next
+        execution rewrites them.
+        """
+        path = self.path(digest)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                envelope = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self.discard(digest)
+            return None
+        if (not isinstance(envelope, dict)
+                or envelope.get("schema") != ARTIFACT_SCHEMA
+                or envelope.get("digest") != digest
+                or envelope.get("checksum")
+                != _checksum(digest, envelope.get("body"))):
+            self.discard(digest)
+            return None
+        return envelope
+
+    def has(self, digest: str) -> bool:
+        """Cheap existence probe (no integrity verification)."""
+        return self.path(digest).exists()
+
+    def discard(self, digest: str) -> None:
+        try:
+            self.path(digest).unlink()
+        except OSError:
+            pass
+
+    def stats(self) -> dict[str, Any]:
+        """Entry count and total bytes on disk."""
+        entries = 0
+        total = 0
+        base = self.root / "artifacts"
+        if base.exists():
+            for path in base.rglob("*.json"):
+                try:
+                    total += path.stat().st_size
+                    entries += 1
+                except OSError:
+                    continue
+        return {"entries": entries, "bytes": total}
+
+
+__all__ = ["ARTIFACT_SCHEMA", "ArtifactStore"]

@@ -1,0 +1,349 @@
+"""Chaos plans for the experiment service.
+
+The same discipline :mod:`repro.faults` applies to the *simulated*
+machine -- named, seeded, JSON-loadable fault plans with
+deterministic firing schedules -- applied one level up, to the
+machinery that runs it.  A :class:`ChaosPlan` mirrors the
+:class:`~repro.faults.models.FaultPlan` shape (``name``, ``seed``,
+``faults: [{kind, params}]``) and drives a :class:`ChaosMonkey`
+threaded through the service and the load harness:
+
+==========================  =============================================
+kind                        parameters (defaults in brackets)
+==========================  =============================================
+``worker_kill``             kill executions ``start`` (1), then every
+                            ``every`` (0 = once), ``count`` times (1)
+``cache_corrupt``           flip bytes in artifact write number
+                            ``start`` (2), ``count`` times (1)
+``cache_truncate``          truncate artifact write number ``start``
+                            (3), ``count`` times (1)
+``slow_client``             drip-feed request bytes for request
+                            indices ``start`` (5), every ``every``
+                            (0), ``count`` (1); ``delay_s`` (0.2)
+``client_disconnect``       hang up mid-request at indices ``start``
+                            (7), every ``every`` (0), ``count`` (1)
+``clock_skew``              skew the service clock by ``skew_s``
+                            (1.5) seconds
+==========================  =============================================
+
+Injection points are *counted*, not timed, so the number of injected
+events is deterministic for a given plan + request sequence even
+though worker scheduling is not -- which is what lets the soak report
+stay byte-identical across reruns (``repro.soak-report/1``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import threading
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+#: The injectable service-fault families.
+CHAOS_KINDS = ("worker_kill", "cache_corrupt", "cache_truncate",
+               "slow_client", "client_disconnect", "clock_skew")
+
+#: Per-kind parameter defaults.
+_DEFAULTS: dict[str, dict[str, Any]] = {
+    "worker_kill": {"start": 1, "every": 0, "count": 1},
+    "cache_corrupt": {"start": 2, "every": 0, "count": 1},
+    "cache_truncate": {"start": 3, "every": 0, "count": 1},
+    "slow_client": {"start": 5, "every": 0, "count": 1,
+                    "delay_s": 0.2},
+    "client_disconnect": {"start": 7, "every": 0, "count": 1},
+    "clock_skew": {"skew_s": 1.5},
+}
+
+
+class ChaosPlanError(ValueError):
+    """Malformed chaos plan (bad kind, parameter, or JSON shape)."""
+
+
+class ChaosWorkerKill(RuntimeError):
+    """An injected worker crash (an infrastructure failure: the
+    service must retry it, never surface it as a result)."""
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """One chaos fault: a kind plus validated parameters."""
+
+    kind: str
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in CHAOS_KINDS:
+            raise ChaosPlanError(
+                f"unknown chaos kind {self.kind!r}; known: "
+                f"{', '.join(CHAOS_KINDS)}")
+        defaults = _DEFAULTS[self.kind]
+        unknown = set(self.params) - set(defaults)
+        if unknown:
+            raise ChaosPlanError(
+                f"{self.kind}: unknown parameter(s) {sorted(unknown)}")
+        merged = {**defaults, **self.params}
+        for name, value in merged.items():
+            if name.endswith("_s"):
+                if not isinstance(value, (int, float)) or value < 0:
+                    raise ChaosPlanError(
+                        f"{self.kind}.{name} must be a non-negative "
+                        f"number, got {value!r}")
+            elif not isinstance(value, int) or value < 0:
+                raise ChaosPlanError(
+                    f"{self.kind}.{name} must be a non-negative "
+                    f"integer, got {value!r}")
+        object.__setattr__(self, "params", merged)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind,
+                "params": {k: self.params[k]
+                           for k in sorted(self.params)}}
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A named, seeded tuple of chaos faults."""
+
+    name: str
+    faults: tuple[ChaosSpec, ...] = ()
+    seed: int = 0
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def with_seed(self, seed: int) -> "ChaosPlan":
+        return replace(self, seed=seed)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"name": self.name, "seed": self.seed,
+                "faults": [spec.as_dict() for spec in self.faults]}
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "ChaosPlan":
+        if not isinstance(document, Mapping):
+            raise ChaosPlanError("chaos plan must be an object")
+        unknown = set(document) - {"name", "seed", "faults"}
+        if unknown:
+            raise ChaosPlanError(
+                f"unknown plan field(s) {sorted(unknown)}")
+        name = document.get("name")
+        if not isinstance(name, str) or not name:
+            raise ChaosPlanError("plan needs a non-empty 'name'")
+        seed = document.get("seed", 0)
+        if not isinstance(seed, int):
+            raise ChaosPlanError("'seed' must be an integer")
+        raw = document.get("faults", [])
+        if not isinstance(raw, list):
+            raise ChaosPlanError("'faults' must be a list")
+        faults = []
+        for entry in raw:
+            if not isinstance(entry, Mapping) or "kind" not in entry:
+                raise ChaosPlanError(
+                    f"each fault needs a 'kind': {entry!r}")
+            faults.append(ChaosSpec(str(entry["kind"]),
+                                    dict(entry.get("params", {}))))
+        return cls(name=name, faults=tuple(faults), seed=seed)
+
+    @classmethod
+    def from_file(cls, path: str | pathlib.Path) -> "ChaosPlan":
+        try:
+            with open(path, encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            raise ChaosPlanError(
+                f"cannot load chaos plan {path!r}: {error}") from error
+        return cls.from_dict(document)
+
+
+#: Curated scenarios.  ``ci-soak`` is the CI smoke: one worker kill
+#: plus one corrupted cache entry under ~200 mixed requests.
+BUILTIN_CHAOS_PLANS: dict[str, ChaosPlan] = {
+    "none": ChaosPlan(name="none"),
+    "ci-soak": ChaosPlan(name="ci-soak", faults=(
+        ChaosSpec("worker_kill", {"start": 1, "count": 1}),
+        ChaosSpec("cache_corrupt", {"start": 2, "count": 1}),
+    )),
+    "full": ChaosPlan(name="full", faults=(
+        ChaosSpec("worker_kill", {"start": 1, "every": 5, "count": 2}),
+        ChaosSpec("cache_corrupt", {"start": 2, "count": 1}),
+        ChaosSpec("cache_truncate", {"start": 3, "count": 1}),
+        ChaosSpec("slow_client", {"start": 5, "count": 2, "every": 20,
+                                  "delay_s": 0.05}),
+        ChaosSpec("client_disconnect", {"start": 7, "count": 2,
+                                        "every": 30}),
+        ChaosSpec("clock_skew", {"skew_s": 1.5}),
+    )),
+}
+
+
+def get_chaos_plan(name_or_path: str) -> ChaosPlan:
+    """Resolve a builtin chaos plan name or a JSON plan file path."""
+    if name_or_path in BUILTIN_CHAOS_PLANS:
+        return BUILTIN_CHAOS_PLANS[name_or_path]
+    if name_or_path.endswith(".json") or "/" in name_or_path:
+        return ChaosPlan.from_file(name_or_path)
+    raise ChaosPlanError(
+        f"unknown chaos plan {name_or_path!r}; builtin plans: "
+        f"{', '.join(sorted(BUILTIN_CHAOS_PLANS))} "
+        "(or pass a .json file)")
+
+
+def _indices(params: Mapping[str, Any]) -> set[int]:
+    """The 1-based event indices a counted spec fires on."""
+    start = int(params.get("start", 1))
+    every = int(params.get("every", 0))
+    count = int(params.get("count", 1))
+    if count == 0:
+        return set()
+    if every == 0:
+        return {start} if count else set()
+    return {start + every * i for i in range(count)}
+
+
+class ChaosMonkey:
+    """Runtime injector for one service + load-harness pair.
+
+    Thread-safe: execution and artifact-write counters are shared
+    between worker threads.  All firing decisions are pure functions
+    of the plan and the event counters, so two seeded reruns inject
+    the same faults at the same counted points.
+    """
+
+    def __init__(self, plan: ChaosPlan | None = None) -> None:
+        self.plan = plan if plan is not None else \
+            BUILTIN_CHAOS_PLANS["none"]
+        self._lock = threading.Lock()
+        self._executions = 0
+        self._artifact_writes = 0
+        self._kill_at: set[int] = set()
+        self._corrupt_at: set[int] = set()
+        self._truncate_at: set[int] = set()
+        self._slow_at: set[int] = set()
+        self._slow_delay_s = 0.0
+        self._disconnect_at: set[int] = set()
+        self._skew_s = 0.0
+        self.fired: dict[str, int] = {kind: 0 for kind in CHAOS_KINDS}
+        for spec in self.plan:
+            if spec.kind == "worker_kill":
+                self._kill_at |= _indices(spec.params)
+            elif spec.kind == "cache_corrupt":
+                self._corrupt_at |= _indices(spec.params)
+            elif spec.kind == "cache_truncate":
+                self._truncate_at |= _indices(spec.params)
+            elif spec.kind == "slow_client":
+                self._slow_at |= _indices(spec.params)
+                self._slow_delay_s = max(self._slow_delay_s,
+                                         float(spec.params["delay_s"]))
+            elif spec.kind == "client_disconnect":
+                self._disconnect_at |= _indices(spec.params)
+            elif spec.kind == "clock_skew":
+                self._skew_s += float(spec.params["skew_s"])
+
+    @classmethod
+    def disabled(cls) -> "ChaosMonkey":
+        return cls(BUILTIN_CHAOS_PLANS["none"])
+
+    # ------------------------------------------------------------------
+    # Service-side hooks.
+    # ------------------------------------------------------------------
+    def execution_started(self) -> None:
+        """Called at the top of every worker execution; raises
+        :class:`ChaosWorkerKill` on scheduled kill points."""
+        with self._lock:
+            self._executions += 1
+            kill = self._executions in self._kill_at
+            if kill:
+                self.fired["worker_kill"] += 1
+                n = self._executions
+        if kill:
+            raise ChaosWorkerKill(
+                f"chaos: worker killed on execution #{n}")
+
+    def artifact_written(self, path: pathlib.Path) -> None:
+        """Post-write artifact hook: corrupt or truncate on schedule."""
+        with self._lock:
+            self._artifact_writes += 1
+            n = self._artifact_writes
+            corrupt = n in self._corrupt_at
+            truncate = n in self._truncate_at
+            if corrupt:
+                self.fired["cache_corrupt"] += 1
+            if truncate:
+                self.fired["cache_truncate"] += 1
+        try:
+            if truncate:
+                size = path.stat().st_size
+                with open(path, "r+b") as handle:
+                    handle.truncate(max(size // 2, 1))
+            elif corrupt:
+                with open(path, "r+b") as handle:
+                    data = bytearray(handle.read())
+                    if data:
+                        mid = len(data) // 2
+                        data[mid] = (data[mid] + 1) % 256
+                        handle.seek(0)
+                        handle.write(bytes(data))
+        except OSError:  # pragma: no cover - corruption is best-effort
+            pass
+
+    def clock_skew_s(self) -> float:
+        return self._skew_s
+
+    # ------------------------------------------------------------------
+    # Client-side hooks (consumed by the load harness).
+    # ------------------------------------------------------------------
+    def client_behaviour(self, request_index: int) -> str | None:
+        """``"slow"``/``"disconnect"``/None for 1-based request
+        indices in the load sequence."""
+        if request_index in self._disconnect_at:
+            with self._lock:
+                self.fired["client_disconnect"] += 1
+            return "disconnect"
+        if request_index in self._slow_at:
+            with self._lock:
+                self.fired["slow_client"] += 1
+            return "slow"
+        return None
+
+    @property
+    def slow_delay_s(self) -> float:
+        return self._slow_delay_s
+
+    # ------------------------------------------------------------------
+    # Reporting.
+    # ------------------------------------------------------------------
+    def configured(self) -> dict[str, int]:
+        """Planned injection counts per kind (deterministic)."""
+        counts = {kind: 0 for kind in CHAOS_KINDS}
+        for spec in self.plan:
+            if spec.kind == "clock_skew":
+                counts[spec.kind] += 1
+            else:
+                counts[spec.kind] += len(_indices(spec.params))
+        return counts
+
+    def summary(self) -> dict[str, Any]:
+        configured = self.configured()
+        if self._skew_s:
+            self.fired["clock_skew"] = configured["clock_skew"]
+        return {
+            "plan": self.plan.name,
+            "seed": self.plan.seed,
+            "configured": {k: configured[k] for k in sorted(configured)
+                           if configured[k]},
+            "fired": {k: self.fired[k] for k in sorted(self.fired)
+                      if self.fired[k]},
+        }
+
+
+__all__ = [
+    "BUILTIN_CHAOS_PLANS",
+    "CHAOS_KINDS",
+    "ChaosMonkey",
+    "ChaosPlan",
+    "ChaosPlanError",
+    "ChaosSpec",
+    "ChaosWorkerKill",
+    "get_chaos_plan",
+]

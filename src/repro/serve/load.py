@@ -1,0 +1,324 @@
+"""Seeded load/soak harness for the experiment service.
+
+Drives a live :class:`~repro.serve.http.ServiceServer` with a seeded
+mix of hot and cold submissions at bounded concurrency while the
+chaos monkey kills workers, corrupts cache entries, slows and
+disconnects clients, and skews the deadline clock -- then checks the
+service's promises and writes two documents:
+
+* a ``repro.soak-report/1`` containing only **timing-invariant**
+  facts (the seeded request mix, per-digest terminal outcomes,
+  configured vs. fired chaos injections, the invariant verdicts), so
+  two runs with the same seed produce byte-identical reports;
+* optional ``repro.serve-load/1`` lines in the perf-history store
+  carrying the wall-clock side (hot vs. cold latency percentiles,
+  throughput), which is *expected* to vary run to run and therefore
+  lives outside the byte-stable report.
+
+The invariants asserted (and reported):
+
+* **no lost jobs** -- every job the journal accepted reaches a
+  terminal journal event;
+* **digest integrity** -- every artifact served or stored verifies
+  against the digest that addresses it (a corrupted entry may cost a
+  re-execution, never a wrong answer);
+* **chaos accounting** -- every configured injection actually fired.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import time
+from typing import Any
+
+from repro.serve.chaos import ChaosMonkey, get_chaos_plan
+from repro.serve.http import ServiceServer, http_request
+from repro.serve.journal import TERMINAL_EVENTS
+from repro.serve.models import ServiceConfig
+from repro.serve.service import ExperimentService
+
+#: Version tag on the byte-stable soak report.
+SOAK_SCHEMA = "repro.soak-report/1"
+
+#: Version tag on wall-clock load lines in the perf-history store.
+LOAD_SCHEMA = "repro.serve-load/1"
+
+#: Seeded cold payload variants (small, so a soak stays in CI budget).
+_COLD_VARIANTS = (
+    {"app": "depth", "sizes": {"width": 48, "height": 32}},
+    {"app": "qrd", "sizes": {"rows": 48, "cols": 12}},
+    {"app": "depth", "sizes": {"width": 56, "height": 32}},
+    {"app": "qrd", "sizes": {"rows": 64, "cols": 12}},
+    {"app": "depth", "sizes": {"width": 64, "height": 32}},
+    {"app": "qrd", "sizes": {"rows": 80, "cols": 12}},
+)
+
+
+def build_request_mix(seed: int = 0, requests: int = 200,
+                      cold_digests: int = 4) -> list[dict]:
+    """The seeded submission list: ``requests`` payloads drawn over
+    ``cold_digests`` distinct request digests, so early submissions
+    are cold and the long tail hammers the hot artifact path."""
+    if not 1 <= cold_digests <= len(_COLD_VARIANTS):
+        raise ValueError(
+            f"cold_digests must be in 1..{len(_COLD_VARIANTS)}, "
+            f"got {cold_digests}")
+    rng = random.Random(seed)
+    variants = [dict(variant, deadline_s=120.0)
+                for variant in _COLD_VARIANTS[:cold_digests]]
+    mix = []
+    for index in range(requests):
+        if index < cold_digests:
+            # Seed every distinct digest once, in order, so each is
+            # genuinely cold exactly once per fresh data dir.
+            mix.append(variants[index])
+        else:
+            mix.append(variants[rng.randrange(cold_digests)])
+    return mix
+
+
+def _percentiles(samples: list[float]) -> dict[str, float]:
+    if not samples:
+        return {"count": 0}
+    ordered = sorted(samples)
+
+    def at(q: float) -> float:
+        return ordered[min(len(ordered) - 1,
+                           int(q * len(ordered)))]
+
+    return {
+        "count": len(ordered),
+        "mean_ms": round(sum(ordered) / len(ordered) * 1e3, 3),
+        "p50_ms": round(at(0.50) * 1e3, 3),
+        "p90_ms": round(at(0.90) * 1e3, 3),
+        "p99_ms": round(at(0.99) * 1e3, 3),
+        "max_ms": round(ordered[-1] * 1e3, 3),
+    }
+
+
+def _payload_key(payload: dict) -> str:
+    return json.dumps(
+        {key: payload[key] for key in sorted(payload)
+         if key != "deadline_s"},
+        sort_keys=True, separators=(",", ":"))
+
+
+async def _drive_one(server: ServiceServer, monkey: ChaosMonkey,
+                     index: int, payload: dict,
+                     record: dict) -> None:
+    """Submit one request, honouring the chaos client behaviour for
+    this (1-based) request index, retrying admission refusals."""
+    behaviour = monkey.client_behaviour(index)
+    if behaviour == "disconnect":
+        status, _, _ = await http_request(
+            server.host, server.port, "POST", "/v1/jobs", payload,
+            disconnect=True)
+        record["fate"] = "client_aborted"
+        return
+    slow_s = monkey.slow_delay_s if behaviour == "slow" else 0.0
+    started = time.monotonic()
+    for _attempt in range(50):
+        status, headers, document = await http_request(
+            server.host, server.port, "POST", "/v1/jobs", payload,
+            slow_s=slow_s)
+        if status in (429, 503):
+            # Honour the advertised backpressure, scaled down so a
+            # soak converges quickly; the retry count is wall-clock
+            # dependent and deliberately not reported.
+            retry_after = float(headers.get("retry-after", "1"))
+            await asyncio.sleep(min(retry_after, 0.25))
+            continue
+        break
+    record["status"] = status
+    if status == 200:
+        record["fate"] = "hot"
+        record["job_id"] = document["job"]["id"]
+        record["digest"] = document["job"]["digest"]
+        record["latency_s"] = time.monotonic() - started
+        return
+    if status != 202:
+        record["fate"] = f"refused_{status}"
+        return
+    record["fate"] = "cold"
+    record["job_id"] = document["job"]["id"]
+    record["digest"] = document["job"]["digest"]
+    # Poll to terminal: cold latency covers queue + execution.
+    job_id = record["job_id"]
+    while True:
+        status, _, document = await http_request(
+            server.host, server.port, "GET", f"/v1/jobs/{job_id}")
+        if status == 200 and document["job"]["state"] in (
+                "completed", "failed"):
+            record["terminal"] = document["job"]["state"]
+            break
+        await asyncio.sleep(0.05)
+    record["latency_s"] = time.monotonic() - started
+
+
+async def run_soak(*, seed: int = 0, requests: int = 200,
+                   cold_digests: int = 4, concurrency: int = 8,
+                   chaos: str = "ci-soak",
+                   data_dir: str | None = None,
+                   workers: int = 2,
+                   history: str | None = None,
+                   queue_limit: int = 64) -> dict[str, Any]:
+    """One full soak: returns the ``repro.soak-report/1`` dict.
+
+    ``data_dir`` should be a *fresh* directory (the default tempdir
+    is) -- byte-identical reruns rely on every digest starting cold.
+    """
+    plan = get_chaos_plan(chaos).with_seed(seed)
+    monkey = ChaosMonkey(plan)
+    config = ServiceConfig(data_dir=data_dir, workers=workers,
+                           queue_limit=queue_limit,
+                           default_deadline_s=120.0,
+                           journal_fsync=False)
+    service = ExperimentService(config, chaos=monkey)
+    server = ServiceServer(service)
+    await server.start()
+    mix = build_request_mix(seed=seed, requests=requests,
+                            cold_digests=cold_digests)
+    records: list[dict] = [{"index": index + 1,
+                            "key": _payload_key(payload)}
+                           for index, payload in enumerate(mix)]
+    gate = asyncio.Semaphore(concurrency)
+    started = time.monotonic()
+
+    async def bounded(index: int) -> None:
+        async with gate:
+            await _drive_one(server, monkey, index + 1, mix[index],
+                             records[index])
+
+    try:
+        await asyncio.gather(*(bounded(index)
+                               for index in range(len(mix))))
+        drained = await service.drain(timeout_s=300.0)
+        elapsed = time.monotonic() - started
+        report = _build_report(service, monkey, records,
+                               seed=seed, requests=requests,
+                               cold_digests=cold_digests,
+                               chaos=chaos, drained=drained)
+        if history is not None:
+            _publish_history(history, records, elapsed, seed=seed,
+                             requests=requests,
+                             concurrency=concurrency, chaos=chaos)
+    finally:
+        await server.stop()
+    return report
+
+
+def _build_report(service: ExperimentService, monkey: ChaosMonkey,
+                  records: list[dict], *, seed: int, requests: int,
+                  cold_digests: int, chaos: str,
+                  drained: bool) -> dict[str, Any]:
+    # The journal is the authority on the lost-job invariant: every
+    # accepted job must carry a terminal event, including jobs whose
+    # client vanished before learning the id.
+    folded = service.journal.fold()
+    unresolved = sorted(job_id for job_id, record in folded.items()
+                        if record["state"] not in TERMINAL_EVENTS)
+    digests: dict[str, dict[str, Any]] = {}
+    for record in folded.values():
+        digest = record.get("digest")
+        if not digest:
+            continue
+        slot = digests.setdefault(
+            digest, {"jobs": 0, "states": {}})
+        slot["jobs"] += 1
+        state = record["state"]
+        slot["states"][state] = slot["states"].get(state, 0) + 1
+    wrong_digest = 0
+    verified = 0
+    for digest in sorted(digests):
+        envelope = service.artifacts.load(digest)
+        if envelope is None:
+            continue
+        verified += 1
+        if envelope.get("digest") != digest:
+            wrong_digest += 1
+    chaos_summary = monkey.summary()
+    chaos_ok = (chaos_summary["configured"]
+                == chaos_summary["fired"])
+    mix_keys: dict[str, int] = {}
+    aborted = 0
+    for record in records:
+        mix_keys[record["key"]] = mix_keys.get(record["key"], 0) + 1
+        if record.get("fate") == "client_aborted":
+            aborted += 1
+    # Per-digest terminal verdict, sorted -- deterministic because
+    # chaos is counted, deadlines are generous and retries absorb
+    # every injected infrastructure failure.
+    digest_block = {
+        digest: {"jobs": digests[digest]["jobs"],
+                 "states": {state: digests[digest]["states"][state]
+                            for state in sorted(
+                                digests[digest]["states"])}}
+        for digest in sorted(digests)}
+    return {
+        "schema": SOAK_SCHEMA,
+        "seed": seed,
+        "requests": requests,
+        "cold_digests": cold_digests,
+        "request_mix": {key: mix_keys[key]
+                        for key in sorted(mix_keys)},
+        "client_aborted": aborted,
+        "chaos": chaos_summary,
+        "digests": digest_block,
+        "invariants": {
+            "accepted_jobs": len(folded),
+            "unresolved_jobs": unresolved,
+            "no_lost_jobs": drained and not unresolved,
+            "wrong_digest_serves": wrong_digest,
+            "digest_integrity": wrong_digest == 0,
+            "artifacts_verified": verified,
+            "chaos_fired_matches_configured": chaos_ok,
+        },
+    }
+
+
+def _publish_history(history: str, records: list[dict],
+                     elapsed_s: float, *, seed: int, requests: int,
+                     concurrency: int, chaos: str) -> None:
+    """Wall-clock percentiles -> ``repro.serve-load/1`` history line
+    (the flock-guarded store; see :mod:`repro.obs.history`)."""
+    from repro.obs.history import append_entries
+
+    hot = [record["latency_s"] for record in records
+           if record.get("fate") == "hot"
+           and "latency_s" in record]
+    cold = [record["latency_s"] for record in records
+            if record.get("fate") == "cold"
+            and "latency_s" in record]
+    entry = {
+        "schema": LOAD_SCHEMA,
+        "kind": "serve-load",
+        "seed": seed,
+        "requests": requests,
+        "concurrency": concurrency,
+        "chaos_plan": chaos,
+        "elapsed_s": round(elapsed_s, 3),
+        "throughput_rps": round(len(records) / max(elapsed_s, 1e-9),
+                                3),
+        "hot": _percentiles(hot),
+        "cold": _percentiles(cold),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ",
+                                   time.gmtime()),
+    }
+    append_entries(history, [entry])
+
+
+def soak_report_bytes(report: dict[str, Any]) -> bytes:
+    """Canonical serialization -- the byte-identity surface."""
+    return (json.dumps(report, sort_keys=True, indent=2)
+            + "\n").encode()
+
+
+__all__ = [
+    "LOAD_SCHEMA",
+    "SOAK_SCHEMA",
+    "build_request_mix",
+    "run_soak",
+    "soak_report_bytes",
+]

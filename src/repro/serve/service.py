@@ -1,0 +1,682 @@
+"""The resilient async experiment service.
+
+:class:`ExperimentService` owns the whole job lifecycle:
+
+* **admission** -- parse the payload into a
+  :class:`~repro.engine.request.RunRequest`; serve verified artifacts
+  straight from the digest-keyed store (pure I/O, no simulator
+  import); coalesce duplicate digests onto the in-flight primary;
+  refuse work beyond the bounded queue with explicit backpressure
+  (:class:`~repro.serve.models.QueueFull` -> 429 + Retry-After);
+* **execution** -- asyncio worker tasks run jobs on a thread pool of
+  per-thread engine :class:`~repro.engine.Session` objects (shared
+  content-addressed cache), bounded by the per-request deadline
+  layered over the engine's own per-run timeout;
+* **resilience** -- infrastructure failures (killed workers, broken
+  pools, engine timeouts) are retried on the deterministic
+  :class:`~repro.serve.retry.RetryPolicy` backoff; repeated strikes
+  open a circuit breaker that sheds cold work and keeps serving
+  artifact hits; every transition is fsync'd to the crash-safe
+  :class:`~repro.serve.journal.JobJournal`, and on restart unfinished
+  jobs are recovered or cleanly failed.
+
+See ``docs/serving.md`` for the API schema and failure-mode table.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import pathlib
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.serve.artifacts import ArtifactStore
+from repro.serve.chaos import ChaosMonkey
+from repro.serve.journal import TERMINAL_EVENTS, JobJournal
+from repro.serve.models import (
+    BadRequest,
+    Job,
+    QueueFull,
+    ServiceConfig,
+    ServiceUnavailable,
+    canonical_payload,
+    request_from_payload,
+)
+from repro.serve.retry import is_retryable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.request import RunRequest
+    from repro.obs.registry import ProbeRegistry
+
+
+@dataclass
+class ServiceStats:
+    """Service counters (exported via :meth:`ExperimentService.probes`)."""
+
+    accepted: int = 0
+    completed: int = 0
+    failed: int = 0
+    retried: int = 0
+    coalesced: int = 0
+    artifact_hits: int = 0
+    shed_queue_full: int = 0
+    shed_breaker: int = 0
+    recovered: int = 0
+    deadline_failures: int = 0
+    executions: int = 0
+    bad_requests: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+
+class CircuitBreaker:
+    """Sheds cold-cache work while the worker pool is unhealthy.
+
+    ``closed`` admits everything; ``threshold`` consecutive
+    infrastructure strikes open it.  While ``open``, cold work is
+    refused (artifact hits still flow -- they touch no worker).
+    After ``cooldown_s`` one probe job is admitted (``half-open``);
+    its fate closes or re-opens the breaker.
+    """
+
+    def __init__(self, threshold: int, cooldown_s: float) -> None:
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self.state = "closed"
+        self.strikes = 0
+        self.opened_at = 0.0
+        self.trips = 0
+
+    def strike(self, now: float) -> None:
+        self.strikes += 1
+        if self.state == "half-open" or (
+                self.state == "closed"
+                and self.strikes >= self.threshold):
+            self.state = "open"
+            self.opened_at = now
+            self.trips += 1
+
+    def success(self) -> None:
+        self.strikes = 0
+        self.state = "closed"
+
+    def allow_cold(self, now: float) -> bool:
+        if self.state == "closed":
+            return True
+        if self.state == "open":
+            if now - self.opened_at >= self.cooldown_s:
+                self.state = "half-open"
+                return True
+            return False
+        # half-open: one probe is already in flight.
+        return False
+
+    def retry_after_s(self, now: float) -> float:
+        if self.state == "open":
+            return max(self.cooldown_s - (now - self.opened_at), 1.0)
+        return 1.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"state": self.state, "strikes": self.strikes,
+                "threshold": self.threshold, "trips": self.trips,
+                "cooldown_s": self.cooldown_s}
+
+
+class ExperimentService:
+    """Submit / poll / fetch front end over the parallel engine."""
+
+    def __init__(self, config: ServiceConfig | None = None,
+                 chaos: ChaosMonkey | None = None) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        self.chaos = chaos if chaos is not None else \
+            ChaosMonkey.disabled()
+        data_dir = self.config.data_dir
+        if data_dir is None:
+            data_dir = tempfile.mkdtemp(prefix="repro-serve-")
+        self.data_dir = pathlib.Path(data_dir)
+        cache_dir = self.config.cache_dir
+        if cache_dir is None:
+            cache_dir = str(self.data_dir / "engine-cache")
+        self.cache_dir = cache_dir
+        self.journal = JobJournal(self.data_dir / "journal.jsonl",
+                                  fsync=self.config.journal_fsync)
+        self.artifacts = ArtifactStore(
+            self.data_dir, on_written=self.chaos.artifact_written)
+        self.stats = ServiceStats()
+        self.breaker = CircuitBreaker(self.config.breaker_threshold,
+                                      self.config.breaker_cooldown_s)
+        self.jobs: dict[str, Job] = {}
+        self._requests: dict[str, "RunRequest"] = {}
+        self._deadline_at: dict[str, float] = {}
+        self._inflight: dict[str, str] = {}      # digest -> primary id
+        self._followers: dict[str, list[str]] = {}
+        self._events: dict[str, asyncio.Event] = {}
+        self._queue: asyncio.Queue[str] = asyncio.Queue()
+        self._pending = 0
+        self._job_counter = 0
+        self._avg_exec_s = 1.0
+        self._salt: str | None = None
+        self._workers: list[asyncio.Task] = []
+        self._executor: concurrent.futures.ThreadPoolExecutor | None = None
+        self._thread_sessions: list[Any] = []
+        self._local = threading.local()
+        self._sessions_lock = threading.Lock()
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Clock (skewable by chaos).
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        return time.monotonic() + self.chaos.clock_skew_s()
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Recover the journal, then spawn the worker tasks."""
+        if self._started:
+            return
+        from repro.engine.request import code_salt
+
+        self._salt = code_salt()
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix="repro-serve")
+        self._recover()
+        for index in range(self.config.workers):
+            self._workers.append(asyncio.create_task(
+                self._worker(index), name=f"serve-worker-{index}"))
+        self._started = True
+
+    async def stop(self) -> None:
+        for task in self._workers:
+            task.cancel()
+        for task in self._workers:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._workers.clear()
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+        with self._sessions_lock:
+            for session in self._thread_sessions:
+                session.close()
+            self._thread_sessions.clear()
+        self._started = False
+
+    async def drain(self, timeout_s: float = 120.0) -> bool:
+        """Wait until every accepted job is terminal."""
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            if all(job.terminal for job in self.jobs.values()):
+                return True
+            await asyncio.sleep(0.02)
+        return False
+
+    # ------------------------------------------------------------------
+    # Recovery.
+    # ------------------------------------------------------------------
+    def _recover(self) -> None:
+        """Replay the journal: finish, re-enqueue or cleanly fail
+        every job a previous incarnation accepted but never resolved."""
+        folded = self.journal.fold()
+        for job_id in sorted(folded):
+            record = folded[job_id]
+            self._bump_counter(job_id)
+            if record["state"] in TERMINAL_EVENTS:
+                continue
+            digest = record.get("digest")
+            payload = record.get("payload")
+            job = Job(id=job_id, digest=digest or "",
+                      payload=payload or {},
+                      accepted_at=self.now(),
+                      deadline_s=float(record.get("deadline_s")
+                                       or self.config.default_deadline_s),
+                      attempts=int(record.get("attempts") or 0))
+            if record.get("coalesced_into"):
+                # Followers are resolved by their primary; after a
+                # restart the primary link is gone, so fold the
+                # follower onto the artifact/requeue paths below.
+                job.coalesced_into = None
+            if digest and self.artifacts.load(digest) is not None:
+                job.state = "completed"
+                job.served_from = "artifact"
+                self.jobs[job_id] = job
+                self.journal.append("completed", job_id, digest=digest,
+                                    served_from="artifact",
+                                    recovered=True)
+                self.stats.recovered += 1
+                continue
+            try:
+                if payload is None:
+                    raise BadRequest("journal entry lost its payload")
+                request, deadline_s = request_from_payload(
+                    payload, self.config)
+            except BadRequest as error:
+                job.state = "failed"
+                job.error_type = "UnrecoverableJob"
+                job.error_message = str(error)
+                self.jobs[job_id] = job
+                self.journal.append("failed", job_id,
+                                    error_type="UnrecoverableJob",
+                                    error_message=str(error))
+                self.stats.failed += 1
+                continue
+            job.deadline_s = deadline_s
+            job.served_from = "recovered"
+            self.jobs[job_id] = job
+            self._requests[job_id] = request
+            self._events[job_id] = asyncio.Event()
+            self._inflight.setdefault(job.digest, job_id)
+            self._pending += 1
+            self.stats.recovered += 1
+            self.journal.append("recovered", job_id, digest=job.digest)
+            self._queue.put_nowait(job_id)
+
+    def _bump_counter(self, job_id: str) -> None:
+        try:
+            number = int(job_id.rsplit("-", 1)[-1])
+        except ValueError:
+            return
+        self._job_counter = max(self._job_counter, number)
+
+    # ------------------------------------------------------------------
+    # Admission.
+    # ------------------------------------------------------------------
+    def _next_job_id(self) -> str:
+        self._job_counter += 1
+        return f"job-{self._job_counter:08d}"
+
+    def submit(self, payload: Any) -> tuple[Job, dict | None]:
+        """Admit one submission.
+
+        Returns ``(job, artifact_envelope_or_None)``; the artifact is
+        non-None only for the pure-I/O hot path.  Raises
+        :class:`BadRequest`, :class:`QueueFull` or
+        :class:`ServiceUnavailable`.
+        """
+        if not self._started:
+            raise ServiceUnavailable("service not started",
+                                     retry_after_s=1.0)
+        now = self.now()
+        try:
+            request, deadline_s = request_from_payload(payload,
+                                                       self.config)
+        except BadRequest:
+            self.stats.bad_requests += 1
+            raise
+        digest = request.digest(salt=self._salt)
+
+        # Hot path: a verified artifact answers immediately, whatever
+        # the queue or breaker state -- it costs pure file I/O.
+        envelope = self.artifacts.load(digest)
+        if envelope is not None:
+            job = Job(id=self._next_job_id(), digest=digest,
+                      payload=canonical_payload(payload),
+                      state="completed", accepted_at=now,
+                      deadline_s=deadline_s, served_from="artifact")
+            self.jobs[job.id] = job
+            self.stats.accepted += 1
+            self.stats.artifact_hits += 1
+            self.stats.completed += 1
+            self.journal.append("accepted", job.id, digest=digest,
+                                payload=job.payload,
+                                deadline_s=deadline_s)
+            self.journal.append("completed", job.id, digest=digest,
+                                served_from="artifact")
+            return job, envelope
+
+        # Coalesce onto an in-flight primary for the same digest.
+        primary_id = self._inflight.get(digest)
+        if primary_id is not None and not \
+                self.jobs[primary_id].terminal:
+            job = Job(id=self._next_job_id(), digest=digest,
+                      payload=canonical_payload(payload),
+                      accepted_at=now, deadline_s=deadline_s,
+                      coalesced_into=primary_id,
+                      served_from="coalesced")
+            self.jobs[job.id] = job
+            self._followers.setdefault(primary_id, []).append(job.id)
+            self.stats.accepted += 1
+            self.stats.coalesced += 1
+            self.journal.append("accepted", job.id, digest=digest,
+                                payload=job.payload,
+                                deadline_s=deadline_s)
+            self.journal.append("coalesced", job.id, into=primary_id)
+            return job, None
+
+        # Cold work: the breaker may be shedding it.
+        if not self.breaker.allow_cold(now):
+            self.stats.shed_breaker += 1
+            raise ServiceUnavailable(
+                "worker pool unhealthy; serving cache hits only",
+                retry_after_s=self.breaker.retry_after_s(now))
+
+        # Bounded admission queue: explicit backpressure beyond it.
+        if self._pending >= self.config.queue_limit:
+            self.stats.shed_queue_full += 1
+            retry_after = max(
+                1.0, self._pending * self._avg_exec_s
+                / self.config.workers)
+            raise QueueFull(
+                f"admission queue full "
+                f"({self._pending}/{self.config.queue_limit})",
+                retry_after_s=retry_after)
+
+        job = Job(id=self._next_job_id(), digest=digest,
+                  payload=canonical_payload(payload),
+                  accepted_at=now, deadline_s=deadline_s)
+        self.jobs[job.id] = job
+        self._requests[job.id] = request
+        self._events[job.id] = asyncio.Event()
+        self._inflight[digest] = job.id
+        self._pending += 1
+        self.stats.accepted += 1
+        self.journal.append("accepted", job.id, digest=digest,
+                            payload=job.payload, deadline_s=deadline_s)
+        self._queue.put_nowait(job.id)
+        return job, None
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+    def status(self, job_id: str) -> Job | None:
+        return self.jobs.get(job_id)
+
+    def artifact_for(self, job_id: str) -> tuple[Job | None,
+                                                 dict | None]:
+        """The job and, when completed, its verified artifact."""
+        job = self.jobs.get(job_id)
+        if job is None or job.state != "completed":
+            return job, None
+        return job, self.artifacts.load(job.digest)
+
+    async def wait(self, job_id: str,
+                   timeout_s: float | None = None) -> Job:
+        """Block until ``job_id`` is terminal."""
+        job = self.jobs[job_id]
+        target = job
+        if job.coalesced_into is not None:
+            target = self.jobs[job.coalesced_into]
+        event = self._events.get(target.id)
+        if event is not None and not target.terminal:
+            await asyncio.wait_for(event.wait(), timeout=timeout_s)
+        return self.jobs[job_id]
+
+    # ------------------------------------------------------------------
+    # Execution.
+    # ------------------------------------------------------------------
+    def _thread_session(self):
+        """One engine session per worker thread, sharing the on-disk
+        cache; created lazily, registered for probe aggregation."""
+        session = getattr(self._local, "session", None)
+        if session is None:
+            from repro.engine import Session
+
+            session = Session(jobs=self.config.engine_jobs,
+                              cache=True, cache_dir=self.cache_dir,
+                              timeout=self.config.engine_timeout_s)
+            self._local.session = session
+            with self._sessions_lock:
+                self._thread_sessions.append(session)
+        return session
+
+    def _execute_blocking(self, request: "RunRequest"):
+        """Worker-thread entry: chaos hook, then one engine run."""
+        self.chaos.execution_started()
+        session = self._thread_session()
+        handle = session.submit(request)
+        return handle.outcome(), handle.cache_status
+
+    async def _worker(self, index: int) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            job_id = await self._queue.get()
+            job = self.jobs.get(job_id)
+            if job is None or job.terminal:
+                continue
+            request = self._requests.get(job_id)
+            if request is None:
+                self._fail(job, "UnrecoverableJob",
+                           "no request attached")
+                continue
+            await self._run_job(loop, job, request)
+
+    async def _run_job(self, loop: asyncio.AbstractEventLoop,
+                       job: Job, request: "RunRequest") -> None:
+        while True:
+            remaining = job.deadline_remaining(self.now())
+            if remaining <= 0:
+                self.stats.deadline_failures += 1
+                self._fail(job, "DeadlineExceeded",
+                           f"deadline of {job.deadline_s:.1f}s "
+                           f"passed before completion")
+                return
+            job.state = "running"
+            job.attempts += 1
+            self.stats.executions += 1
+            self.journal.append("started", job.id,
+                                attempt=job.attempts)
+            started = time.monotonic()
+            try:
+                outcome, cache_status = await asyncio.wait_for(
+                    loop.run_in_executor(self._executor,
+                                         self._execute_blocking,
+                                         request),
+                    timeout=max(remaining, 0.001))
+            except asyncio.TimeoutError:
+                self.stats.deadline_failures += 1
+                self.breaker.strike(self.now())
+                self._fail(job, "DeadlineExceeded",
+                           f"execution exceeded the "
+                           f"{job.deadline_s:.1f}s deadline "
+                           f"(attempt {job.attempts})")
+                return
+            except asyncio.CancelledError:
+                raise
+            except Exception as error:       # infrastructure failure
+                if await self._maybe_retry(job,
+                                           type(error).__name__,
+                                           str(error)):
+                    continue
+                return
+            self._observe_exec_time(time.monotonic() - started)
+            if outcome.completed:
+                artifact = self._build_artifact(job, outcome,
+                                                cache_status)
+                self.artifacts.store(job.digest, artifact)
+                self.breaker.success()
+                self._complete(job)
+                return
+            if is_retryable(outcome.error_type):
+                # Engine-side infrastructure failure (RunTimeout,
+                # WorkerCrashed): same retry ring as a raised one.
+                if await self._maybe_retry(job, outcome.error_type,
+                                           outcome.error_message or ""):
+                    continue
+                return
+            # A typed simulation failure is the answer.
+            self.breaker.success()
+            self._fail(job, outcome.error_type or "UnknownError",
+                       outcome.error_message or "",
+                       diagnostics=outcome.diagnostics)
+            return
+
+    async def _maybe_retry(self, job: Job, error_type: str,
+                           message: str) -> bool:
+        """Strike the breaker; back off and retry when allowed.
+        Returns True to continue the attempt loop."""
+        self.breaker.strike(self.now())
+        if (job.attempts < self.config.retry.max_attempts
+                and is_retryable(error_type)
+                and job.deadline_remaining(self.now()) > 0):
+            delay = self.config.retry.delay(job.digest, job.attempts)
+            self.stats.retried += 1
+            self.journal.append("retrying", job.id,
+                                attempt=job.attempts,
+                                error_type=error_type,
+                                delay_s=round(delay, 6))
+            await asyncio.sleep(delay)
+            return True
+        self._fail(job, error_type, message)
+        return False
+
+    def _observe_exec_time(self, elapsed: float) -> None:
+        self._avg_exec_s = 0.8 * self._avg_exec_s + 0.2 * elapsed
+
+    # ------------------------------------------------------------------
+    # Artifacts.
+    # ------------------------------------------------------------------
+    def _build_artifact(self, job: Job, outcome: Any,
+                        cache_status: str | None) -> dict:
+        """The served document for a completed run: summary metrics,
+        the full cycle-accounting profile and the critical-path
+        summary.  Deterministic for a given request digest."""
+        from repro.obs.critpath import critpath_summary
+        from repro.obs.profile import build_profile
+
+        result = outcome.result
+        profile = build_profile(result)
+        return {
+            "program": result.name,
+            "board_mode": result.board.mode,
+            "cycles": float(result.metrics.total_cycles),
+            "gops": result.metrics.gops,
+            "gflops": result.metrics.gflops,
+            "watts": result.power.watts,
+            "summary": profile["summary"],
+            "profile": profile,
+            "critpath": critpath_summary(result),
+        }
+
+    # ------------------------------------------------------------------
+    # Terminal transitions.
+    # ------------------------------------------------------------------
+    def _complete(self, job: Job) -> None:
+        job.state = "completed"
+        if job.served_from is None:
+            job.served_from = "execution"
+        self.stats.completed += 1
+        self.journal.append("completed", job.id, digest=job.digest,
+                            served_from=job.served_from)
+        self._settle(job)
+
+    def _fail(self, job: Job, error_type: str, message: str,
+              diagnostics: dict | None = None) -> None:
+        job.state = "failed"
+        job.error_type = error_type
+        job.error_message = message
+        job.diagnostics = diagnostics
+        self.stats.failed += 1
+        self.journal.append("failed", job.id, error_type=error_type,
+                            error_message=message)
+        self._settle(job)
+
+    def _settle(self, job: Job) -> None:
+        """Release bookkeeping and resolve coalesced followers."""
+        if self._inflight.get(job.digest) == job.id:
+            del self._inflight[job.digest]
+        if job.coalesced_into is None:
+            self._pending = max(self._pending - 1, 0)
+        event = self._events.pop(job.id, None)
+        if event is not None:
+            event.set()
+        self._requests.pop(job.id, None)
+        for follower_id in self._followers.pop(job.id, []):
+            follower = self.jobs.get(follower_id)
+            if follower is None or follower.terminal:
+                continue
+            follower.state = job.state
+            follower.error_type = job.error_type
+            follower.error_message = job.error_message
+            follower.served_from = "coalesced"
+            if job.state == "completed":
+                self.stats.completed += 1
+                self.journal.append("completed", follower.id,
+                                    digest=follower.digest,
+                                    served_from="coalesced")
+            else:
+                self.stats.failed += 1
+                self.journal.append(
+                    "failed", follower.id,
+                    error_type=job.error_type or "UnknownError",
+                    error_message=job.error_message or "")
+
+    # ------------------------------------------------------------------
+    # Health / observability.
+    # ------------------------------------------------------------------
+    def engine_stats(self) -> dict[str, float]:
+        """Engine counters aggregated over every worker session."""
+        totals: dict[str, float] = {}
+        with self._sessions_lock:
+            sessions = list(self._thread_sessions)
+        for session in sessions:
+            for name, value in session.stats.as_dict().items():
+                if name == "hit_rate":
+                    continue
+                totals[name] = totals.get(name, 0) + value
+        keyed = totals.get("hits", 0) + totals.get("misses", 0)
+        totals["hit_rate"] = (totals.get("hits", 0) / keyed
+                              if keyed else 0.0)
+        return totals
+
+    def probes(self) -> "ProbeRegistry":
+        """Service + engine counters as a PR 1 probe registry; the
+        engine rows come from each worker session's
+        :meth:`~repro.engine.Session.probes` vocabulary."""
+        from repro.obs.registry import ProbeRegistry
+
+        registry = ProbeRegistry()
+        for name, value in sorted(self.stats.as_dict().items()):
+            registry.add(f"serve.{name}", value, "jobs",
+                         f"service counter: {name}")
+        registry.add("serve.pending", self._pending, "jobs",
+                     "queued + running jobs")
+        registry.add("serve.breaker.trips", self.breaker.trips,
+                     "trips", "times the circuit breaker opened")
+        for name, value in sorted(self.engine_stats().items()):
+            unit = "fraction" if name == "hit_rate" else "runs"
+            registry.add(f"serve.engine.{name}", value, unit,
+                         "aggregated engine counter over worker "
+                         "sessions")
+        return registry
+
+    def health(self) -> dict[str, Any]:
+        """Liveness: the event loop is running and workers exist."""
+        return {
+            "status": "ok" if self._started else "starting",
+            "workers": len(self._workers),
+        }
+
+    def readiness(self) -> tuple[bool, dict[str, Any]]:
+        """Readiness: can this instance accept cold work right now?"""
+        now = self.now()
+        queue_ok = self._pending < self.config.queue_limit
+        breaker_ok = self.breaker.state != "open" or (
+            now - self.breaker.opened_at >= self.breaker.cooldown_s)
+        ready = self._started and queue_ok and breaker_ok
+        reasons = []
+        if not self._started:
+            reasons.append("not started")
+        if not queue_ok:
+            reasons.append("admission queue full")
+        if not breaker_ok:
+            reasons.append("circuit breaker open")
+        return ready, {
+            "ready": ready,
+            "reasons": reasons,
+            "queue": {"pending": self._pending,
+                      "limit": self.config.queue_limit},
+            "breaker": self.breaker.as_dict(),
+            "probes": self.probes().snapshot(),
+        }
+
+
+__all__ = ["CircuitBreaker", "ExperimentService", "ServiceStats"]
