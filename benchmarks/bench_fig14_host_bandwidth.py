@@ -8,10 +8,17 @@ memory stalls (loads can no longer be overlapped).
 
 from benchlib import get_bundle, save_report
 
-from repro.apps import run_app
 from repro.analysis.breakdown import application_breakdown
 from repro.analysis.report import render_table
 from repro.core import BoardConfig
+
+
+def _run_bundle(bundle, **kwargs):
+    """In-process, uncached engine run (the old ``run_app`` surface)."""
+    from repro.engine.session import get_default_session
+
+    return get_default_session().run_bundle(bundle, **kwargs)
+
 
 MIPS_POINTS = (0.5, 1.0, 2.0, 4.0, 10.0, 50.0)
 
@@ -21,7 +28,7 @@ def regenerate() -> str:
     rows = []
     for mips in MIPS_POINTS:
         board = BoardConfig.hardware(host_mips=mips)
-        result = run_app(bundle, board=board)
+        result = _run_bundle(bundle, board=board)
         breakdown = application_breakdown(result)
         rows.append([
             f"{mips:.1f} MIPS",

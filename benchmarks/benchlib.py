@@ -21,7 +21,7 @@ import os
 import pathlib
 
 from repro.core import BoardConfig, MachineConfig
-from repro.engine import Session, build_app
+from repro.engine import Session, SessionConfig, build_app
 from repro.engine.catalog import APP_NAMES as _CATALOG_NAMES
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -41,11 +41,12 @@ HISTORY_PATH = RESULTS_DIR / "history.jsonl"
 @functools.lru_cache(maxsize=None)
 def get_session() -> Session:
     """The one engine session every benchmark shares."""
-    session = Session(
+    session = Session(config=SessionConfig(
+        backend=os.environ.get("REPRO_BACKEND", "event"),
         jobs=int(os.environ.get("REPRO_JOBS", "1")),
         cache=not os.environ.get("REPRO_NO_CACHE"),
         history=(None if os.environ.get("REPRO_NO_HISTORY")
-                 else HISTORY_PATH))
+                 else HISTORY_PATH)))
     atexit.register(session.close)
     return session
 

@@ -13,9 +13,9 @@ Quickstart (the :mod:`repro.engine` session is the front door for
 running simulations -- parallel across processes, answered from a
 content-addressed result cache)::
 
-    from repro import RunRequest, Session
+    from repro import RunRequest, Session, SessionConfig
 
-    with Session(jobs=4) as session:
+    with Session(config=SessionConfig(jobs=4)) as session:
         result = session.run(RunRequest(app="depth"))
     print(result.summary())
 """
@@ -39,7 +39,8 @@ __version__ = "1.0.0"
 def __getattr__(name):
     # Lazy so that ``import repro`` stays light and the engine (which
     # itself imports repro for the code salt) avoids a cycle.
-    if name in ("Session", "RunRequest", "RunHandle"):
+    if name in ("Session", "SessionConfig", "RunRequest",
+                "RunHandle", "BACKENDS"):
         import repro.engine as engine
 
         return getattr(engine, name)
@@ -59,6 +60,8 @@ __all__ = [
     "RunRequest",
     "RunResult",
     "Session",
+    "SessionConfig",
+    "BACKENDS",
     "CompiledKernel",
     "KernelBuilder",
     "compile_kernel",

@@ -141,9 +141,9 @@ def lint_catalog(machine: MachineConfig | None = None,
     if consistency:
         own_session = session is None
         if own_session:
-            from repro.engine.session import Session
+            from repro.engine.session import Session, SessionConfig
 
-            session = Session(jobs=1, cache=False)
+            session = Session(config=SessionConfig(jobs=1, cache=False))
         try:
             for name in sorted(compiled):
                 context = AnalysisContext(

@@ -1,13 +1,20 @@
-"""API-discipline rule (EP001): one sanctioned simulation entry point.
+"""API-discipline rules (EP001/EP002): one sanctioned entry point.
 
 Every simulation is supposed to flow through
 :class:`repro.engine.Session`, whose single processor construction
-site lives in ``src/repro/engine/session.py``.  Code that builds and
-runs a processor directly bypasses the engine -- no result caching,
-no process sharding, no run manifests -- so this rule reports a
-finding when a *new* file grows a direct construction call site.
+site lives in ``src/repro/engine/``.  Code that builds and runs a
+processor directly -- either the event-driven
+``ImagineProcessor`` or the vectorized ``VectorProcessor`` --
+bypasses the engine: no result caching, no process sharding, no run
+manifests, no backend selection.  EP001 reports a finding when a
+*new* file grows a direct construction call site.
 
-Pre-engine call sites are grandfathered in :data:`ALLOWED`: the
+EP002 keeps the long-removed ``run_app()`` convenience shim from
+coming back: it went through a full deprecation cycle and every
+caller now goes through the Session API (``docs/api.md``), so any
+fresh ``run_app(...)`` call is a finding, with no grandfather list.
+
+Pre-engine EP001 call sites are grandfathered in :data:`ALLOWED`: the
 core's own unit tests, the micro-workloads that sweep processor
 parameters no ``RunRequest`` exposes, and the ablation benchmarks
 that construct deliberately misconfigured machines.  Shrinking the
@@ -60,11 +67,16 @@ ALLOWED = frozenset({
     "examples/molecular_dynamics.py",
 })
 
-#: A construction site: the class name followed by an open paren.
-#: (A ``class`` statement and bare imports don't match.)
-CALL = re.compile(r"\bImagineProcessor\s*\(")
+#: A construction site: either processor class name followed by an
+#: open paren.  (Both classes are defined without base-class parens,
+#: so ``class`` statements and bare imports don't match.)
+CALL = re.compile(r"\b(?:Imagine|Vector)Processor\s*\(")
 
-#: Files that legitimately mention the pattern: this module and its
+#: EP002: a call to the removed ``run_app()`` shim.  Prose mentions
+#: (docstrings, comments without the paren) stay legal.
+RUN_APP = re.compile(r"\brun_app\s*\(")
+
+#: Files that legitimately mention the patterns: this module and its
 #: standalone shim.
 _EXEMPT = ("src/repro/analysis/rules/entrypoints.py",
            "tools/check_entrypoints.py")
@@ -75,42 +87,58 @@ def default_root() -> pathlib.Path:
     return pathlib.Path(__file__).resolve().parents[4]
 
 
-def call_sites(path: pathlib.Path) -> list[int]:
+def call_sites(path: pathlib.Path,
+               pattern: re.Pattern = CALL) -> list[int]:
     try:
         text = path.read_text()
     except (OSError, UnicodeDecodeError):
         return []
     return [lineno for lineno, line in enumerate(text.splitlines(), 1)
-            if CALL.search(line)]
+            if pattern.search(line)]
 
 
-def scan(root: pathlib.Path | None = None) -> list[Finding]:
-    """All EP001 findings for the tree rooted at ``root``."""
-    root = pathlib.Path(root) if root is not None else default_root()
-    findings = []
+def _scanned_files(root: pathlib.Path) -> Iterator[tuple[str,
+                                                         pathlib.Path]]:
     for top in SCANNED:
         if not (root / top).is_dir():
             continue
         for path in sorted((root / top).rglob("*.py")):
             rel = path.relative_to(root).as_posix()
-            if (rel.startswith(ENGINE) or rel in ALLOWED
-                    or rel in _EXEMPT):
+            if rel in _EXEMPT:
                 continue
-            for lineno in call_sites(path):
+            yield rel, path
+
+
+def scan(root: pathlib.Path | None = None) -> list[Finding]:
+    """All EP001/EP002 findings for the tree rooted at ``root``."""
+    root = pathlib.Path(root) if root is not None else default_root()
+    findings = []
+    for rel, path in _scanned_files(root):
+        if not (rel.startswith(ENGINE) or rel in ALLOWED):
+            for lineno in call_sites(path, CALL):
                 findings.append(Finding(
                     "EP001", Severity.ERROR, f"{rel}:{lineno}",
-                    "direct ImagineProcessor construction outside "
+                    "direct processor construction outside "
                     "repro/engine/",
                     hint="run simulations through repro.engine."
                          "Session (docs/engine.md), or extend ALLOWED "
                          "in repro/analysis/rules/entrypoints.py with "
                          "a reviewed reason"))
+        for lineno in call_sites(path, RUN_APP):
+            findings.append(Finding(
+                "EP002", Severity.ERROR, f"{rel}:{lineno}",
+                "call to the removed run_app() shim",
+                hint="build a repro.engine.RunRequest and run it "
+                     "through repro.engine.Session (docs/api.md); "
+                     "run_app() finished its deprecation cycle and "
+                     "must not return"))
     return findings
 
 
 @analysis_pass("repo.entrypoints", "repo")
 def check_entrypoints(context: AnalysisContext) -> Iterator[Finding]:
-    """New direct processor call sites outside the engine."""
+    """New direct processor call sites outside the engine, plus any
+    resurrection of the removed ``run_app()`` shim."""
     yield from scan(context.scratch.get("repo_root"))
 
 
@@ -118,16 +146,17 @@ def main(root: pathlib.Path | None = None) -> int:
     """Standalone-script behaviour: print violations, exit 1 if any."""
     findings = scan(root)
     if findings:
-        print("direct ImagineProcessor(...) call sites outside "
-              "repro/engine/ (use repro.engine.Session; "
-              "see docs/engine.md):", file=sys.stderr)
+        print("entry-point discipline violations (use repro.engine."
+              "Session; see docs/engine.md):", file=sys.stderr)
         for finding in findings:
-            print(f"  {finding.location}", file=sys.stderr)
+            print(f"  [{finding.rule}] {finding.location}: "
+                  f"{finding.message}", file=sys.stderr)
         print(f"{len(findings)} new call site(s); run simulations "
               "through the engine or (with a reviewed reason) extend "
               "ALLOWED in repro/analysis/rules/entrypoints.py",
               file=sys.stderr)
         return 1
-    print("entry-point discipline OK: ImagineProcessor is only "
-          "constructed inside repro/engine/")
+    print("entry-point discipline OK: processors are only "
+          "constructed inside repro/engine/ and run_app() stayed "
+          "removed")
     return 0

@@ -11,6 +11,6 @@ Every module exposes ``build(**sizes) -> AppBundle``; the bundle's
 ``oracle`` dict carries reference values for functional validation.
 """
 
-from repro.apps.common import AppBundle, run_app
+from repro.apps.common import AppBundle
 
-__all__ = ["AppBundle", "run_app"]
+__all__ = ["AppBundle"]

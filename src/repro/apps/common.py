@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.core import BoardConfig, MachineConfig, RunResult
 from repro.streamc.compiler import StreamProgramImage
 
 
@@ -39,23 +37,7 @@ class AppBundle:
         return self.work_units / seconds
 
 
-def run_app(bundle: AppBundle,
-            board: BoardConfig | None = None,
-            machine: MachineConfig | None = None,
-            tracer=None, faults=None, strict: bool = False) -> RunResult:
-    """Deprecated: use :meth:`repro.engine.Session.run` instead.
-
-    This shim survives as a migration aid (``docs/api.md``): it emits
-    a :class:`DeprecationWarning` and delegates to the engine's
-    in-process, uncached default session, so behaviour -- including
-    the exception types raised on simulation failure -- is unchanged.
-    """
-    warnings.warn(
-        "run_app() is deprecated; build a repro.engine.RunRequest and "
-        "run it through repro.engine.Session (see docs/api.md)",
-        DeprecationWarning, stacklevel=2)
-    from repro.engine.session import get_default_session
-
-    return get_default_session().run_bundle(
-        bundle, board=board, machine=machine, tracer=tracer,
-        faults=faults, strict=strict)
+# The old ``run_app`` helper is gone (removed after a deprecation
+# cycle): build a :class:`repro.engine.RunRequest` and run it through
+# :class:`repro.engine.Session` (see ``docs/api.md``).  The EP002
+# repo rule (``repro lint --repo``) keeps it from coming back.

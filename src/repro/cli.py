@@ -24,6 +24,10 @@ Mirrors the paper's evaluation flow from a shell:
 * ``serve``      -- the resilient async HTTP/JSON experiment service
   (submit/poll/fetch), or ``--soak`` for the seeded chaos load
   harness (``docs/serving.md``);
+* ``verify-backend`` -- byte-compare the event-driven and vectorized
+  simulation backends over the app matrix plus a seeded fuzzed
+  ``streamc`` corpus, and record the speedup
+  (``repro.backend-bench/1``; see ``docs/engine.md``);
 * ``cache``      -- inspect or LRU-prune the content-addressed
   result cache.
 
@@ -39,6 +43,11 @@ from the content-addressed cache under ``~/.cache/repro`` (disable
 with ``--no-cache``, relocate with ``--cache-dir``), and the engine's
 hit/miss counters are printed to stderr.  Output is byte-identical
 whatever the job count or cache temperature (``docs/engine.md``).
+One shared ``--backend {auto,event,vector}`` flag selects the
+simulation backend everywhere a session is built (``app``,
+``faults``, ``evaluate``, ``profile``, ``critpath``, ``whatif``,
+``perf``, ``serve``); backends are bit-identical by contract, so the
+flag changes wall-clock time only.
 """
 
 from __future__ import annotations
@@ -51,12 +60,15 @@ from repro.core import BoardConfig
 
 
 def _session(args):
-    from repro.engine import Session
+    from repro.engine import Session, SessionConfig
 
-    return Session(jobs=getattr(args, "jobs", 1),
-                   cache=not getattr(args, "no_cache", False),
-                   cache_dir=getattr(args, "cache_dir", None),
-                   history=getattr(args, "history", None) or None)
+    config = SessionConfig(
+        backend=getattr(args, "backend", "event"),
+        jobs=getattr(args, "jobs", 1),
+        cache=not getattr(args, "no_cache", False),
+        cache_dir=getattr(args, "cache_dir", None),
+        history=getattr(args, "history", None) or None)
+    return Session(config=config)
 
 
 def _print_engine_stats(session) -> None:
@@ -700,7 +712,8 @@ def _cmd_serve(args) -> int:
                            cache_dir=args.cache_dir,
                            workers=args.workers,
                            queue_limit=args.queue_limit,
-                           history=args.history or None)
+                           history=args.history or None,
+                           backend=args.backend)
     service = ExperimentService(config, chaos=ChaosMonkey(plan))
     server = ServiceServer(service, host=args.host, port=args.port)
 
@@ -716,6 +729,60 @@ def _cmd_serve(args) -> int:
         asyncio.run(_serve())
     except KeyboardInterrupt:
         pass
+    return 0
+
+
+def _cmd_verify_backend(args) -> int:
+    from repro.engine.catalog import APP_NAMES
+    from repro.engine.verify import (
+        BOARD_MODES,
+        backend_bench_entries,
+        verify_backends,
+    )
+    from repro.obs.history import append_entries
+
+    apps = [name.lower() for name in (args.apps or APP_NAMES)]
+    unknown = set(apps) - set(APP_NAMES)
+    if unknown:
+        print(f"unknown application(s) {sorted(unknown)}; "
+              f"choose from {sorted(APP_NAMES)}", file=sys.stderr)
+        return 2
+    report = verify_backends(
+        apps=apps, boards=args.boards or BOARD_MODES,
+        best_of=args.best_of, fuzz=args.fuzz, fuzz_seed=args.seed,
+        progress=lambda message: print(message, file=sys.stderr))
+
+    text = json.dumps(report, indent=2)
+    if args.out:
+        try:
+            with open(args.out, "w") as handle:
+                handle.write(text + "\n")
+        except OSError as error:
+            print(f"cannot write {args.out!r}: {error}",
+                  file=sys.stderr)
+            return 2
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.json or not args.out:
+        print(text)
+    if args.history:
+        written = append_entries(args.history,
+                                 backend_bench_entries(report))
+        print(f"history -> {args.history}: {written} line(s)",
+              file=sys.stderr)
+
+    aggregate = report["aggregate"]["speedup"]
+    verdict = (f"{'IDENTICAL' if report['ok'] else 'MISMATCH'}: "
+               f"{len(report['matrix'])} matrix cell(s), "
+               f"{report['fuzz']['count']} fuzz program(s); "
+               f"aggregate vector speedup {aggregate:.1f}x")
+    print(verdict, file=sys.stderr)
+    if not report["ok"]:
+        return 1
+    if args.min_speedup is not None and aggregate < args.min_speedup:
+        print(f"aggregate speedup {aggregate:.2f}x is below the "
+              f"--min-speedup {args.min_speedup:.2f}x floor",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -761,7 +828,19 @@ def main(argv: list[str] | None = None) -> int:
                              "instead of the development board")
     parser.add_argument("--host-mips", type=float, default=None,
                         help="override host-interface bandwidth")
-    engine_opts = argparse.ArgumentParser(add_help=False)
+    # One backend flag, shared by every session-building command
+    # (serve cannot reuse engine_opts -- it has its own --cache-dir /
+    # --history -- so the backend selector lives in its own parent).
+    backend_opts = argparse.ArgumentParser(add_help=False)
+    backend_opts.add_argument(
+        "--backend", default="event",
+        choices=("auto", "event", "vector"),
+        help="simulation backend: the event-driven reference model, "
+             "the vectorized steady-state model, or auto (vector "
+             "whenever the run qualifies; bit-identical either way "
+             "-- see docs/engine.md)")
+    engine_opts = argparse.ArgumentParser(add_help=False,
+                                          parents=[backend_opts])
     engine_opts.add_argument("--jobs", type=int, default=1, metavar="N",
                              help="worker processes for independent "
                                   "simulations (default 1; output is "
@@ -946,7 +1025,8 @@ def main(argv: list[str] | None = None) -> int:
         "serve", help="run the async experiment service (HTTP/JSON "
                       "submit/poll/fetch over the engine), or with "
                       "--soak drive it through the seeded chaos "
-                      "load harness (docs/serving.md)")
+                      "load harness (docs/serving.md)",
+        parents=[backend_opts])
     serve.add_argument("--host", default="127.0.0.1",
                        help="bind address (default 127.0.0.1)")
     serve.add_argument("--port", type=int, default=8321,
@@ -984,6 +1064,49 @@ def main(argv: list[str] | None = None) -> int:
                        help="append repro.serve-load/1 "
                             "latency/throughput percentiles to this "
                             "perf-history store")
+    verify_backend = sub.add_parser(
+        "verify-backend",
+        help="byte-compare the event and vector backends over the "
+             "app matrix + a seeded fuzzed streamc corpus, and "
+             "record the measured speedup (repro.backend-bench/1)")
+    verify_backend.add_argument("--apps", nargs="*", default=None,
+                                metavar="NAME",
+                                help="subset of applications "
+                                     "(default: all)")
+    verify_backend.add_argument("--boards", nargs="*", default=None,
+                                choices=("hardware", "isim"),
+                                help="board models to sweep "
+                                     "(default: both)")
+    verify_backend.add_argument("--best-of", type=int, default=3,
+                                metavar="N",
+                                help="timing repetitions per cell; "
+                                     "the minimum is recorded "
+                                     "(default 3)")
+    verify_backend.add_argument("--fuzz", type=int, default=8,
+                                metavar="N",
+                                help="seeded random streamc programs "
+                                     "to differentially test "
+                                     "(default 8; 0 disables)")
+    verify_backend.add_argument("--seed", type=int, default=0,
+                                help="fuzz-corpus seed; same seed => "
+                                     "same corpus (default 0)")
+    verify_backend.add_argument("--min-speedup", type=float,
+                                default=None, metavar="X",
+                                help="also fail unless the aggregate "
+                                     "vector speedup is at least X "
+                                     "(the recorded target is 10x; "
+                                     "CI asserts only > 1)")
+    verify_backend.add_argument("--out", default=None, metavar="PATH",
+                                help="write the "
+                                     "repro.backend-verify/1 report "
+                                     "here")
+    verify_backend.add_argument("--json", action="store_true",
+                                help="emit the JSON report on stdout")
+    verify_backend.add_argument("--history", default=None,
+                                metavar="PATH",
+                                help="append repro.backend-bench/1 "
+                                     "speedup lines to this "
+                                     "perf-history store")
     cache = sub.add_parser(
         "cache", help="inspect or prune the content-addressed "
                       "result cache (LRU eviction; "
@@ -1022,6 +1145,7 @@ def main(argv: list[str] | None = None) -> int:
         "diff": _cmd_diff,
         "perf": _cmd_perf,
         "serve": _cmd_serve,
+        "verify-backend": _cmd_verify_backend,
         "cache": _cmd_cache,
     }[args.command]
     return handler(args)

@@ -15,28 +15,30 @@ One front door for every simulation the repo runs:
 
 Quickstart::
 
-    from repro.engine import RunRequest, Session
+    from repro.engine import RunRequest, Session, SessionConfig
 
-    with Session(jobs=4) as session:
+    with Session(config=SessionConfig(jobs=4)) as session:
         results = session.run_batch(
             [RunRequest(app=name) for name in ("depth", "mpeg")])
 """
 
 from repro.engine.cache import ResultCache, default_cache_dir
 from repro.engine.catalog import APP_NAMES, CatalogError, build_app
-from repro.engine.request import RunRequest, code_salt
+from repro.engine.request import BACKENDS, RunRequest, code_salt
 from repro.engine.session import (
     EngineError,
     RunFailure,
     RunHandle,
     RunOutcome,
     Session,
+    SessionConfig,
     SessionStats,
     get_default_session,
 )
 
 __all__ = [
     "APP_NAMES",
+    "BACKENDS",
     "CatalogError",
     "EngineError",
     "ResultCache",
@@ -45,6 +47,7 @@ __all__ = [
     "RunOutcome",
     "RunRequest",
     "Session",
+    "SessionConfig",
     "SessionStats",
     "build_app",
     "code_salt",

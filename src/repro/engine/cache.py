@@ -1,7 +1,7 @@
 """Content-addressed on-disk result cache.
 
 Layout (under ``~/.cache/repro`` by default, or ``REPRO_CACHE_DIR``,
-or the ``Session(cache_dir=...)`` override)::
+or the ``SessionConfig(cache_dir=...)`` override)::
 
     <root>/objects/<d0d1>/<digest>.pkl    # pickled RunOutcome
     <root>/objects/<d0d1>/<digest>.json   # human-readable manifest

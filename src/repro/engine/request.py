@@ -18,6 +18,11 @@ Digest rules (see ``docs/engine.md``):
 * the ``trace`` flag is NOT hashed -- attaching a tracer must not
   change simulated behaviour (PR 1's observer-effect guarantee), and
   traced runs bypass the cache anyway;
+* the ``backend`` selector is NOT hashed either -- backends are
+  bit-identical by contract (``repro verify-backend`` enforces it),
+  so an event-warmed cache serves vector requests and vice versa;
+  which backend actually executed a run is provenance and lives in
+  the manifest, not the digest;
 * a *code salt* is mixed in: a hash over the package's own source
   tree (override with ``REPRO_CACHE_SALT``), so editing the simulator
   invalidates every cached result instead of silently replaying stale
@@ -39,6 +44,10 @@ from repro.faults.models import FaultPlan
 
 #: Bump when the digest payload layout itself changes.
 DIGEST_VERSION = 1
+
+#: Valid values for the ``backend`` selector (``None`` = inherit the
+#: session's configured backend).
+BACKENDS = ("auto", "event", "vector")
 
 _code_salt_cache: str | None = None
 
@@ -102,9 +111,17 @@ class RunRequest:
     seed: int | None = None
     strict: bool = False
     trace: bool = False
+    #: Simulation backend override: ``"event"``, ``"vector"``,
+    #: ``"auto"`` or ``None`` (inherit the session's backend).
+    #: Excluded from :meth:`payload` -- see the module docstring.
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "app", self.app.lower())
+        if self.backend is not None and self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS} or None, "
+                f"got {self.backend!r}")
         if isinstance(self.sizes, Mapping):
             object.__setattr__(
                 self, "sizes", tuple(sorted(self.sizes.items())))
@@ -123,12 +140,13 @@ class RunRequest:
                 machine: MachineConfig | None = None,
                 board: BoardConfig | None = None,
                 faults=None, seed: int | None = None,
-                strict: bool = False, trace: bool = False) -> "RunRequest":
+                strict: bool = False, trace: bool = False,
+                backend: str | None = None) -> "RunRequest":
         """Build a request, accepting a FaultPlan/dict/JSON for faults."""
         return cls(app=name, sizes=tuple(sorted((sizes or {}).items())),
                    machine=machine, board=board,
                    faults=_canonical_faults(faults), seed=seed,
-                   strict=strict, trace=trace)
+                   strict=strict, trace=trace, backend=backend)
 
     def resolved(self, machine: MachineConfig | None = None,
                  board: BoardConfig | None = None) -> "RunRequest":
@@ -163,7 +181,13 @@ class RunRequest:
     # Digest.
     # ------------------------------------------------------------------
     def payload(self) -> dict:
-        """The JSON-stable dict that the digest is computed over."""
+        """The JSON-stable dict that the digest is computed over.
+
+        ``trace`` and ``backend`` are deliberately absent: neither may
+        change simulated results (observer-effect guarantee; backend
+        bit-identity contract), so both backends share one digest and
+        one cache entry per request.
+        """
         return {
             "v": DIGEST_VERSION,
             "app": self.app,
@@ -184,4 +208,4 @@ class RunRequest:
         return hashlib.sha256(material.encode()).hexdigest()
 
 
-__all__ = ["DIGEST_VERSION", "RunRequest", "code_salt"]
+__all__ = ["BACKENDS", "DIGEST_VERSION", "RunRequest", "code_salt"]

@@ -30,14 +30,15 @@ from __future__ import annotations
 
 import concurrent.futures
 import dataclasses
+import warnings
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 from repro.core import SimulationError
 from repro.core.config import BoardConfig, MachineConfig
 from repro.engine import catalog
 from repro.engine.cache import ResultCache
-from repro.engine.request import RunRequest, code_salt
+from repro.engine.request import BACKENDS, RunRequest, code_salt
 from repro.host.processor import HostError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -51,7 +52,66 @@ CACHE_STATUSES = ("hit", "miss", "uncached")
 
 #: Deterministic simulation failures that are themselves cacheable
 #: results; infrastructure failures (timeouts, crashes) never are.
+#: ``BackendUnsupported`` is deliberately absent: a vector-backend
+#: refusal is a property of the *selection*, not of the request, and
+#: the digest is backend-agnostic -- caching the refusal would serve
+#: a failure to an event-backend run of the same request.
 _CACHEABLE_ERRORS = ("SimulationError", "InvariantViolation", "HostError")
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Engine knobs, consolidated (``docs/api.md``).
+
+    Pass one of these as ``Session(config=...)``; the scattered
+    keyword arguments (``jobs=``, ``cache=``, ...) survive as
+    deprecated compatibility shims.
+
+    Parameters
+    ----------
+    backend:
+        Simulation backend: ``"event"`` (the per-event reference
+        model), ``"vector"`` (the compiled backend,
+        :mod:`repro.core.vector`) or ``"auto"`` (vector for fault-free
+        untraced runs, event otherwise).  Bit-identical by contract;
+        requests may override per call.
+    jobs:
+        Worker processes for declarative batches (1 = in-process).
+    cache / cache_dir:
+        Enable the content-addressed result cache, optionally rooted
+        somewhere other than ``~/.cache/repro``.
+    timeout:
+        Wall-clock seconds per parallel run; a run past it is
+        reported as a failed ``RunTimeout`` outcome.
+    retries:
+        Re-dispatch attempts for runs lost to worker crashes.
+    preflight:
+        Statically verify artifacts (``repro.analysis``) before
+        simulating them (applies to ``strict=True`` requests).
+    history:
+        Append-only ``repro.perf-history/1`` JSONL store path;
+        ``None`` disables recording.
+    """
+
+    backend: str = "event"
+    jobs: int = 1
+    cache: bool = True
+    cache_dir: Any = None
+    timeout: float | None = None
+    retries: int = 1
+    preflight: bool = False
+    history: Any = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, "
+                f"got {self.backend!r}")
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.retries < 0:
+            raise ValueError(
+                f"retries must be >= 0, got {self.retries}")
 
 
 class EngineError(RuntimeError):
@@ -144,13 +204,39 @@ class SessionStats:
 # ----------------------------------------------------------------------
 # Execution primitives (module-level: picklable for worker processes).
 # ----------------------------------------------------------------------
+def _resolve_backend(backend: str, request: RunRequest,
+                     traced: bool) -> str:
+    """Collapse an ``auto`` selection to the backend that will run.
+
+    ``auto`` picks the vector backend exactly when the run is eligible
+    for it -- no fault plan and no tracer attached -- and falls back
+    to the event reference model otherwise.  An *explicit*
+    ``"vector"`` is never rewritten: an ineligible run then fails with
+    a typed :class:`~repro.core.vector.BackendUnsupported` outcome.
+    """
+    if backend == "vector":
+        return "vector"
+    if (backend == "auto" and not traced and not request.trace
+            and request.faults is None):
+        return "vector"
+    return "event"
+
+
 def _simulate(bundle: "AppBundle", request: RunRequest,
-              tracer: "Tracer | None" = None) -> "RunResult":
+              tracer: "Tracer | None" = None,
+              backend: str = "event") -> "RunResult":
     """Run ``bundle`` under ``request``'s configuration; raises on
     simulation failure."""
-    from repro.core.processor import ImagineProcessor
+    resolved = _resolve_backend(backend, request, tracer is not None)
+    if resolved == "vector":
+        from repro.core.vector import VectorProcessor
 
-    processor = ImagineProcessor(
+        processor_cls = VectorProcessor
+    else:
+        from repro.core.processor import ImagineProcessor
+
+        processor_cls = ImagineProcessor
+    processor = processor_cls(
         machine=request.effective_machine(),
         board=request.effective_board(),
         kernels=bundle.kernels,
@@ -162,7 +248,8 @@ def _simulate(bundle: "AppBundle", request: RunRequest,
 
 def _capture(bundle: "AppBundle", request: RunRequest,
              tracer: "Tracer | None" = None,
-             preflight: bool = False) -> RunOutcome:
+             preflight: bool = False,
+             backend: str = "event") -> RunOutcome:
     """Run and fold simulation failures into a typed outcome."""
     if preflight and request.strict:
         # Opt-in strict-mode gate: statically verify the artifact
@@ -182,7 +269,8 @@ def _capture(bundle: "AppBundle", request: RunRequest,
                 error_message=str(error),
                 exception=error)
     try:
-        result = _simulate(bundle, request, tracer=tracer)
+        result = _simulate(bundle, request, tracer=tracer,
+                           backend=backend)
     except (SimulationError, HostError) as error:
         diagnostics = getattr(error, "diagnostics", None)
         return RunOutcome(
@@ -196,10 +284,12 @@ def _capture(bundle: "AppBundle", request: RunRequest,
 
 
 def _execute_request(request: RunRequest,
-                     preflight: bool = False) -> RunOutcome:
+                     preflight: bool = False,
+                     backend: str = "event") -> RunOutcome:
     """Worker entry point: rebuild the bundle from the catalog, run."""
     bundle = catalog.build_app(request.app, **dict(request.sizes))
-    return _capture(bundle, request, preflight=preflight)
+    return _capture(bundle, request, preflight=preflight,
+                    backend=backend)
 
 
 def _stamp(outcome: RunOutcome, digest: str | None,
@@ -242,6 +332,9 @@ class RunHandle:
         self._session = session
         self.request = request
         self.digest = digest
+        #: Backend selection this run will execute under if it is not
+        #: served from the cache ("auto" collapses at execution time).
+        self.backend: str = "event"
         self.cache_status: str | None = None
         self.tracer: "Tracer | None" = None
         self._outcome: RunOutcome | None = None
@@ -269,58 +362,84 @@ class RunHandle:
         return self.outcome().unwrap()
 
 
+#: Sentinel distinguishing "not passed" from an explicit ``None``
+#: for the deprecated Session keyword shims.
+_UNSET: Any = object()
+
+
 class Session:
     """The run API: submit requests, shard them, cache the results.
 
+    Engine knobs live in one :class:`SessionConfig`
+    (``Session(config=SessionConfig(jobs=4, backend="auto"))``); the
+    simulated-world parameters stay as keywords:
+
     Parameters
     ----------
-    jobs:
-        Worker processes for declarative batches (1 = in-process).
-    cache / cache_dir:
-        Enable the content-addressed result cache, optionally rooted
-        somewhere other than ``~/.cache/repro``.
+    config:
+        Engine knobs (backend/jobs/cache/timeout/...); defaults to
+        ``SessionConfig()``.
+    backend:
+        Convenience override for ``config.backend`` -- the headline
+        selector (``Session(backend="vector")``); ``"event"``,
+        ``"vector"`` or ``"auto"``.
     machine / board:
         Defaults applied to requests that leave theirs ``None``.
     salt:
         Cache-salt override (defaults to the source-tree code salt).
-    timeout:
-        Wall-clock seconds per parallel run; a run past it is
-        reported as a failed ``RunTimeout`` outcome.
-    retries:
-        Re-dispatch attempts for runs lost to worker crashes.
-    preflight:
-        Statically verify artifacts (``repro.analysis``) before
-        simulating them.  Applies to requests with ``strict=True``; a
-        verifier error becomes a typed ``AnalysisError`` outcome
-        instead of a simulation.
-    history:
-        Path to an append-only ``repro.perf-history/1`` JSONL store;
-        every completed digest-keyed run this session delivers is
-        recorded there (deduplicated by request digest, so repeat
-        deliveries and warm-cache reruns are no-ops).  ``None``
-        disables recording.
+
+    The pre-``SessionConfig`` keywords (``jobs=``, ``cache=``,
+    ``cache_dir=``, ``timeout=``, ``retries=``, ``preflight=``,
+    ``history=``) still work but emit a :class:`DeprecationWarning`;
+    see ``docs/api.md`` for the migration table.
     """
 
-    def __init__(self, jobs: int = 1, cache: bool = True,
-                 cache_dir=None, machine: MachineConfig | None = None,
+    def __init__(self, config: "SessionConfig | int | None" = None,
+                 *,
+                 backend: str | None = None,
+                 machine: MachineConfig | None = None,
                  board: BoardConfig | None = None,
                  salt: str | None = None,
-                 timeout: float | None = None,
-                 retries: int = 1,
-                 preflight: bool = False,
-                 history=None) -> None:
-        if jobs < 1:
-            raise ValueError(f"jobs must be >= 1, got {jobs}")
-        self.jobs = jobs
-        self.preflight = preflight
+                 jobs: int = _UNSET, cache: bool = _UNSET,
+                 cache_dir=_UNSET, timeout: float | None = _UNSET,
+                 retries: int = _UNSET, preflight: bool = _UNSET,
+                 history=_UNSET) -> None:
+        legacy = {name: value for name, value in (
+            ("jobs", jobs), ("cache", cache), ("cache_dir", cache_dir),
+            ("timeout", timeout), ("retries", retries),
+            ("preflight", preflight), ("history", history))
+            if value is not _UNSET}
+        if isinstance(config, int):
+            # Pre-SessionConfig signature: jobs was the first
+            # positional parameter.
+            legacy.setdefault("jobs", config)
+            config = None
+        if legacy:
+            warnings.warn(
+                f"Session({', '.join(sorted(legacy))}=...) keyword(s) "
+                f"are deprecated; pass "
+                f"Session(config=SessionConfig(...)) instead "
+                f"(docs/api.md)",
+                DeprecationWarning, stacklevel=2)
+            config = dataclasses.replace(config or SessionConfig(),
+                                         **legacy)
+        elif config is None:
+            config = SessionConfig()
+        if backend is not None:
+            config = dataclasses.replace(config, backend=backend)
+        self.config = config
+        self.jobs = config.jobs
+        self.backend = config.backend
+        self.preflight = config.preflight
         self.machine = machine
         self.board = board
-        self.timeout = timeout
-        self.retries = retries
-        self.history = history
+        self.timeout = config.timeout
+        self.retries = config.retries
+        self.history = config.history
         self.stats = SessionStats()
         self._salt = salt if salt is not None else code_salt()
-        self._cache = ResultCache(cache_dir) if cache else None
+        self._cache = (ResultCache(config.cache_dir)
+                       if config.cache else None)
         self._inflight: dict[str, RunHandle] = {}
         self._history_recorded: set[str] = set()
         self._executor: concurrent.futures.ProcessPoolExecutor | None = None
@@ -354,13 +473,24 @@ class Session:
     # ------------------------------------------------------------------
     def submit(self, request: RunRequest,
                prebuilt: "AppBundle | None" = None,
-               tracer: "Tracer | None" = None) -> RunHandle:
+               tracer: "Tracer | None" = None,
+               backend: str | None = None) -> RunHandle:
         """Schedule one declarative request; returns immediately when
-        a pool is available, else executes in-process."""
+        a pool is available, else executes in-process.
+
+        Backend precedence: the ``backend`` argument, else
+        ``request.backend``, else the session's configured backend.
+        The choice never enters the request digest, so it cannot
+        change which cache entry the run keys to.
+        """
         if self._closed:
             raise EngineError("session is closed")
         catalog.canonical_name(request.app)   # fail fast on bad names
         request = request.resolved(self.machine, self.board)
+        effective_backend = (backend if backend is not None
+                             else request.backend
+                             if request.backend is not None
+                             else self.backend)
 
         if request.trace or tracer is not None:
             # Traced runs stay in-process (tracers do not cross
@@ -368,11 +498,13 @@ class Session:
             from repro.obs.tracer import Tracer
 
             handle = RunHandle(self, request, digest=None)
+            handle.backend = effective_backend
             handle.tracer = tracer if tracer is not None else Tracer()
             bundle = prebuilt if prebuilt is not None else \
                 catalog.build_app(request.app, **dict(request.sizes))
             outcome = _capture(bundle, request, tracer=handle.tracer,
-                               preflight=self.preflight)
+                               preflight=self.preflight,
+                               backend=effective_backend)
             self.stats.uncached += 1
             self.stats.executed += 1
             if not outcome.completed:
@@ -387,10 +519,12 @@ class Session:
             if shared is not None:
                 self.stats.hits += 1
                 handle = RunHandle(self, request, digest)
+                handle.backend = effective_backend
                 handle.cache_status = "hit"
                 handle._shared = shared
                 return handle
         handle = RunHandle(self, request, digest)
+        handle.backend = effective_backend
 
         if self._cache is not None:
             cached = self._cache.load(digest)
@@ -406,13 +540,15 @@ class Session:
         if self.jobs > 1:
             handle._future = self._pool().submit(_execute_request,
                                                  request,
-                                                 self.preflight)
+                                                 self.preflight,
+                                                 effective_backend)
             handle._attempts = 1
         else:
             bundle = prebuilt if prebuilt is not None else \
                 catalog.build_app(request.app, **dict(request.sizes))
-            self._complete(handle, _capture(bundle, request,
-                                            preflight=self.preflight))
+            self._complete(handle, _capture(
+                bundle, request, preflight=self.preflight,
+                backend=effective_backend))
         return handle
 
     def submit_bundle(self, bundle: "AppBundle", *,
@@ -420,7 +556,8 @@ class Session:
                       machine: MachineConfig | None = None,
                       faults=None, seed: int | None = None,
                       strict: bool = False,
-                      tracer: "Tracer | None" = None) -> RunHandle:
+                      tracer: "Tracer | None" = None,
+                      backend: str | None = None) -> RunHandle:
         """Schedule a run of an already-built bundle.
 
         Catalog-built bundles (see :func:`repro.engine.catalog.build_app`)
@@ -433,19 +570,24 @@ class Session:
             name, sizes = source
             request = RunRequest.for_app(
                 name, sizes=dict(sizes), machine=machine, board=board,
-                faults=faults, seed=seed, strict=strict)
+                faults=faults, seed=seed, strict=strict,
+                backend=backend)
             return self.submit(request, prebuilt=bundle)
 
         # Hand-built bundle: the request only carries configuration
         # (its app field names the bundle, it is never rebuilt).
         request = RunRequest.for_app(
             bundle.name, machine=machine, board=board, faults=faults,
-            seed=seed, strict=strict)
+            seed=seed, strict=strict, backend=backend)
         request = request.resolved(self.machine, self.board)
+        effective_backend = (backend if backend is not None
+                             else self.backend)
         handle = RunHandle(self, request, digest=None)
+        handle.backend = effective_backend
         handle.tracer = tracer
         outcome = _capture(bundle, request, tracer=tracer,
-                           preflight=self.preflight)
+                           preflight=self.preflight,
+                           backend=effective_backend)
         self.stats.uncached += 1
         self.stats.executed += 1
         if not outcome.completed:
@@ -458,19 +600,23 @@ class Session:
     # Blocking conveniences.
     # ------------------------------------------------------------------
     def run(self, request: RunRequest,
-            tracer: "Tracer | None" = None) -> "RunResult":
+            tracer: "Tracer | None" = None,
+            backend: str | None = None) -> "RunResult":
         """Submit one request and wait for its result."""
-        return self.submit(request, tracer=tracer).result()
+        return self.submit(request, tracer=tracer,
+                           backend=backend).result()
 
     def run_bundle(self, bundle: "AppBundle", *,
                    board: BoardConfig | None = None,
                    machine: MachineConfig | None = None,
                    faults=None, seed: int | None = None,
                    strict: bool = False,
-                   tracer: "Tracer | None" = None) -> "RunResult":
+                   tracer: "Tracer | None" = None,
+                   backend: str | None = None) -> "RunResult":
         return self.submit_bundle(
             bundle, board=board, machine=machine, faults=faults,
-            seed=seed, strict=strict, tracer=tracer).result()
+            seed=seed, strict=strict, tracer=tracer,
+            backend=backend).result()
 
     def run_batch(self, requests: Iterable[RunRequest]
                   ) -> "list[RunResult]":
@@ -521,7 +667,8 @@ class Session:
                                             cancel_futures=True)
                     self._executor = None
                 handle._future = self._pool().submit(
-                    _execute_request, handle.request, self.preflight)
+                    _execute_request, handle.request, self.preflight,
+                    handle.backend)
         self._complete(handle, outcome)
 
     def _complete(self, handle: RunHandle, outcome: RunOutcome) -> None:
@@ -542,6 +689,13 @@ class Session:
             handle.cache_status = "uncached"
             outcome = _stamp(outcome, handle.digest, "uncached")
         handle._outcome = outcome
+        if (handle.digest is not None and not outcome.cacheable
+                and self._inflight.get(handle.digest) is handle):
+            # Non-cacheable failures (worker crashes, backend
+            # refusals) must not coalesce onto later submissions of
+            # the same digest: a vector BackendUnsupported would
+            # otherwise answer a subsequent event-backend submit.
+            del self._inflight[handle.digest]
         self._record_history(handle, outcome)
 
     def _record_history(self, handle: RunHandle,
@@ -653,16 +807,17 @@ class Session:
 
 
 # ----------------------------------------------------------------------
-# Default session (used by the deprecated ``run_app`` shim).
+# Default session (one-off convenience runs without a context
+# manager; previously backed the removed ``run_app`` shim).
 # ----------------------------------------------------------------------
 _default_session: Session | None = None
 
 
 def get_default_session() -> Session:
-    """In-process, uncached session for legacy entry points."""
+    """In-process, uncached session for one-off convenience runs."""
     global _default_session
     if _default_session is None:
-        _default_session = Session(jobs=1, cache=False)
+        _default_session = Session(config=SessionConfig(cache=False))
     return _default_session
 
 
@@ -673,6 +828,7 @@ __all__ = [
     "RunHandle",
     "RunOutcome",
     "Session",
+    "SessionConfig",
     "SessionStats",
     "get_default_session",
 ]

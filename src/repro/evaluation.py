@@ -22,7 +22,7 @@ from repro.analysis.breakdown import application_breakdown
 from repro.analysis.power_compare import power_efficiency_comparison
 from repro.analysis.report import render_breakdown, render_table
 from repro.core import BoardConfig, MachineConfig
-from repro.engine import Session, build_app
+from repro.engine import Session, SessionConfig, build_app
 from repro.engine.catalog import APP_NAMES
 from repro.kernels import KERNEL_LIBRARY
 from repro.kernels.library import TABLE2_KERNELS
@@ -65,8 +65,8 @@ class Evaluation:
         if self.session is None:
             # ``history`` only configures an owned session; a supplied
             # session keeps whatever history store it was built with.
-            self.session = Session(jobs=1, cache=False,
-                                   history=history)
+            self.session = Session(config=SessionConfig(
+                jobs=1, cache=False, history=history))
         self._bundles = {}
         self._handles = {}
         self._results = {}
@@ -294,7 +294,8 @@ def run_full_evaluation(machine: MachineConfig | None = None,
                         history=None) -> dict[str, str]:
     """Regenerate the paper's evaluation; returns section -> text.
 
-    Pass an engine ``session`` (e.g. ``Session(jobs=8)``) to shard
+    Pass an engine ``session`` (e.g.
+    ``Session(config=SessionConfig(jobs=8))``) to shard
     the application runs across processes and reuse cached results;
     the returned text is identical either way.  ``history`` records
     each digest-keyed run to a perf-history store when no session is

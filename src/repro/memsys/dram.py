@@ -222,15 +222,14 @@ class DramModel:
 
 def _reorder(banks: np.ndarray, rows: np.ndarray,
              window: int) -> tuple[np.ndarray, np.ndarray]:
-    """Stable same-row grouping within a sliding window."""
-    order = []
+    """Stable same-row grouping within a sliding window.
+
+    One lexsort over (window chunk, bank, row, arrival index) equals
+    a per-chunk stable sort by (bank, row): the chunk id pins each
+    access to its window and the arrival index breaks ties, so the
+    permutation is total and order-deterministic.
+    """
     n = len(banks)
-    start = 0
-    while start < n:
-        end = min(n, start + window)
-        chunk = list(range(start, end))
-        chunk.sort(key=lambda i: (banks[i], rows[i], i))
-        order.extend(chunk)
-        start = end
-    index = np.asarray(order)
+    arrival = np.arange(n)
+    index = np.lexsort((arrival, rows, banks, arrival // window))
     return banks[index], rows[index]

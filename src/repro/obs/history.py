@@ -81,6 +81,7 @@ def history_entry(result: "RunResult",
         "critpath_cycles": critpath.get("path_cycles"),
         "wall_time_s": manifest.wall_time_s,
         "cache": manifest.cache,
+        "backend": getattr(manifest, "backend", "event"),
         "recorded_at": manifest.created_at,
         "engine": dict(engine) if engine is not None else None,
     }

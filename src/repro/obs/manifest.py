@@ -41,6 +41,13 @@ class RunManifest:
     #: content-addressed cache), ``miss`` (executed and stored) or
     #: ``uncached`` (executed outside the cache).
     cache: str = "uncached"
+    #: Which simulation backend produced the result: ``event`` (the
+    #: per-event reference model) or ``vector`` (the compiled backend).
+    #: Provenance only -- backends are bit-identical by contract, so
+    #: the backend is deliberately NOT part of the request digest
+    #: (``docs/engine.md``); a cache hit reports the backend that
+    #: originally executed the run.
+    backend: str = "event"
     schema: str = REPORT_SCHEMA
 
     def as_dict(self) -> dict:
@@ -58,6 +65,7 @@ class RunManifest:
             "created_at": self.created_at,
             "request_digest": self.request_digest,
             "cache": self.cache,
+            "backend": self.backend,
         }
 
 
@@ -81,7 +89,8 @@ def machine_summary(machine: MachineConfig) -> dict:
 
 def build_manifest(program: str, machine: MachineConfig,
                    board: BoardConfig, wall_time_s: float,
-                   seed: int | None = None) -> RunManifest:
+                   seed: int | None = None,
+                   backend: str = "event") -> RunManifest:
     """Assemble the manifest for one finished run."""
     from repro import __version__
 
@@ -96,4 +105,5 @@ def build_manifest(program: str, machine: MachineConfig,
         platform=platform.platform(),
         wall_time_s=wall_time_s,
         created_at=time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        backend=backend,
     )

@@ -177,6 +177,7 @@ class ServiceServer:
                 "serve": service.stats.as_dict(),
                 "breaker": service.breaker.as_dict(),
                 "engine": service.engine_stats(),
+                "backend": service.config.backend,
                 "artifacts": service.artifacts.stats(),
             }, None
         if path == "/v1/jobs" and method == "POST":

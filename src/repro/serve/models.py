@@ -67,6 +67,10 @@ class ServiceConfig:
 
     data_dir: str | None = None
     cache_dir: str | None = None
+    #: Simulation backend for every engine session the service owns
+    #: (``event``/``vector``/``auto`` -- bit-identical by contract,
+    #: so this changes latency, never payloads).
+    backend: str = "event"
     workers: int = 2
     #: Admission bound: queued + running jobs beyond this are refused
     #: with 429 + Retry-After.

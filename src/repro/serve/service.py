@@ -418,11 +418,13 @@ class ExperimentService:
         cache; created lazily, registered for probe aggregation."""
         session = getattr(self._local, "session", None)
         if session is None:
-            from repro.engine import Session
+            from repro.engine import Session, SessionConfig
 
-            session = Session(jobs=self.config.engine_jobs,
-                              cache=True, cache_dir=self.cache_dir,
-                              timeout=self.config.engine_timeout_s)
+            session = Session(config=SessionConfig(
+                backend=self.config.backend,
+                jobs=self.config.engine_jobs,
+                cache=True, cache_dir=self.cache_dir,
+                timeout=self.config.engine_timeout_s))
             self._local.session = session
             with self._sessions_lock:
                 self._thread_sessions.append(session)

@@ -32,6 +32,14 @@ from repro.kernels import KERNEL_LIBRARY
 from repro.kernels.library import TABLE2_KERNELS
 
 
+def _run_bundle(bundle, **kwargs):
+    """In-process, uncached engine run (the old ``run_app`` surface)."""
+    from repro.engine.session import get_default_session
+
+    return get_default_session().run_bundle(bundle, **kwargs)
+
+
+
 class TestKernelBreakdown:
     def test_fractions_sum_to_one(self):
         for name in TABLE2_KERNELS:
@@ -70,10 +78,10 @@ class TestKernelBreakdown:
 
 class TestApplicationBreakdown:
     def test_from_run_result(self):
-        from repro.apps import depth, run_app
+        from repro.apps import depth
 
         bundle = depth.build(height=24, width=64, disparities=4)
-        result = run_app(bundle)
+        result = _run_bundle(bundle)
         breakdown = application_breakdown(result)
         assert sum(breakdown.values()) == pytest.approx(1.0, abs=1e-3)
         assert 0 <= application_overhead(result) <= 1
@@ -249,34 +257,34 @@ class TestSeededDefects:
 class TestSessionPreflight:
     def test_strict_preflight_blocks_broken_image(self):
         from repro.apps.common import AppBundle
-        from repro.engine import Session
+        from repro.engine import Session, SessionConfig
 
         image = small_image()
         image.instructions[0].sdr = 99
         bundle = AppBundle(name=image.name, image=image)
-        with Session(jobs=1, cache=False, preflight=True) as session:
+        with Session(config=SessionConfig(jobs=1, cache=False, preflight=True)) as session:
             with pytest.raises(AnalysisError) as excinfo:
                 session.run_bundle(bundle, strict=True)
         assert any(f.rule == "SP007" for f in excinfo.value.findings)
 
     def test_strict_preflight_passes_clean_image(self):
         from repro.apps.common import AppBundle
-        from repro.engine import Session
+        from repro.engine import Session, SessionConfig
 
         image = small_image()
         bundle = AppBundle(name=image.name, image=image)
-        with Session(jobs=1, cache=False, preflight=True) as session:
+        with Session(config=SessionConfig(jobs=1, cache=False, preflight=True)) as session:
             result = session.run_bundle(bundle, strict=True)
         assert result.cycles > 0
 
     def test_preflight_off_by_default(self):
         from repro.apps.common import AppBundle
-        from repro.engine import Session
+        from repro.engine import Session, SessionConfig
 
         image = small_image()
         image.instructions[0].sdr = 99   # statically wrong, runs fine
         bundle = AppBundle(name=image.name, image=image)
-        with Session(jobs=1, cache=False) as session:
+        with Session(config=SessionConfig(jobs=1, cache=False)) as session:
             result = session.run_bundle(bundle, strict=True)
         assert result.cycles > 0
 

@@ -8,7 +8,7 @@ qualitative timing properties the paper reports.
 import numpy as np
 import pytest
 
-from repro.apps import depth, mpeg, qrd, rtsl, run_app
+from repro.apps import depth, mpeg, qrd, rtsl
 from repro.apps.depth import disparity_accuracy
 from repro.apps.mpeg import (
     from_macroblock_order,
@@ -19,6 +19,14 @@ from repro.apps.rtsl import coverage, framebuffer_matches_reference
 from repro.core import BoardConfig
 from repro.core.metrics import CycleCategory
 from repro.kernels.pixelmath import unpack16
+
+
+def _run_bundle(bundle, **kwargs):
+    """In-process, uncached engine run (the old ``run_app`` surface)."""
+    from repro.engine.session import get_default_session
+
+    return get_default_session().run_bundle(bundle, **kwargs)
+
 
 
 @pytest.fixture(scope="module")
@@ -45,7 +53,7 @@ def rtsl_bundle():
 
 
 def run(bundle, board=None):
-    return run_app(bundle, board=board or BoardConfig.hardware())
+    return _run_bundle(bundle, board=board or BoardConfig.hardware())
 
 
 class TestDepth:

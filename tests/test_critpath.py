@@ -17,10 +17,10 @@ import json
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.apps import depth, mpeg, qrd, rtsl, run_app
+from repro.apps import depth, mpeg, qrd, rtsl
 from repro.cli import main as cli_main
 from repro.core import BoardConfig, MachineConfig
-from repro.engine import Session
+from repro.engine import Session, SessionConfig
 from repro.engine.session import RunRequest
 from repro.obs.critpath import (
     CRITPATH_SCHEMA,
@@ -39,6 +39,14 @@ from repro.obs.critpath import (
 from repro.obs.diff import diff_profiles, render_diff
 from repro.obs.profile import build_profile
 from tests.test_fuzz_streamc import _BOARDS, _run, random_program
+
+
+def _run_bundle(bundle, **kwargs):
+    """In-process, uncached engine run (the old ``run_app`` surface)."""
+    from repro.engine.session import get_default_session
+
+    return get_default_session().run_bundle(bundle, **kwargs)
+
 
 SMALL_BUILDS = {
     "DEPTH": lambda: depth.build(height=24, width=64, disparities=4),
@@ -64,7 +72,7 @@ def critpath_matrix():
     matrix = {}
     for app, build in SMALL_BUILDS.items():
         for mode, board in BOARDS.items():
-            result = run_app(build(), board=board())
+            result = _run_bundle(build(), board=board())
             matrix[app, mode] = (result, build_critpath(result))
     return matrix
 
@@ -155,7 +163,7 @@ class TestDeterminism:
         """An independent second simulation of the same request must
         produce the same critpath document, byte for byte."""
         for (app, mode), (_, report) in critpath_matrix.items():
-            fresh = run_app(SMALL_BUILDS[app](),
+            fresh = _run_bundle(SMALL_BUILDS[app](),
                             board=BOARDS[mode]())
             assert (json.dumps(build_critpath(fresh), sort_keys=True)
                     == json.dumps(report, sort_keys=True)), (app, mode)
@@ -176,7 +184,7 @@ class TestWhatif:
     @pytest.mark.parametrize("app", sorted(SMALL_SIZES))
     def test_validated_projection_per_app(self, app):
         request = RunRequest(app=app, sizes=SMALL_SIZES[app])
-        with Session(jobs=1, cache=False) as session:
+        with Session(config=SessionConfig(jobs=1, cache=False)) as session:
             for scales in self.SCALINGS[app]:
                 report = session.whatif(request, scales,
                                         validate=True)
@@ -288,7 +296,7 @@ class TestDiffIntegration:
     def test_slow_host_names_the_regressing_leaf(
             self, critpath_matrix):
         result, _ = critpath_matrix["DEPTH", "hardware"]
-        slow = run_app(SMALL_BUILDS["DEPTH"](),
+        slow = _run_bundle(SMALL_BUILDS["DEPTH"](),
                        board=BoardConfig.hardware(host_mips=0.5))
         diff = diff_profiles(build_profile(result),
                              build_profile(slow))

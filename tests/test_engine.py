@@ -4,8 +4,8 @@ Covers the :mod:`repro.engine` API end to end: content-digest
 stability (across dict orderings, process boundaries and config
 spellings), cache hit/miss/invalidation semantics, byte-identical
 determinism of the evaluation and campaign reports across job counts
-and cache temperatures, failure capture, the ``run_app`` deprecation
-shim, and the entry-point lint that keeps ``ImagineProcessor``
+and cache temperatures, failure capture, the removal of the old
+``run_app`` shim, and the entry-point lint that keeps processor
 construction inside the engine.
 """
 
@@ -23,6 +23,7 @@ from repro.engine import (
     RunFailure,
     RunRequest,
     Session,
+    SessionConfig,
     build_app,
     code_salt,
 )
@@ -155,7 +156,7 @@ class TestDigest:
 class TestCache:
     def test_miss_then_hit_across_sessions(self, tmp_path):
         request = small_request()
-        with Session(cache_dir=tmp_path) as session:
+        with Session(config=SessionConfig(cache_dir=tmp_path)) as session:
             first = session.submit(request)
             cycles = first.result().metrics.total_cycles
             assert first.cache_status == "miss"
@@ -163,7 +164,7 @@ class TestCache:
             assert manifest.cache == "miss"
             assert manifest.request_digest == first.digest
             assert session.stats.misses == 1
-        with Session(cache_dir=tmp_path) as session:
+        with Session(config=SessionConfig(cache_dir=tmp_path)) as session:
             second = session.submit(request)
             result = second.result()
             assert second.cache_status == "hit"
@@ -173,7 +174,7 @@ class TestCache:
             assert session.stats.executed == 0
 
     def test_changed_config_misses(self, tmp_path):
-        with Session(cache_dir=tmp_path) as session:
+        with Session(config=SessionConfig(cache_dir=tmp_path)) as session:
             session.run(small_request())
             handle = session.submit(
                 small_request(board=BoardConfig.isim()))
@@ -182,16 +183,16 @@ class TestCache:
             assert session.stats.misses == 2
 
     def test_changed_salt_misses(self, tmp_path):
-        with Session(cache_dir=tmp_path, salt="v1") as session:
+        with Session(config=SessionConfig(cache_dir=tmp_path), salt="v1") as session:
             session.run(small_request())
-        with Session(cache_dir=tmp_path, salt="v2") as session:
+        with Session(config=SessionConfig(cache_dir=tmp_path), salt="v2") as session:
             handle = session.submit(small_request())
             handle.result()
             assert handle.cache_status == "miss"
 
     def test_corrupt_entry_is_a_miss_and_discarded(self, tmp_path):
         request = small_request()
-        with Session(cache_dir=tmp_path) as session:
+        with Session(config=SessionConfig(cache_dir=tmp_path)) as session:
             session.run(request)
             digest = session.submit(request).digest
         cache = ResultCache(tmp_path)
@@ -202,7 +203,7 @@ class TestCache:
 
     def test_inflight_dedup_within_one_session(self, tmp_path):
         request = small_request()
-        with Session(cache_dir=tmp_path) as session:
+        with Session(config=SessionConfig(cache_dir=tmp_path)) as session:
             first = session.submit(request)
             second = session.submit(request)
             assert second.cache_status == "hit"
@@ -214,7 +215,7 @@ class TestCache:
             assert session.stats.executed == 1
 
     def test_disabled_cache_marks_uncached(self, tmp_path):
-        with Session(cache=False) as session:
+        with Session(config=SessionConfig(cache=False)) as session:
             handle = session.submit(small_request())
             manifest = handle.result().manifest
             assert handle.cache_status == "uncached"
@@ -229,7 +230,7 @@ class TestCache:
         (root / "objects").mkdir()
         os.chmod(root / "objects", 0o500)
         try:
-            with Session(cache_dir=root) as session:
+            with Session(config=SessionConfig(cache_dir=root)) as session:
                 result = session.run(small_request())
             assert result.metrics.total_cycles > 0
         finally:
@@ -244,7 +245,7 @@ class TestDeterminism:
         for jobs, cache_dir in ((1, tmp_path / "a"),
                                 (2, tmp_path / "b"),
                                 (2, tmp_path / "b")):
-            with Session(jobs=jobs, cache_dir=cache_dir) as session:
+            with Session(config=SessionConfig(jobs=jobs, cache_dir=cache_dir)) as session:
                 texts = run_full_evaluation(sections=["table3"],
                                             session=session)
                 blobs.append(json.dumps(
@@ -258,7 +259,7 @@ class TestDeterminism:
         for jobs, cache_dir in ((1, tmp_path / "a"),
                                 (2, tmp_path / "b"),
                                 (1, tmp_path / "b")):
-            with Session(jobs=jobs, cache_dir=cache_dir) as session:
+            with Session(config=SessionConfig(jobs=jobs, cache_dir=cache_dir)) as session:
                 report = run_campaign(
                     small_bundle, plan, trials=2, seed=5,
                     curves=False, session=session)
@@ -271,18 +272,18 @@ class TestDeterminism:
 class TestSessionApi:
     def test_run_batch_preserves_order(self, tmp_path):
         requests = [small_request(seed=seed) for seed in (1, 2, 3)]
-        with Session(jobs=2, cache_dir=tmp_path) as session:
+        with Session(config=SessionConfig(jobs=2, cache_dir=tmp_path)) as session:
             results = session.run_batch(requests)
         assert len(results) == 3
         assert all(r.metrics.total_cycles > 0 for r in results)
 
     def test_unknown_app_fails_fast(self):
-        with Session(cache=False) as session:
+        with Session(config=SessionConfig(cache=False)) as session:
             with pytest.raises(CatalogError):
                 session.submit(RunRequest(app="doom"))
 
     def test_closed_session_rejects_submits(self):
-        session = Session(cache=False)
+        session = Session(config=SessionConfig(cache=False))
         session.close()
         from repro.engine import EngineError
 
@@ -294,7 +295,7 @@ class TestSessionApi:
 
         bundle = build_app("depth", **SIZES)
         bundle.source = None       # simulate a hand-built bundle
-        with Session(cache_dir=tmp_path) as session:
+        with Session(config=SessionConfig(cache_dir=tmp_path)) as session:
             result = session.run_bundle(bundle)
             assert result.manifest.cache == "uncached"
             assert session.stats.uncached == 1
@@ -304,7 +305,7 @@ class TestSessionApi:
     def test_traced_run_bypasses_cache_not_behaviour(self, tmp_path):
         from repro.obs.tracer import Tracer
 
-        with Session(cache_dir=tmp_path) as session:
+        with Session(config=SessionConfig(cache_dir=tmp_path)) as session:
             plain = session.run(small_request())
             tracer = Tracer()
             handle = session.submit(small_request(), tracer=tracer)
@@ -317,7 +318,7 @@ class TestSessionApi:
 
     def test_simulation_failure_is_typed_and_cacheable(self, tmp_path):
         request = small_request(faults=WEDGE)
-        with Session(cache_dir=tmp_path) as session:
+        with Session(config=SessionConfig(cache_dir=tmp_path)) as session:
             outcome = session.submit(request).outcome()
             assert not outcome.completed
             assert outcome.error_type == "SimulationError"
@@ -325,7 +326,7 @@ class TestSessionApi:
             with pytest.raises(SimulationError):
                 outcome.unwrap()   # in-process: original exception
             assert session.stats.failed == 1
-        with Session(cache_dir=tmp_path) as session:
+        with Session(config=SessionConfig(cache_dir=tmp_path)) as session:
             handle = session.submit(request)
             cached = handle.outcome()
             assert handle.cache_status == "hit"
@@ -336,7 +337,7 @@ class TestSessionApi:
             assert session.stats.executed == 0
 
     def test_parallel_timeout_is_a_failed_outcome(self, tmp_path):
-        with Session(jobs=2, cache=False, timeout=0.001) as session:
+        with Session(config=SessionConfig(jobs=2, cache=False, timeout=0.001)) as session:
             handle = session.submit(small_request())
             outcome = handle.outcome()
         assert not outcome.completed
@@ -344,7 +345,7 @@ class TestSessionApi:
         assert session.stats.timeouts == 1
 
     def test_probes_export_cache_counters(self, tmp_path):
-        with Session(cache_dir=tmp_path) as session:
+        with Session(config=SessionConfig(cache_dir=tmp_path)) as session:
             session.run(small_request())
             session.run(small_request())
             registry = session.probes()
@@ -354,17 +355,15 @@ class TestSessionApi:
             pytest.approx(0.5)
         assert registry.get("engine.runs.executed").value == 1
 
-    def test_run_app_shim_warns_and_matches(self, small_bundle,
-                                            tmp_path):
-        from repro.apps.common import run_app
+    def test_run_app_shim_is_gone(self):
+        # Removed after its deprecation cycle; EP002 (and this test)
+        # keep it from quietly coming back.
+        import repro.apps
+        import repro.apps.common
 
-        with Session(cache=False) as session:
-            direct = session.run_bundle(small_bundle)
-        with pytest.warns(DeprecationWarning, match="Session"):
-            legacy = run_app(small_bundle)
-        assert legacy.metrics.total_cycles == \
-            direct.metrics.total_cycles
-        assert legacy.manifest.cache == "uncached"
+        assert not hasattr(repro.apps, "run_app")
+        assert not hasattr(repro.apps.common, "run_app")
+        assert "run_app" not in repro.apps.__all__
 
 
 class TestEntrypointLint:

@@ -16,7 +16,7 @@ from repro.cli import main as cli_main
 from repro.core import BoardConfig, ImagineProcessor, MachineConfig
 from repro.core.errors import InvariantViolation
 from repro.core.invariants import InvariantChecker
-from repro.apps.common import AppBundle, run_app
+from repro.apps.common import AppBundle
 from repro.faults import (
     BUILTIN_PLANS,
     FaultInjector,
@@ -38,6 +38,14 @@ from repro.obs.registry import registry_from_result
 from repro.obs.tracer import TRACK_FAULTS
 from repro.streamc import StreamProgram
 from repro.streamc.program import KernelSpec
+
+
+def _run_bundle(bundle, **kwargs):
+    """In-process, uncached engine run (the old ``run_app`` surface)."""
+    from repro.engine.session import get_default_session
+
+    return get_default_session().run_bundle(bundle, **kwargs)
+
 
 
 def _tiny_bundle(name="TINYAPP", stages=4, words=1024):
@@ -118,7 +126,7 @@ class TestFaultPlanModel:
 class TestInjectorDeterminism:
     def test_same_seed_same_events(self, bundle):
         plan = BUILTIN_PLANS["chaos"].with_seed(11)
-        runs = [run_app(bundle, faults=plan) for _ in range(2)]
+        runs = [_run_bundle(bundle, faults=plan) for _ in range(2)]
         fingerprints = [
             (r.metrics.total_cycles, r.host_retries,
              [(e.kind.value, e.at) for e in r.fault_events])
@@ -132,7 +140,7 @@ class TestInjectorDeterminism:
             faults=(FaultSpec(FaultKind.CLUSTER_MASK, {"clusters": 4}),
                     FaultSpec(FaultKind.PRECHARGE_BUG, {"interval": 8})),
             seed=5)
-        result = run_app(bundle, tracer=tracer, faults=plan)
+        result = _run_bundle(bundle, tracer=tracer, faults=plan)
         fault_instants = [e for e in tracer.instants
                           if e.track == TRACK_FAULTS]
         assert fault_instants, "fault firings must be traced"
@@ -141,30 +149,30 @@ class TestInjectorDeterminism:
 
 class TestDegradedModes:
     def test_cluster_mask_degrades_but_completes(self, bundle):
-        baseline = run_app(bundle)
+        baseline = _run_bundle(bundle)
         plan = FaultPlan(
             name="mask",
             faults=(FaultSpec(FaultKind.CLUSTER_MASK, {"clusters": 2}),),
             seed=0)
-        masked = run_app(bundle, faults=plan, strict=True)
+        masked = _run_bundle(bundle, faults=plan, strict=True)
         assert masked.metrics.gops < baseline.metrics.gops
         assert masked.metrics.total_cycles > baseline.metrics.total_cycles
 
     def test_channel_loss_degrades_but_completes(self, bundle):
-        baseline = run_app(bundle, board=BoardConfig.hardware())
+        baseline = _run_bundle(bundle, board=BoardConfig.hardware())
         plan = FaultPlan(
             name="loss",
             faults=(FaultSpec(FaultKind.DRAM_CHANNEL_LOSS,
                               {"channels": 3}),),
             seed=0)
-        lossy = run_app(bundle, board=BoardConfig.hardware(),
+        lossy = _run_bundle(bundle, board=BoardConfig.hardware(),
                         faults=plan, strict=True)
         assert lossy.metrics.total_cycles >= baseline.metrics.total_cycles
         assert lossy.metrics.gops <= baseline.metrics.gops
 
     def test_fault_probes_in_registry(self, bundle):
         plan = BUILTIN_PLANS["board"].with_seed(1)
-        result = run_app(bundle, faults=plan)
+        result = _run_bundle(bundle, faults=plan)
         registry = registry_from_result(result, targets={})
         assert "faults.events" in registry
         assert "host.retries" in registry

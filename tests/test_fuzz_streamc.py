@@ -12,7 +12,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.apps.common import AppBundle
 from repro.core import BoardConfig
-from repro.engine import Session
+from repro.engine import Session, SessionConfig
 from repro.isa.kernel_ir import KernelBuilder
 from repro.streamc import StreamProgram
 from repro.streamc.program import KernelSpec
@@ -26,7 +26,7 @@ _BOARDS = {
 
 def _run(image, board):
     """One engine-mediated, in-process, uncached simulation."""
-    with Session(jobs=1, cache=False) as session:
+    with Session(config=SessionConfig(jobs=1, cache=False)) as session:
         return session.run_bundle(
             AppBundle(name=image.name, image=image), board=board)
 

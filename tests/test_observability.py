@@ -11,7 +11,7 @@ import json
 import pytest
 
 from repro.analysis.report import run_report
-from repro.apps import depth, mpeg, qrd, rtsl, run_app
+from repro.apps import depth, mpeg, qrd, rtsl
 from repro.cli import main as cli_main
 from repro.core import BoardConfig, CycleCategory, ImagineProcessor
 from repro.obs import (
@@ -32,6 +32,14 @@ from repro.obs.tracer import (
     ag_track,
 )
 
+
+def _run_bundle(bundle, **kwargs):
+    """In-process, uncached engine run (the old ``run_app`` surface)."""
+    from repro.engine.session import get_default_session
+
+    return get_default_session().run_bundle(bundle, **kwargs)
+
+
 SMALL_BUILDS = {
     "DEPTH": lambda: depth.build(height=24, width=64, disparities=4),
     "MPEG": lambda: mpeg.build(height=48, width=128, frames=2),
@@ -46,7 +54,7 @@ BOARDS = {"hardware": BoardConfig.hardware, "isim": BoardConfig.isim}
 def traced_depth():
     tracer = Tracer()
     bundle = SMALL_BUILDS["DEPTH"]()
-    result = run_app(bundle, board=BoardConfig.hardware(),
+    result = _run_bundle(bundle, board=BoardConfig.hardware(),
                      tracer=tracer)
     return bundle, result, tracer
 
@@ -282,7 +290,7 @@ class TestRegistry:
     def test_sp_and_dsq_traffic_present(self):
         """Satellite: scratchpad / divide-unit traffic aggregates."""
         bundle = SMALL_BUILDS["RTSL"]()  # shade/rasterize use the DSQ
-        result = run_app(bundle, board=BoardConfig.hardware())
+        result = _run_bundle(bundle, board=BoardConfig.hardware())
         metrics = result.metrics
         assert metrics.sp_accesses == sum(
             r.sp_accesses for r in metrics.kernel_invocations)
@@ -325,7 +333,7 @@ class TestCycleConservation:
 
     def test_conservation_and_fractions(self, app_name, mode):
         bundle = SMALL_BUILDS[app_name]()
-        result = run_app(bundle, board=BOARDS[mode]())
+        result = _run_bundle(bundle, board=BOARDS[mode]())
         metrics = result.metrics
         metrics.check_conservation()
         for category, fraction in metrics.cycle_fractions().items():

@@ -9,7 +9,7 @@ from repro.analysis.occupancy import (
 )
 from repro.apps.common import AppBundle
 from repro.core import BoardConfig
-from repro.engine import Session
+from repro.engine import Session, SessionConfig
 from repro.isa.kernel_ir import FuClass, KernelBuilder
 from repro.kernels import KERNEL_LIBRARY
 from repro.kernels.library import TABLE2_KERNELS
@@ -87,7 +87,7 @@ class TestPlaybackRecord:
         image = build_image()
         restored = load_record(save_record(image), image.kernels)
         board = BoardConfig.hardware()
-        with Session(jobs=1, cache=False) as session:
+        with Session(config=SessionConfig(jobs=1, cache=False)) as session:
             original = session.run_bundle(
                 AppBundle(name=image.name, image=image), board=board)
             replayed = session.run_bundle(

@@ -13,10 +13,10 @@ import json
 import pytest
 
 from repro.analysis.breakdown import application_breakdown
-from repro.apps import depth, mpeg, qrd, rtsl, run_app
+from repro.apps import depth, mpeg, qrd, rtsl
 from repro.cli import main as cli_main
 from repro.core import BoardConfig, MachineConfig
-from repro.engine import Session
+from repro.engine import Session, SessionConfig
 from repro.engine.session import RunRequest
 from repro.obs.diff import DIFF_SCHEMA, diff_profiles, render_diff
 from repro.obs.history import (
@@ -32,6 +32,14 @@ from repro.obs.profile import (
     render_profile,
     validate_profile,
 )
+
+
+def _run_bundle(bundle, **kwargs):
+    """In-process, uncached engine run (the old ``run_app`` surface)."""
+    from repro.engine.session import get_default_session
+
+    return get_default_session().run_bundle(bundle, **kwargs)
+
 
 SMALL_BUILDS = {
     "DEPTH": lambda: depth.build(height=24, width=64, disparities=4),
@@ -55,7 +63,7 @@ def profile_matrix():
     matrix = {}
     for app, build in SMALL_BUILDS.items():
         for mode, board in BOARDS.items():
-            result = run_app(build(), board=board())
+            result = _run_bundle(build(), board=board())
             matrix[app, mode] = (result, build_profile(result))
     return matrix
 
@@ -159,7 +167,7 @@ class TestDiff:
         closed = replace(open_page,
                          dram=replace(open_page.dram,
                                       page_policy="closed"))
-        session = Session(jobs=1, cache=False)
+        session = Session(config=SessionConfig(jobs=1, cache=False))
         try:
             diff = session.diff(
                 RunRequest.for_app("rtsl", sizes=SMALL_SIZES["rtsl"]),
@@ -184,14 +192,15 @@ class TestDiff:
 
 class TestHistory:
     def test_undigested_runs_are_unrecordable(self):
-        result = run_app(SMALL_BUILDS["DEPTH"](),
+        result = _run_bundle(SMALL_BUILDS["DEPTH"](),
                          board=BoardConfig.hardware())
         assert history_entry(result) is None
 
     def test_session_appends_once_per_digest(self, tmp_path):
         path = tmp_path / "history.jsonl"
-        session = Session(jobs=1, cache=True,
-                          cache_dir=tmp_path / "cache", history=path)
+        session = Session(config=SessionConfig(
+            jobs=1, cache=True,
+            cache_dir=tmp_path / "cache", history=path))
         try:
             request = RunRequest.for_app("depth",
                                          sizes=SMALL_SIZES["depth"])
@@ -218,9 +227,9 @@ class TestHistory:
         request = RunRequest.for_app("depth",
                                      sizes=SMALL_SIZES["depth"])
         for _ in range(2):
-            session = Session(jobs=1, cache=True,
-                              cache_dir=tmp_path / "cache",
-                              history=path)
+            session = Session(config=SessionConfig(
+                jobs=1, cache=True,
+                cache_dir=tmp_path / "cache", history=path))
             try:
                 session.run(request)
             finally:

@@ -8,9 +8,17 @@ module-scoped results to keep the suite fast.
 
 import pytest
 
-from repro.apps import depth, mpeg, qrd, rtsl, run_app
+from repro.apps import depth, mpeg, qrd, rtsl
 from repro.core import BoardConfig
 from repro.core.metrics import CycleCategory
+
+
+def _run_bundle(bundle, **kwargs):
+    """In-process, uncached engine run (the old ``run_app`` surface)."""
+    from repro.engine.session import get_default_session
+
+    return get_default_session().run_bundle(bundle, **kwargs)
+
 
 
 @pytest.fixture(scope="module")
@@ -19,7 +27,7 @@ def results():
     for module in (depth, mpeg, qrd, rtsl):
         bundle = module.build()
         out[bundle.name] = (bundle,
-                            run_app(bundle,
+                            _run_bundle(bundle,
                                     board=BoardConfig.hardware()))
     return out
 

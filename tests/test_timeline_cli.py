@@ -8,16 +8,24 @@ from repro.analysis import (
     render_kernel_profile,
     render_timeline,
 )
-from repro.apps import depth, run_app
+from repro.apps import depth
 from repro.cli import main as cli_main
 from repro.core import BoardConfig, EnergyModel, ImagineProcessor, MachineConfig
 from repro.core.power import EnergyConstants
 
 
+def _run_bundle(bundle, **kwargs):
+    """In-process, uncached engine run (the old ``run_app`` surface)."""
+    from repro.engine.session import get_default_session
+
+    return get_default_session().run_bundle(bundle, **kwargs)
+
+
+
 @pytest.fixture(scope="module")
 def depth_result():
     bundle = depth.build(height=24, width=64, disparities=4)
-    return bundle, run_app(bundle, board=BoardConfig.hardware())
+    return bundle, _run_bundle(bundle, board=BoardConfig.hardware())
 
 
 class TestTrace:
