@@ -3,9 +3,16 @@
 Alongside the paper-table reporting helpers, this package hosts the
 static verifier (``docs/analysis.md``): multi-pass checks over
 compiled kernels and stream programs plus a differential consistency
-gate against the simulator, surfaced as ``repro lint``.
+gate against the simulator, surfaced as ``repro lint``, and the
+static cycle-bound model (:mod:`repro.analysis.bounds`), surfaced as
+``repro bounds``.
 """
 
+from repro.analysis.bounds import (
+    BOUNDS_SCHEMA,
+    BoundsAnalysis,
+    compute_bounds,
+)
 from repro.analysis.breakdown import (
     KernelRow,
     application_breakdown,
@@ -37,11 +44,14 @@ from repro.analysis.timeline import (
 __all__ = [
     "AnalysisError",
     "AnalysisReport",
+    "BOUNDS_SCHEMA",
+    "BoundsAnalysis",
     "Finding",
     "KernelRow",
     "REPORT_SCHEMA",
     "Severity",
     "application_breakdown",
+    "compute_bounds",
     "kernel_breakdown",
     "kernel_profile",
     "lint_bundle",

@@ -6,7 +6,7 @@ of raising on first failure, so one ``repro lint`` run surfaces every
 problem in a compiled artifact at once.  Findings aggregate into an
 :class:`AnalysisReport` whose JSON form (schema
 ``repro.analysis-report/1``) is deterministic: findings are sorted by
-(severity, rule, location, message) and serialized with sorted keys,
+(rule, location, severity, message) and serialized with sorted keys,
 so two runs over the same tree are byte-identical
 (``docs/analysis.md``).
 """
@@ -59,7 +59,12 @@ class Finding:
     details: Mapping[str, Any] = field(default_factory=dict)
 
     def sort_key(self) -> tuple:
-        return (self.severity.rank, self.rule, self.location,
+        """Rule id, then location: a stable order CI can byte-diff.
+
+        Severity only breaks ties within a rule (rules have a fixed
+        severity in practice, so the order reads grouped-by-rule).
+        """
+        return (self.rule, self.location, self.severity.rank,
                 self.message)
 
     def as_dict(self) -> dict:

@@ -81,12 +81,28 @@ def preflight_image(image: "StreamProgramImage",
     lint_image(image, machine=machine).raise_on_errors()
 
 
+#: Which rule families each pass scope can produce; drives the
+#: scope-skipping fast path of ``lint_catalog(select=...)``.
+_SCOPE_FAMILIES = {
+    "kernel": frozenset({"MC"}),
+    "image": frozenset({"SP", "BD", "ADV"}),
+    "session": frozenset({"CX"}),
+    "repo": frozenset({"EP"}),
+}
+
+
+def _rule_family(rule: str) -> str:
+    """``"ADV001"`` -> ``"ADV"``: the alphabetic rule-id prefix."""
+    return rule.rstrip("0123456789")
+
+
 def lint_catalog(machine: MachineConfig | None = None,
                  apps: Iterable[str] | None = None,
                  kernels: Iterable[str] | None = None,
                  consistency: bool = True,
                  session: "Session | None" = None,
-                 repo: bool = False) -> AnalysisReport:
+                 repo: bool = False,
+                 select: Iterable[str] | None = None) -> AnalysisReport:
     """Sweep the whole corpus: catalog apps, library kernels, and
     (optionally) the differential consistency pass per kernel.
 
@@ -94,51 +110,80 @@ def lint_catalog(machine: MachineConfig | None = None,
     (entry-point discipline).  A ``session`` may be supplied to reuse
     an existing engine session for the consistency probes; otherwise a
     private in-process, uncached one is created and closed.
+
+    ``select`` restricts the run to rule families (``MC``, ``SP``,
+    ``BD``/``ADV``, ``CX``, ``EP``): scopes that cannot produce a
+    selected family are skipped entirely -- ``select={"EP"}`` runs
+    only the repository rules, without compiling a single kernel --
+    and findings from shared scopes are filtered to the selection.
     """
     from repro.engine import catalog
     from repro.kernels.library import KERNEL_LIBRARY
 
     machine = machine or MachineConfig()
+    families = ({family.upper() for family in select}
+                if select is not None else None)
+
+    def wants(scope: str) -> bool:
+        return (families is None
+                or bool(families & _SCOPE_FAMILIES[scope]))
+
+    needs_kernel = wants("kernel")
+    needs_image = wants("image")
+    needs_session = consistency and wants("session")
+    needs_repo = (repo if families is None
+                  else bool(families & _SCOPE_FAMILIES["repo"]))
+
     app_names = sorted(apps if apps is not None else catalog.APP_NAMES)
     kernel_names = sorted(kernels if kernels is not None
                           else KERNEL_LIBRARY)
 
     report = AnalysisReport(subject="catalog")
-    scopes = ["kernel", "image"]
-    if consistency:
+    scopes = []
+    if needs_kernel:
+        scopes.append("kernel")
+    if needs_image:
+        scopes.append("image")
+    if needs_session:
         scopes.append("session")
-    if repo:
+    if needs_repo:
         scopes.append("repo")
     report.passes = [p.name for scope in scopes
                      for p in registered_passes(scope)]
 
     # Every unique compiled kernel: the library's, plus any an app
-    # carries under a name the library does not know.
-    compiled = {name: KERNEL_LIBRARY[name].compiled()
-                for name in kernel_names}
-    images = {}
-    for app in app_names:
-        bundle = catalog.build_app(app)
-        images[app] = bundle.image
-        for name in sorted(bundle.image.kernels):
-            compiled.setdefault(name, bundle.image.kernels[name])
+    # carries under a name the library does not know.  Skipped
+    # entirely for selections (like ``EP``) that never look at one.
+    compiled: dict[str, "CompiledKernel"] = {}
+    images: dict[str, "StreamProgramImage"] = {}
+    if needs_kernel or needs_image or needs_session:
+        compiled = {name: KERNEL_LIBRARY[name].compiled()
+                    for name in kernel_names}
+        for app in app_names:
+            bundle = catalog.build_app(app)
+            images[app] = bundle.image
+            for name in sorted(bundle.image.kernels):
+                compiled.setdefault(name, bundle.image.kernels[name])
+        report.coverage = {"apps": app_names,
+                           "kernels": sorted(compiled)}
+    else:
+        report.coverage = {"apps": [], "kernels": []}
 
-    report.coverage = {"apps": app_names,
-                       "kernels": sorted(compiled)}
+    if needs_kernel:
+        for name in sorted(compiled):
+            context = AnalysisContext(machine=machine,
+                                      subject=f"kernel:{name}",
+                                      kernel=compiled[name])
+            report.extend(run_scope("kernel", context))
 
-    for name in sorted(compiled):
-        context = AnalysisContext(machine=machine,
-                                  subject=f"kernel:{name}",
-                                  kernel=compiled[name])
-        report.extend(run_scope("kernel", context))
+    if needs_image:
+        for app in app_names:
+            context = AnalysisContext(machine=machine,
+                                      subject=f"app:{app}",
+                                      image=images[app])
+            report.extend(run_scope("image", context))
 
-    for app in app_names:
-        context = AnalysisContext(machine=machine,
-                                  subject=f"app:{app}",
-                                  image=images[app])
-        report.extend(run_scope("image", context))
-
-    if consistency:
+    if needs_session:
         own_session = session is None
         if own_session:
             from repro.engine.session import Session, SessionConfig
@@ -154,10 +199,13 @@ def lint_catalog(machine: MachineConfig | None = None,
             if own_session:
                 session.close()
 
-    if repo:
+    if needs_repo:
         context = AnalysisContext(machine=machine, subject="repo")
         report.extend(run_scope("repo", context))
 
+    if families is not None:
+        report.findings = [f for f in report.findings
+                           if _rule_family(f.rule) in families]
     return report
 
 

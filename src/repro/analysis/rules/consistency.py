@@ -50,6 +50,12 @@ def probe_bundle(kernel: CompiledKernel, num_clusters: int):
     return AppBundle(name=image.name, image=image), elements
 
 
+#: Backends the probe is differentially replayed on.  The static
+#: predictions are checked against the first (reference) backend; the
+#: others must reproduce its invocation record exactly.
+PROBE_BACKENDS = ("event", "vector")
+
+
 @analysis_pass("consistency.simulator", "session")
 def check_against_simulator(context: AnalysisContext
                             ) -> Iterator[Finding]:
@@ -61,25 +67,49 @@ def check_against_simulator(context: AnalysisContext
     machine = context.machine
 
     bundle, elements = probe_bundle(kernel, machine.num_clusters)
-    handle = session.submit_bundle(bundle, machine=machine)
-    outcome = handle.outcome()
-    if not outcome.completed:
-        yield Finding(
-            "CX004", Severity.ERROR, where,
-            f"probe simulation failed: {outcome.error_type}: "
-            f"{outcome.error_message}",
-            hint="the kernel cannot even run; fix the simulation "
-                 "failure before trusting any static prediction")
-        return
+    records_by_backend = {}
+    for backend in PROBE_BACKENDS:
+        handle = session.submit_bundle(bundle, machine=machine,
+                                       backend=backend)
+        outcome = handle.outcome()
+        if not outcome.completed:
+            yield Finding(
+                "CX004", Severity.ERROR, where,
+                f"probe simulation failed on the {backend} backend: "
+                f"{outcome.error_type}: {outcome.error_message}",
+                hint="the kernel cannot even run; fix the simulation "
+                     "failure before trusting any static prediction")
+            return
+        records = outcome.result.metrics.kernel_invocations
+        if len(records) != 1:
+            yield Finding(
+                "CX004", Severity.ERROR, where,
+                f"probe expected exactly one kernel invocation, "
+                f"{backend} backend recorded {len(records)}")
+            return
+        records_by_backend[backend] = records[0]
 
-    records = outcome.result.metrics.kernel_invocations
-    if len(records) != 1:
-        yield Finding(
-            "CX004", Severity.ERROR, where,
-            f"probe expected exactly one kernel invocation, "
-            f"simulator recorded {len(records)}")
-        return
-    record = records[0]
+    # The differential gate itself: every backend must reproduce the
+    # reference invocation record bit-for-bit, so a CX verdict holds
+    # regardless of which backend a session happens to select.
+    record = records_by_backend[PROBE_BACKENDS[0]]
+    reference = vars(record)
+    for backend in PROBE_BACKENDS[1:]:
+        other = vars(records_by_backend[backend])
+        diverged = sorted(field for field in reference
+                          if reference[field] != other.get(field))
+        if diverged:
+            yield Finding(
+                "CX005", Severity.ERROR, where,
+                f"backend divergence on the probe: {backend} "
+                f"disagrees with {PROBE_BACKENDS[0]} on "
+                f"{', '.join(diverged)}",
+                hint="the vector backend's contract is bit-identity; "
+                     "run `repro verify-backend` for the full "
+                     "differential report",
+                details={field: {"event": reference[field],
+                                 backend: other.get(field)}
+                         for field in diverged})
 
     iterations = kernel.iterations_for(elements, machine.num_clusters)
     factor = iterations * machine.num_clusters

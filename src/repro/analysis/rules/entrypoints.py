@@ -20,14 +20,15 @@ parameters no ``RunRequest`` exposes, and the ablation benchmarks
 that construct deliberately misconfigured machines.  Shrinking the
 list is progress; growing it needs a reason in review.
 
-``tools/check_entrypoints.py`` is a thin shim over :func:`main`.
+CI and the tier-1 hook drive this family through
+``repro lint --select EP`` (the former ``tools/check_entrypoints.py``
+shim is gone).
 """
 
 from __future__ import annotations
 
 import pathlib
 import re
-import sys
 from typing import Iterator
 
 from repro.analysis.findings import Finding, Severity
@@ -76,10 +77,8 @@ CALL = re.compile(r"\b(?:Imagine|Vector)Processor\s*\(")
 #: (docstrings, comments without the paren) stay legal.
 RUN_APP = re.compile(r"\brun_app\s*\(")
 
-#: Files that legitimately mention the patterns: this module and its
-#: standalone shim.
-_EXEMPT = ("src/repro/analysis/rules/entrypoints.py",
-           "tools/check_entrypoints.py")
+#: Files that legitimately mention the patterns: this module only.
+_EXEMPT = ("src/repro/analysis/rules/entrypoints.py",)
 
 
 def default_root() -> pathlib.Path:
@@ -140,23 +139,3 @@ def check_entrypoints(context: AnalysisContext) -> Iterator[Finding]:
     """New direct processor call sites outside the engine, plus any
     resurrection of the removed ``run_app()`` shim."""
     yield from scan(context.scratch.get("repo_root"))
-
-
-def main(root: pathlib.Path | None = None) -> int:
-    """Standalone-script behaviour: print violations, exit 1 if any."""
-    findings = scan(root)
-    if findings:
-        print("entry-point discipline violations (use repro.engine."
-              "Session; see docs/engine.md):", file=sys.stderr)
-        for finding in findings:
-            print(f"  [{finding.rule}] {finding.location}: "
-                  f"{finding.message}", file=sys.stderr)
-        print(f"{len(findings)} new call site(s); run simulations "
-              "through the engine or (with a reviewed reason) extend "
-              "ALLOWED in repro/analysis/rules/entrypoints.py",
-              file=sys.stderr)
-        return 1
-    print("entry-point discipline OK: processors are only "
-          "constructed inside repro/engine/ and run_app() stayed "
-          "removed")
-    return 0

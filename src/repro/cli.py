@@ -28,6 +28,11 @@ Mirrors the paper's evaluation flow from a shell:
   simulation backends over the app matrix plus a seeded fuzzed
   ``streamc`` corpus, and record the speedup
   (``repro.backend-bench/1``; see ``docs/engine.md``);
+* ``bounds``     -- static cycle-bound analysis plus the simulator-
+  bracketing gate: assert ``lower <= simulated <= upper`` on both
+  backends over the matrix and fuzz corpus, and compare the static
+  bottleneck to the dynamic critical path
+  (``repro.bounds-verify/1``; see ``docs/analysis.md``);
 * ``cache``      -- inspect or LRU-prune the content-addressed
   result cache.
 
@@ -364,9 +369,12 @@ def _cmd_evaluate(args) -> int:
 def _cmd_lint(args) -> int:
     from repro.analysis.lint import lint_catalog
 
+    select = {family.upper() for family in args.select} \
+        if args.select else None
     report = lint_catalog(consistency=not args.no_consistency,
-                          repo=args.repo)
-    if args.json or args.out:
+                          repo=args.repo, select=select)
+    as_json = args.json or args.format == "json"
+    if as_json or args.out:
         text = report.to_json()
         if args.out:
             try:
@@ -786,6 +794,86 @@ def _cmd_verify_backend(args) -> int:
     return 0
 
 
+def _cmd_bounds(args) -> int:
+    from repro.engine.bounds_gate import (
+        bounds_bench_entries,
+        verify_bounds,
+    )
+    from repro.engine.catalog import APP_NAMES
+    from repro.engine.session import Session, SessionConfig
+    from repro.engine.verify import BOARD_MODES
+    from repro.obs.history import append_entries
+
+    apps = [name.lower() for name in (args.apps or APP_NAMES)]
+    unknown = set(apps) - set(APP_NAMES)
+    if unknown:
+        print(f"unknown application(s) {sorted(unknown)}; "
+              f"choose from {sorted(APP_NAMES)}", file=sys.stderr)
+        return 2
+    # Uncached on purpose: the gate exists to bracket *fresh*
+    # simulations; replaying a cached result would re-assert a verdict
+    # instead of re-earning it.  Job count must not change a byte of
+    # the report (CI compares --jobs 1 vs 4).
+    session = Session(config=SessionConfig(jobs=args.jobs,
+                                           cache=False))
+    try:
+        report = verify_bounds(
+            apps=apps, boards=args.boards or BOARD_MODES,
+            fuzz=args.fuzz, fuzz_seed=args.seed, session=session,
+            progress=lambda message: print(message, file=sys.stderr))
+    finally:
+        session.close()
+
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.out:
+        try:
+            with open(args.out, "w") as handle:
+                handle.write(text + "\n")
+        except OSError as error:
+            print(f"cannot write {args.out!r}: {error}",
+                  file=sys.stderr)
+            return 2
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.json or not args.out:
+        print(text)
+    if args.history:
+        written = append_entries(args.history,
+                                 bounds_bench_entries(report))
+        print(f"history -> {args.history}: {written} line(s)",
+              file=sys.stderr)
+
+    aggregate = report["aggregate"]
+    verdict = (f"{'BRACKETED' if report['ok'] else 'BRACKET FAILURE'}"
+               f": {len(report['matrix'])} matrix cell(s), "
+               f"{report['fuzz']['count']} fuzz program(s); "
+               f"mean tightness {aggregate['mean_tightness']:.3f}, "
+               f"bottleneck match {report['bottleneck_matches']}/"
+               f"{report['bottleneck_cells']}, "
+               f"{len(report['discrepancy_seeds'])} discrepancy "
+               f"seed(s)")
+    print(verdict, file=sys.stderr)
+    status = 0
+    if not report["ok"]:
+        status = 1
+    if (args.max_mean_tightness is not None
+            and aggregate["mean_tightness"] > args.max_mean_tightness):
+        print(f"mean lower-bound tightness "
+              f"{aggregate['mean_tightness']:.3f} exceeds the "
+              f"--max-mean-tightness {args.max_mean_tightness:.3f} "
+              f"ceiling", file=sys.stderr)
+        status = 1
+    if (args.min_bottleneck_matches is not None
+            and report["bottleneck_matches"]
+            < args.min_bottleneck_matches):
+        print(f"static bottleneck matched the dynamic binding "
+              f"resource on only {report['bottleneck_matches']} of "
+              f"{report['bottleneck_cells']} cell(s); "
+              f"--min-bottleneck-matches requires "
+              f"{args.min_bottleneck_matches}", file=sys.stderr)
+        status = 1
+    return status
+
+
 def _cmd_cache(args) -> int:
     from repro.engine.cache import ResultCache
 
@@ -911,16 +999,31 @@ def main(argv: list[str] | None = None) -> int:
                      "consistency; see docs/analysis.md)")
     lint.add_argument("--json", action="store_true",
                       help="emit the deterministic "
-                           "repro.analysis-report/1 JSON")
+                           "repro.analysis-report/1 JSON "
+                           "(alias for --format json)")
+    lint.add_argument("--format", choices=("text", "json"),
+                      default="text",
+                      help="output format: human-readable text "
+                           "(default) or the deterministic "
+                           "repro.analysis-report/1 JSON, findings "
+                           "sorted by rule id then location so CI "
+                           "can diff byte-for-byte")
     lint.add_argument("--out", default=None, metavar="PATH",
                       help="write the JSON report to PATH "
-                           "(implies --json)")
+                           "(implies --format json)")
     lint.add_argument("--no-consistency", action="store_true",
                       help="skip the simulator consistency pass "
                            "(no simulations are run)")
     lint.add_argument("--repo", action="store_true",
                       help="also run repository-scope rules "
                            "(entry-point discipline)")
+    lint.add_argument("--select", nargs="*", default=None,
+                      metavar="FAMILY",
+                      help="restrict to rule families (MC SP BD ADV "
+                           "CX EP); scopes that cannot produce a "
+                           "selected family are skipped entirely, so "
+                           "`--select EP` runs only the repository "
+                           "rules without compiling anything")
     memory = sub.add_parser("memory", help="Figure 9/10 sweep")
     memory.add_argument("--ags", type=int, default=1, choices=(1, 2))
     sub.add_parser("power", help="Section 5.5 comparison")
@@ -1107,6 +1210,48 @@ def main(argv: list[str] | None = None) -> int:
                                 help="append repro.backend-bench/1 "
                                      "speedup lines to this "
                                      "perf-history store")
+    bounds = sub.add_parser(
+        "bounds",
+        help="static cycle-bound analysis + simulator-bracketing "
+             "gate: assert lower <= simulated <= upper on both "
+             "backends over the app matrix and a fuzzed corpus "
+             "(repro.bounds-verify/1; see docs/analysis.md)")
+    bounds.add_argument("--apps", nargs="*", default=None,
+                        metavar="NAME",
+                        help="subset of applications (default: all)")
+    bounds.add_argument("--boards", nargs="*", default=None,
+                        choices=("hardware", "isim"),
+                        help="board models to sweep (default: both)")
+    bounds.add_argument("--fuzz", type=int, default=100, metavar="N",
+                        help="seeded random streamc programs to "
+                             "bracket on both backends "
+                             "(default 100; 0 disables)")
+    bounds.add_argument("--seed", type=int, default=0,
+                        help="fuzz-corpus seed; same seed => "
+                             "same corpus (default 0)")
+    bounds.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (default 1; the "
+                             "report is byte-identical at any job "
+                             "count)")
+    bounds.add_argument("--max-mean-tightness", type=float,
+                        default=None, metavar="X",
+                        help="also fail when mean simulated/lower "
+                             "over the matrix exceeds X (the paper-"
+                             "matrix target is 1.5)")
+    bounds.add_argument("--min-bottleneck-matches", type=int,
+                        default=None, metavar="N",
+                        help="also fail unless the static bottleneck "
+                             "matches the dynamic critpath binding "
+                             "resource on at least N matrix cells "
+                             "(the paper-matrix target is 6 of 8)")
+    bounds.add_argument("--out", default=None, metavar="PATH",
+                        help="write the repro.bounds-verify/1 "
+                             "report here")
+    bounds.add_argument("--json", action="store_true",
+                        help="emit the JSON report on stdout")
+    bounds.add_argument("--history", default=None, metavar="PATH",
+                        help="append repro.bounds-bench/1 tightness "
+                             "lines to this perf-history store")
     cache = sub.add_parser(
         "cache", help="inspect or prune the content-addressed "
                       "result cache (LRU eviction; "
@@ -1146,6 +1291,7 @@ def main(argv: list[str] | None = None) -> int:
         "perf": _cmd_perf,
         "serve": _cmd_serve,
         "verify-backend": _cmd_verify_backend,
+        "bounds": _cmd_bounds,
         "cache": _cmd_cache,
     }[args.command]
     return handler(args)

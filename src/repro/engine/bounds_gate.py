@@ -1,0 +1,300 @@
+"""The simulator-bracketing gate (``repro bounds``).
+
+The static bound analysis (:mod:`repro.analysis.bounds`) claims that
+for every fault-free run ``lower <= simulated cycles <= upper``.  This
+module makes the claim enforceable, extending the differential
+consistency gate of :mod:`repro.engine.verify` with a third,
+simulation-free oracle:
+
+* :func:`verify_bounds` sweeps the 4x2 application matrix and a
+  seeded fuzzed ``streamc`` corpus, computes the static bounds per
+  cell, runs **both** backends, and asserts the bracketing invariant
+  against each.  It also compares the static predicted bottleneck
+  against the dynamic critical-path binding resource (PR 6); cells
+  where the two disagree are reported as *discrepancy seeds* for
+  ROADMAP item 3, not failures -- a sound bound that attributes
+  differently from the simulator is exactly where a mechanistic
+  explanation is missing.
+* :func:`bounds_bench_entries` turns one report into
+  ``repro.bounds-bench/1`` perf-history lines (tightness is a
+  simulated quantity, so unlike the backend bench lines these are
+  deterministic apart from the timestamp).
+
+The report document (``repro.bounds-verify/1``) contains only
+simulated cycle counts and static bounds -- no wall-clock -- so two
+sweeps with the same inputs are byte-identical regardless of the
+session's job count.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterable
+
+from repro.analysis.bounds import (
+    compute_bounds,
+    normalize_resource,
+    resources_match,
+)
+from repro.core.config import BoardConfig, MachineConfig
+from repro.engine.verify import BOARD_MODES, fuzz_corpus
+
+#: Schema for the bracketing-gate report document.
+BOUNDS_VERIFY_SCHEMA = "repro.bounds-verify/1"
+
+#: Schema for per-cell tightness lines in the perf-history store.
+BOUNDS_BENCH_SCHEMA = "repro.bounds-bench/1"
+
+#: Acceptance thresholds the CI gate asserts on the paper matrix.
+MAX_MEAN_TIGHTNESS = 1.5
+MIN_BOTTLENECK_MATCHES = 6
+
+_BACKENDS = ("event", "vector")
+
+
+def _board_of(mode: str) -> BoardConfig:
+    return (BoardConfig.hardware() if mode == "hardware"
+            else BoardConfig.isim())
+
+
+def verify_bounds(apps: Iterable[str] | None = None,
+                  boards: Iterable[str] = BOARD_MODES,
+                  fuzz: int = 100, fuzz_seed: int = 0,
+                  session=None,
+                  progress=None) -> dict[str, Any]:
+    """Assert ``lower <= simulated <= upper`` everywhere.
+
+    Returns a ``repro.bounds-verify/1`` document.  ``ok`` is true when
+    every matrix cell and every fuzz program brackets on both
+    backends; tightness/bottleneck thresholds are left to the caller
+    (the CLI gate), since they are calibrated for the full paper
+    matrix only.
+    """
+    from repro.apps.common import AppBundle
+    from repro.engine.catalog import APP_NAMES, build_app
+    from repro.obs.critpath import critpath_summary
+
+    apps = [name.lower() for name in (apps or APP_NAMES)]
+    boards = list(boards)
+    say = progress if progress is not None else (lambda message: None)
+
+    own_session = session is None
+    if own_session:
+        from repro.engine.session import Session, SessionConfig
+
+        session = Session(config=SessionConfig(jobs=1, cache=False))
+
+    machine = MachineConfig()
+    try:
+        matrix = []
+        bracket_failures = 0
+        matches = 0
+        disagreements = []
+        tightnesses = []
+        for app in apps:
+            bundle = build_app(app)
+            for mode in boards:
+                board = _board_of(mode)
+                analysis = compute_bounds(bundle.image,
+                                          machine=machine, board=board)
+                cycles = {}
+                bracketed = {}
+                dynamic_binding = None
+                for backend in _BACKENDS:
+                    result = session.run_bundle(
+                        bundle, board=board, backend=backend)
+                    cycles[backend] = result.metrics.total_cycles
+                    bracketed[backend] = analysis.brackets(
+                        cycles[backend])
+                    if backend == "event":
+                        dynamic_binding = critpath_summary(
+                            result)["binding_resource"]
+                cell_ok = all(bracketed.values())
+                bracket_failures += 0 if cell_ok else 1
+                tightness = analysis.tightness(cycles["event"])
+                tightnesses.append(tightness)
+                match = resources_match(analysis.bottleneck,
+                                        dynamic_binding)
+                matches += 1 if match else 0
+                cell = {
+                    "app": app,
+                    "board_mode": mode,
+                    "lower": analysis.lower_bound_cycles,
+                    "upper": analysis.upper_bound_cycles,
+                    "event_cycles": cycles["event"],
+                    "vector_cycles": cycles["vector"],
+                    "bracketed": cell_ok,
+                    "tightness": tightness,
+                    "upper_ratio": (analysis.upper_bound_cycles
+                                    / cycles["event"]
+                                    if cycles["event"] else 0.0),
+                    "static_bottleneck": analysis.bottleneck,
+                    "bottleneck_source": analysis.bottleneck_source,
+                    "dynamic_binding": normalize_resource(
+                        dynamic_binding or ""),
+                    "bottleneck_match": match,
+                }
+                matrix.append(cell)
+                if not match:
+                    disagreements.append({
+                        "app": app, "board_mode": mode,
+                        "static": analysis.bottleneck,
+                        "dynamic": cell["dynamic_binding"],
+                    })
+                say(f"{app}/{mode}: lower={cell['lower']:.0f} "
+                    f"sim={cell['event_cycles']:.0f} "
+                    f"upper={cell['upper']:.0f} "
+                    f"tightness={tightness:.3f} "
+                    f"bottleneck {cell['static_bottleneck']}/"
+                    f"{cell['dynamic_binding']} "
+                    f"{'OK' if cell_ok else 'BRACKET FAILURE'}")
+
+        fuzz_failures = []
+        images = fuzz_corpus(fuzz, seed=fuzz_seed) if fuzz else []
+        fuzz_max_tightness = 0.0
+        for index, image in enumerate(images):
+            for mode in boards:
+                board = _board_of(mode)
+                analysis = compute_bounds(image, machine=machine,
+                                          board=board)
+                for backend in _BACKENDS:
+                    handle = session.submit_bundle(
+                        AppBundle(name=image.name, image=image),
+                        board=board, backend=backend)
+                    cycles = handle.result().metrics.total_cycles
+                    if not analysis.brackets(cycles):
+                        fuzz_failures.append({
+                            "index": index, "board_mode": mode,
+                            "backend": backend,
+                            "lower": analysis.lower_bound_cycles,
+                            "cycles": cycles,
+                            "upper": analysis.upper_bound_cycles,
+                        })
+                    fuzz_max_tightness = max(
+                        fuzz_max_tightness,
+                        analysis.tightness(cycles))
+        if images:
+            say(f"fuzz corpus: {len(images)} seeded programs x "
+                f"{len(boards)} boards x {len(_BACKENDS)} backends, "
+                f"{len(fuzz_failures)} bracket failure(s)")
+
+        ok = bracket_failures == 0 and not fuzz_failures
+        mean_tightness = (sum(tightnesses) / len(tightnesses)
+                          if tightnesses else 0.0)
+        return {
+            "schema": BOUNDS_VERIFY_SCHEMA,
+            "ok": ok,
+            "matrix": matrix,
+            "matrix_bracket_failures": bracket_failures,
+            "bottleneck_matches": matches,
+            "bottleneck_cells": len(matrix),
+            "discrepancy_seeds": disagreements,
+            "fuzz": {"count": len(images), "seed": fuzz_seed,
+                     "boards": boards,
+                     "failures": fuzz_failures,
+                     "max_tightness": fuzz_max_tightness},
+            "aggregate": {
+                "mean_tightness": mean_tightness,
+                "max_tightness": (max(tightnesses)
+                                  if tightnesses else 0.0),
+                "max_mean_tightness": MAX_MEAN_TIGHTNESS,
+                "min_bottleneck_matches": MIN_BOTTLENECK_MATCHES,
+            },
+        }
+    finally:
+        if own_session:
+            session.close()
+
+
+def validate_bounds_verify(report: dict[str, Any]) -> None:
+    """Structural check for a ``repro.bounds-verify/1`` document.
+
+    Raises ``ValueError`` on a malformed report; returns ``None`` on a
+    well-formed one.  CI calls this on the uploaded artifact so schema
+    drift fails loudly instead of silently passing a gate that checked
+    nothing.
+    """
+    if report.get("schema") != BOUNDS_VERIFY_SCHEMA:
+        raise ValueError(f"not a {BOUNDS_VERIFY_SCHEMA} document: "
+                         f"{report.get('schema')!r}")
+    for key in ("ok", "matrix", "matrix_bracket_failures",
+                "bottleneck_matches", "bottleneck_cells",
+                "discrepancy_seeds", "fuzz", "aggregate"):
+        if key not in report:
+            raise ValueError(f"missing report key {key!r}")
+    cell_keys = {"app", "board_mode", "lower", "upper",
+                 "event_cycles", "vector_cycles", "bracketed",
+                 "tightness", "upper_ratio", "static_bottleneck",
+                 "bottleneck_source", "dynamic_binding",
+                 "bottleneck_match"}
+    for cell in report["matrix"]:
+        missing = cell_keys - set(cell)
+        if missing:
+            raise ValueError(f"matrix cell missing {sorted(missing)}")
+        if not (cell["lower"] <= cell["upper"]):
+            raise ValueError(
+                f"{cell['app']}/{cell['board_mode']}: lower "
+                f"{cell['lower']} exceeds upper {cell['upper']}")
+        if cell["bracketed"] != (
+                cell["lower"] <= cell["event_cycles"] <= cell["upper"]
+                and cell["lower"] <= cell["vector_cycles"]
+                <= cell["upper"]):
+            raise ValueError(
+                f"{cell['app']}/{cell['board_mode']}: bracketed flag "
+                f"inconsistent with recorded cycles")
+    fuzz = report["fuzz"]
+    for key in ("count", "seed", "boards", "failures",
+                "max_tightness"):
+        if key not in fuzz:
+            raise ValueError(f"missing fuzz key {key!r}")
+    if report["ok"] != (report["matrix_bracket_failures"] == 0
+                       and not fuzz["failures"]):
+        raise ValueError("ok flag inconsistent with recorded failures")
+
+
+def bounds_bench_entries(report: dict[str, Any]
+                         ) -> list[dict[str, Any]]:
+    """``repro.bounds-bench/1`` perf-history lines for one report."""
+    recorded_at = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+    entries = []
+    for cell in report["matrix"]:
+        entries.append({
+            "schema": BOUNDS_BENCH_SCHEMA,
+            "app": cell["app"],
+            "board_mode": cell["board_mode"],
+            "bracketed": cell["bracketed"],
+            "lower": cell["lower"],
+            "event_cycles": cell["event_cycles"],
+            "upper": cell["upper"],
+            "tightness": cell["tightness"],
+            "upper_ratio": cell["upper_ratio"],
+            "bottleneck_match": cell["bottleneck_match"],
+            "recorded_at": recorded_at,
+        })
+    aggregate = report["aggregate"]
+    entries.append({
+        "schema": BOUNDS_BENCH_SCHEMA,
+        "app": "MATRIX",
+        "board_mode": "all",
+        "bracketed": report["ok"],
+        "lower": 0.0,
+        "event_cycles": 0.0,
+        "upper": 0.0,
+        "tightness": aggregate["mean_tightness"],
+        "upper_ratio": 0.0,
+        "bottleneck_match": (report["bottleneck_matches"]
+                             >= MIN_BOTTLENECK_MATCHES),
+        "recorded_at": recorded_at,
+    })
+    return entries
+
+
+__all__ = [
+    "BOUNDS_BENCH_SCHEMA",
+    "BOUNDS_VERIFY_SCHEMA",
+    "MAX_MEAN_TIGHTNESS",
+    "MIN_BOTTLENECK_MATCHES",
+    "bounds_bench_entries",
+    "validate_bounds_verify",
+    "verify_bounds",
+]

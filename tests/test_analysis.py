@@ -158,10 +158,14 @@ def rules_of(report):
 class TestVerifierCleanCorpus:
     def test_catalog_has_zero_findings(self):
         """Every catalog app and library kernel passes every static
-        rule -- the seed corpus is clean."""
+        rule -- the seed corpus is clean.  The bound model's advisor
+        (BD/ADV, info severity) is the one expected voice: the paper
+        apps really do leave overlap on the table (Figures 7-8)."""
         report = lint_catalog(consistency=False)
         assert report.clean
-        assert not report.findings, report.render()
+        assert all(f.severity is Severity.INFO
+                   and f.rule.startswith(("ADV", "BD"))
+                   for f in report.findings), report.render()
         assert set(report.coverage) == {"apps", "kernels"}
         assert len(report.coverage["kernels"]) >= len(KERNEL_LIBRARY)
         assert report.exit_code == 0
@@ -250,8 +254,14 @@ class TestSeededDefects:
         assert "SP002" in rules_of(report)
 
     def test_clean_image_has_no_findings(self):
+        # A toy image is *legal* (no errors/warnings); the bound
+        # model's info-severity advisories are allowed to comment on
+        # its (deliberately unoptimized) overlap structure.
         report = lint_image(small_image())
-        assert not report.findings, report.render()
+        assert report.clean
+        assert not report.warnings, report.render()
+        assert all(f.rule.startswith(("ADV", "BD"))
+                   for f in report.findings), report.render()
 
 
 class TestSessionPreflight:

@@ -368,20 +368,27 @@ class TestSessionApi:
 
 class TestEntrypointLint:
     def test_repo_is_clean(self):
+        # The EP family is the only repository-scope rule set; the
+        # standalone tools/ shim is gone, so CI and the tier-1 hook
+        # drive it through `repro lint --select EP`.
+        env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
         out = subprocess.run(
-            [sys.executable, str(REPO / "tools" /
-                                 "check_entrypoints.py")],
-            capture_output=True, text=True)
-        assert out.returncode == 0, out.stderr
+            [sys.executable, "-m", "repro", "lint", "--select", "EP"],
+            capture_output=True, text=True, cwd=REPO, env=env)
+        assert out.returncode == 0, out.stdout + out.stderr
+
+    def test_select_ep_runs_no_simulation(self):
+        from repro.analysis.lint import lint_catalog
+
+        report = lint_catalog(select={"EP"})
+        assert report.passes == ["repo.entrypoints"]
+        assert report.coverage == {"apps": [], "kernels": []}
+        assert [f for f in report.findings
+                if not f.rule.startswith("EP")] == []
 
     def test_new_call_site_is_flagged(self, tmp_path):
-        import importlib.util
+        from repro.analysis.rules import entrypoints
 
-        spec = importlib.util.spec_from_file_location(
-            "check_entrypoints",
-            REPO / "tools" / "check_entrypoints.py")
-        lint = importlib.util.module_from_spec(spec)
-        spec.loader.exec_module(lint)
         rogue = tmp_path / "rogue.py"
         # The class name is split so this test file itself stays
         # clean under the lint it is testing.
@@ -389,10 +396,10 @@ class TestEntrypointLint:
         rogue.write_text(
             f"from repro.core import {processor}\n"
             f"r = {processor}(board=None).run(image)\n")
-        assert lint.call_sites(rogue) == [2]
+        assert entrypoints.call_sites(rogue) == [2]
         clean = tmp_path / "clean.py"
         clean.write_text("from repro.engine import Session\n")
-        assert lint.call_sites(clean) == []
+        assert entrypoints.call_sites(clean) == []
 
 
 class TestCliFlags:
