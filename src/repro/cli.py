@@ -23,7 +23,12 @@ Mirrors the paper's evaluation flow from a shell:
   perf-history store and flag regressions against a baseline;
 * ``serve``      -- the resilient async HTTP/JSON experiment service
   (submit/poll/fetch), or ``--soak`` for the seeded chaos load
-  harness (``docs/serving.md``);
+  harness (``docs/serving.md``); exposes Prometheus text metrics at
+  ``GET /metrics`` and stitched cross-process traces at
+  ``GET /v1/jobs/ID/trace``;
+* ``slo``        -- pass/fail the SLO block of a soak report
+  (availability, error budget, conservation, cold p99;
+  ``docs/observability.md``);
 * ``verify-backend`` -- byte-compare the event-driven and vectorized
   simulation backends over the app matrix plus a seeded fuzzed
   ``streamc`` corpus, and record the speedup
@@ -694,7 +699,9 @@ def _cmd_serve(args) -> int:
             cold_digests=args.cold_digests,
             concurrency=args.concurrency, chaos=args.chaos,
             data_dir=args.data_dir, workers=args.workers,
-            history=args.history or None))
+            history=args.history or None,
+            metrics_out=args.metrics_out or None,
+            trace_out=args.trace_out or None))
         data = soak_report_bytes(report)
         invariants = report["invariants"]
         if args.report:
@@ -721,9 +728,17 @@ def _cmd_serve(args) -> int:
                            workers=args.workers,
                            queue_limit=args.queue_limit,
                            history=args.history or None,
-                           backend=args.backend)
+                           backend=args.backend,
+                           trace_jobs=args.trace_jobs)
     service = ExperimentService(config, chaos=ChaosMonkey(plan))
-    server = ServiceServer(service, host=args.host, port=args.port)
+    access_log = None
+    if args.log_json:
+        def access_log(entry: dict) -> None:
+            json.dump(entry, sys.stdout, sort_keys=True)
+            sys.stdout.write("\n")
+            sys.stdout.flush()
+    server = ServiceServer(service, host=args.host, port=args.port,
+                           access_log=access_log)
 
     async def _serve() -> None:
         await server.start()
@@ -738,6 +753,30 @@ def _cmd_serve(args) -> int:
     except KeyboardInterrupt:
         pass
     return 0
+
+
+def _cmd_slo(args) -> int:
+    from repro.serve.slo import SloError, evaluate_slo, render_slo
+
+    try:
+        with open(args.report) as handle:
+            report = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"cannot read report: {error}", file=sys.stderr)
+        return 2
+    try:
+        verdict = evaluate_slo(report,
+                               availability=args.availability,
+                               p99_ms=args.p99_ms)
+    except SloError as error:
+        print(f"bad report: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        json.dump(verdict, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        sys.stdout.write(render_slo(verdict))
+    return 0 if verdict["pass"] else 1
 
 
 def _cmd_verify_backend(args) -> int:
@@ -1167,6 +1206,39 @@ def main(argv: list[str] | None = None) -> int:
                        help="append repro.serve-load/1 "
                             "latency/throughput percentiles to this "
                             "perf-history store")
+    serve.add_argument("--log-json", action="store_true",
+                       help="emit one structured JSON access-log "
+                            "line per HTTP request on stdout")
+    serve.add_argument("--trace-jobs", type=int, default=0,
+                       metavar="N",
+                       help="trace the first N executions end to "
+                            "end; fetch the stitched Perfetto "
+                            "document at GET /v1/jobs/ID/trace "
+                            "(default 0 = off)")
+    serve.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="with --soak: save a mid-soak /metrics "
+                            "scrape to PATH.mid and the final "
+                            "post-drain scrape to PATH")
+    serve.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="with --soak: trace one execution and "
+                            "write the stitched cross-process "
+                            "Chrome trace here")
+    slo = sub.add_parser(
+        "slo",
+        help="evaluate the SLO block of a repro.soak-report/1: "
+             "conservation, availability, error budget and cold-p99 "
+             "against the declared objectives; exit 1 on violation")
+    slo.add_argument("report", help="soak report JSON path")
+    slo.add_argument("--availability", type=float, default=None,
+                     metavar="RATIO",
+                     help="override the availability target "
+                          "(e.g. 0.999)")
+    slo.add_argument("--p99-ms", type=float, default=None,
+                     metavar="MS",
+                     help="override the cold-path p99 bound")
+    slo.add_argument("--json", action="store_true",
+                     help="emit the repro.serve-slo/1 verdict as "
+                          "JSON instead of text")
     verify_backend = sub.add_parser(
         "verify-backend",
         help="byte-compare the event and vector backends over the "
@@ -1290,6 +1362,7 @@ def main(argv: list[str] | None = None) -> int:
         "diff": _cmd_diff,
         "perf": _cmd_perf,
         "serve": _cmd_serve,
+        "slo": _cmd_slo,
         "verify-backend": _cmd_verify_backend,
         "bounds": _cmd_bounds,
         "cache": _cmd_cache,

@@ -26,7 +26,7 @@ import os
 import pathlib
 import pickle
 import tempfile
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Callable
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.request import RunRequest
@@ -67,12 +67,17 @@ class ResultCache:
     size-capped LRU eviction."""
 
     def __init__(self, root: pathlib.Path | str | None = None,
-                 max_bytes: int | None = None) -> None:
+                 max_bytes: int | None = None,
+                 on_evict: "Callable[[int], None] | None" = None) -> None:
         self.root = pathlib.Path(root) if root else default_cache_dir()
         self.max_bytes = (max_bytes if max_bytes is not None
                           else configured_max_bytes())
         if self.max_bytes is not None and self.max_bytes <= 0:
             self.max_bytes = None
+        #: Called with the eviction count after each pruning pass that
+        #: removed entries; lets the owning session count evictions
+        #: without polling ``index.json``.
+        self.on_evict = on_evict
 
     def _object_path(self, digest: str) -> pathlib.Path:
         return self.root / "objects" / digest[:2] / f"{digest}.pkl"
@@ -194,6 +199,8 @@ class ResultCache:
                 freed += row["bytes"]
                 evicted += 1
         self._write_index(entries=len(rows) - evicted, total=total)
+        if evicted and self.on_evict is not None:
+            self.on_evict(evicted)
         return {"evicted": evicted, "freed": freed,
                 "entries": len(rows) - evicted, "bytes": total,
                 "max_bytes": budget}

@@ -44,6 +44,7 @@ from repro.host.processor import HostError
 if TYPE_CHECKING:  # pragma: no cover
     from repro.apps.common import AppBundle
     from repro.core.processor import RunResult
+    from repro.obs.metrics import MetricsRegistry
     from repro.obs.registry import ProbeRegistry
     from repro.obs.tracer import Tracer
 
@@ -400,6 +401,7 @@ class Session:
                  machine: MachineConfig | None = None,
                  board: BoardConfig | None = None,
                  salt: str | None = None,
+                 metrics: "MetricsRegistry | None" = None,
                  jobs: int = _UNSET, cache: bool = _UNSET,
                  cache_dir=_UNSET, timeout: float | None = _UNSET,
                  retries: int = _UNSET, preflight: bool = _UNSET,
@@ -438,12 +440,53 @@ class Session:
         self.history = config.history
         self.stats = SessionStats()
         self._salt = salt if salt is not None else code_salt()
-        self._cache = (ResultCache(config.cache_dir)
+        self._init_metrics(metrics)
+        self._cache = (ResultCache(config.cache_dir,
+                                   on_evict=self._m_evictions.inc)
                        if config.cache else None)
         self._inflight: dict[str, RunHandle] = {}
         self._history_recorded: set[str] = set()
         self._executor: concurrent.futures.ProcessPoolExecutor | None = None
         self._closed = False
+
+    def _init_metrics(self, metrics: "MetricsRegistry | None") -> None:
+        """Register this session's live-metric families.
+
+        A shared registry (the experiment service passes its own into
+        every worker-thread session) aggregates naturally:
+        registration is get-or-create, so N sessions increment the
+        same counter children.  Units come from the
+        ``COUNTER_UNITS`` vocabulary at registration time.
+        """
+        from repro.obs.metrics import MetricsRegistry
+
+        self.metrics = (metrics if metrics is not None
+                        else MetricsRegistry())
+        m = self.metrics
+        self._m_cache = m.counter(
+            "engine_cache_requests_total",
+            "cache lookups by result", labels=("result",))
+        self._m_evictions = m.counter(
+            "engine_cache_evictions_total",
+            "cache entries evicted by the LRU pruner")
+        self._m_dedup = m.counter(
+            "engine_inflight_dedup_total",
+            "submissions coalesced onto an in-flight run")
+        self._m_timeouts = m.counter(
+            "engine_worker_timeouts_total",
+            "runs abandoned at the wall-clock timeout")
+        self._m_retries = m.counter(
+            "engine_worker_retries_total",
+            "pool re-dispatches after a worker crash")
+        self._m_backend = m.counter(
+            "engine_backend_selected_total",
+            "backend resolution per submission", labels=("backend",))
+        self._m_executed = m.counter(
+            "engine_runs_executed_total",
+            "simulations actually executed")
+        self._m_failed = m.counter(
+            "engine_runs_failed_total",
+            "typed simulation failures captured as outcomes")
 
     # ------------------------------------------------------------------
     # Lifecycle.
@@ -491,6 +534,7 @@ class Session:
                              else request.backend
                              if request.backend is not None
                              else self.backend)
+        self._m_backend.labels(backend=effective_backend).inc()
 
         if request.trace or tracer is not None:
             # Traced runs stay in-process (tracers do not cross
@@ -507,8 +551,11 @@ class Session:
                                backend=effective_backend)
             self.stats.uncached += 1
             self.stats.executed += 1
+            self._m_cache.labels(result="uncached").inc()
+            self._m_executed.inc()
             if not outcome.completed:
                 self.stats.failed += 1
+                self._m_failed.inc()
             handle._outcome = _stamp(outcome, None, "uncached")
             handle.cache_status = "uncached"
             return handle
@@ -518,6 +565,8 @@ class Session:
             shared = self._inflight.get(digest)
             if shared is not None:
                 self.stats.hits += 1
+                self._m_cache.labels(result="hit").inc()
+                self._m_dedup.inc()
                 handle = RunHandle(self, request, digest)
                 handle.backend = effective_backend
                 handle.cache_status = "hit"
@@ -530,6 +579,7 @@ class Session:
             cached = self._cache.load(digest)
             if cached is not None:
                 self.stats.hits += 1
+                self._m_cache.labels(result="hit").inc()
                 handle._outcome = _stamp(cached, digest, "hit")
                 handle.cache_status = "hit"
                 self._inflight[digest] = handle
@@ -585,13 +635,17 @@ class Session:
         handle = RunHandle(self, request, digest=None)
         handle.backend = effective_backend
         handle.tracer = tracer
+        self._m_backend.labels(backend=effective_backend).inc()
         outcome = _capture(bundle, request, tracer=tracer,
                            preflight=self.preflight,
                            backend=effective_backend)
         self.stats.uncached += 1
         self.stats.executed += 1
+        self._m_cache.labels(result="uncached").inc()
+        self._m_executed.inc()
         if not outcome.completed:
             self.stats.failed += 1
+            self._m_failed.inc()
         handle._outcome = _stamp(outcome, None, "uncached")
         handle.cache_status = "uncached"
         return handle
@@ -645,6 +699,7 @@ class Session:
                 break
             except concurrent.futures.TimeoutError:
                 self.stats.timeouts += 1
+                self._m_timeouts.inc()
                 outcome = RunOutcome(
                     status="failed", error_type="RunTimeout",
                     error_message=(
@@ -661,6 +716,7 @@ class Session:
                     break
                 # Recreate the pool and re-dispatch.
                 self.stats.retried += 1
+                self._m_retries.inc()
                 handle._attempts += 1
                 if self._executor is not None:
                     self._executor.shutdown(wait=False,
@@ -673,10 +729,13 @@ class Session:
 
     def _complete(self, handle: RunHandle, outcome: RunOutcome) -> None:
         self.stats.executed += 1
+        self._m_executed.inc()
         if not outcome.completed:
             self.stats.failed += 1
+            self._m_failed.inc()
         if handle.digest is not None and self._cache is not None:
             self.stats.misses += 1
+            self._m_cache.labels(result="miss").inc()
             handle.cache_status = "miss"
             outcome = _stamp(outcome, handle.digest, "miss")
             if outcome.cacheable:
@@ -686,6 +745,7 @@ class Session:
             if handle.digest is not None:
                 # Declarative but cache disabled.
                 self.stats.uncached += 1
+            self._m_cache.labels(result="uncached").inc()
             handle.cache_status = "uncached"
             outcome = _stamp(outcome, handle.digest, "uncached")
         handle._outcome = outcome
@@ -803,6 +863,12 @@ class Session:
                      "typed simulation failures captured as outcomes")
         registry.add("engine.runs.timeouts", stats.timeouts, "runs",
                      "runs abandoned at the wall-clock timeout")
+        # Live metric families (engine_* counters, plus whatever else
+        # shares this session's registry) ride along, so one probe
+        # snapshot carries both vocabularies.
+        from repro.obs.metrics import probes_from_metrics
+
+        probes_from_metrics(self.metrics, add=registry.add)
         return registry
 
 

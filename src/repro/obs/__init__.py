@@ -23,7 +23,14 @@ artifacts:
   behind ``repro perf`` and the benchmark trajectory;
 * :mod:`repro.obs.critpath` -- critical-path extraction over the
   simulator's recorded event DAG (``repro.critpath-report/1``) and
-  the what-if speedup projector behind ``repro whatif``.
+  the what-if speedup projector behind ``repro whatif``;
+* :mod:`repro.obs.metrics` -- stdlib-only labeled Counter / Gauge /
+  Histogram registry with deterministic Prometheus text exposition
+  (v0.0.4) and a strict parser, the live telemetry plane behind
+  ``GET /metrics``;
+* :mod:`repro.obs.stitch` -- cross-process trace stitching: one
+  Perfetto document per served job, HTTP accept -> queue wait ->
+  engine execute -> per-component simulator spans.
 """
 
 from repro.obs.critpath import (
@@ -49,6 +56,7 @@ from repro.obs.diff import (
 from repro.obs.export import (
     TraceValidationError,
     counters_csv,
+    finalize_events,
     to_chrome_trace,
     validate_chrome_trace,
     write_chrome_trace,
@@ -58,6 +66,27 @@ from repro.obs.history import (
     append_history,
     history_entry,
     read_history,
+)
+from repro.obs.metrics import (
+    CONTENT_TYPE,
+    LATENCY_BUCKETS_MS,
+    Counter,
+    ExpositionError,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    counter_totals,
+    parse_prometheus,
+    probes_from_metrics,
+    render_prometheus,
+)
+from repro.obs.stitch import (
+    SERVICE_PID,
+    SIMULATOR_PID,
+    TraceContext,
+    stitch_job_trace,
+    validate_stitched_trace,
 )
 from repro.obs.manifest import (
     REPORT_SCHEMA,
@@ -120,9 +149,27 @@ __all__ = [
     "COUNTER_UNITS",
     "TraceValidationError",
     "counters_csv",
+    "finalize_events",
     "to_chrome_trace",
     "validate_chrome_trace",
     "write_chrome_trace",
+    "CONTENT_TYPE",
+    "LATENCY_BUCKETS_MS",
+    "Counter",
+    "ExpositionError",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "counter_totals",
+    "parse_prometheus",
+    "probes_from_metrics",
+    "render_prometheus",
+    "SERVICE_PID",
+    "SIMULATOR_PID",
+    "TraceContext",
+    "stitch_job_trace",
+    "validate_stitched_trace",
     "REPORT_SCHEMA",
     "RunManifest",
     "build_manifest",

@@ -39,14 +39,18 @@ def _us(cycles: float, clock_hz: float) -> float:
 def _event_key(event: dict[str, Any]) -> tuple:
     """Total deterministic order over trace events.
 
-    Ties on timestamp (common: zero-duration accounting spans at a
-    shared event-loop instant) are broken by tid, phase, name,
-    duration and canonicalised args, so the exported byte stream
-    never depends on tracer emission order.
+    Metadata (``M``-phase process/thread names) leads, ordered by
+    (pid, tid, name), so multi-process documents from the stitcher
+    announce every process before its events.  Ties on timestamp
+    (common: zero-duration accounting spans at a shared event-loop
+    instant) are broken by pid, tid, phase, name, duration and
+    canonicalised args, so the exported byte stream never depends on
+    tracer emission order.
     """
     return (
         0 if event["ph"] == "M" else 1,     # metadata leads
         event["ts"],
+        event["pid"],
         event["tid"],
         _PHASE_ORDER.get(event["ph"], 9),
         event["name"],
@@ -54,6 +58,24 @@ def _event_key(event: dict[str, Any]) -> tuple:
         json.dumps(event.get("args", {}), sort_keys=True,
                    default=str),
     )
+
+
+def finalize_events(events: list[dict[str, Any]]
+                    ) -> list[dict[str, Any]]:
+    """Deterministically order events and assign sequential span ids.
+
+    Ids are assigned *after* the sort so two exports of the same
+    events carry stable labels -- shared by :func:`to_chrome_trace`
+    and the cross-process stitcher
+    (:func:`repro.obs.stitch.stitch_job_trace`).
+    """
+    events.sort(key=_event_key)
+    span_id = 0
+    for event in events:
+        if event["ph"] == "X":
+            event["id"] = span_id
+            span_id += 1
+    return events
 
 
 def to_chrome_trace(tracer: Tracer, clock_hz: float = 200e6,
@@ -103,15 +125,7 @@ def to_chrome_trace(tracer: Tracer, clock_hz: float = 200e6,
             "tid": tid_of[sample.track],
             "args": dict(sample.values),
         })
-    events.sort(key=_event_key)
-    # Sequential span ids assigned *after* the deterministic sort:
-    # stable labels for diffing two exports of the same run, and the
-    # validator's duplicate-id check.
-    span_id = 0
-    for event in events:
-        if event["ph"] == "X":
-            event["id"] = span_id
-            span_id += 1
+    finalize_events(events)
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -142,16 +156,24 @@ def validate_chrome_trace(document: Any) -> list[str]:
     ``dur`` on complete events (zero-duration accounting spans are
     legal), unique ``id`` values across complete events that carry
     one, per-series monotonically non-decreasing counter timestamps,
-    and thread-name metadata for every tid referenced.
+    and thread-name metadata for every (pid, tid) referenced.
+
+    Process/thread identity is keyed by the **(pid, tid) pair**, so
+    multi-process documents from the cross-process stitcher are legal
+    (the same tid may carry different names under different pids),
+    while *conflicting* metadata -- two ``thread_name`` (or
+    ``process_name``) events naming the same pid/tid differently --
+    is rejected.
     """
     if not isinstance(document, dict):
         raise TraceValidationError("trace document must be an object")
     events = document.get("traceEvents")
     if not isinstance(events, list) or not events:
         raise TraceValidationError("traceEvents must be a non-empty list")
-    named_tids: dict[int, str] = {}
-    used_tids: set[int] = set()
-    counter_clock: dict[tuple[int, str], float] = {}
+    named_tids: dict[tuple[int, int], str] = {}
+    named_pids: dict[int, str] = {}
+    used_tids: set[tuple[int, int]] = set()
+    counter_clock: dict[tuple[int, int, str], float] = {}
     span_ids: set[Any] = set()
     for i, event in enumerate(events):
         if not isinstance(event, dict):
@@ -169,6 +191,7 @@ def validate_chrome_trace(document: Any) -> list[str]:
         if (not isinstance(ts, (int, float)) or not math.isfinite(ts)
                 or ts < 0):
             raise TraceValidationError(f"event {i} has bad ts {ts!r}")
+        lane = (event["pid"], event["tid"])
         if phase == "X":
             dur = event.get("dur")
             if (not isinstance(dur, (int, float))
@@ -181,26 +204,39 @@ def validate_chrome_trace(document: Any) -> list[str]:
                         f"complete event {i} reuses span id "
                         f"{event['id']!r}")
                 span_ids.add(event["id"])
-            used_tids.add(event["tid"])
+            used_tids.add(lane)
         elif phase == "C":
-            key = (event["tid"], event["name"])
+            key = (event["pid"], event["tid"], event["name"])
             if ts < counter_clock.get(key, 0.0):
                 raise TraceValidationError(
                     f"counter event {i} ({event['name']!r}) has "
                     f"non-monotonic ts {ts!r} (previous "
                     f"{counter_clock[key]!r})")
             counter_clock[key] = ts
-            used_tids.add(event["tid"])
+            used_tids.add(lane)
         elif phase in ("i", "I"):
-            used_tids.add(event["tid"])
+            used_tids.add(lane)
         elif phase == "M" and event["name"] == "thread_name":
-            named_tids[event["tid"]] = event["args"]["name"]
+            name = event["args"]["name"]
+            if named_tids.get(lane, name) != name:
+                raise TraceValidationError(
+                    f"metadata event {i} renames pid/tid {lane} "
+                    f"from {named_tids[lane]!r} to {name!r}")
+            named_tids[lane] = name
+        elif phase == "M" and event["name"] == "process_name":
+            pid = event["pid"]
+            name = event["args"]["name"]
+            if named_pids.get(pid, name) != name:
+                raise TraceValidationError(
+                    f"metadata event {i} renames pid {pid} from "
+                    f"{named_pids[pid]!r} to {name!r}")
+            named_pids[pid] = name
     unnamed = used_tids - set(named_tids)
     if unnamed:
         raise TraceValidationError(
-            f"tids {sorted(unnamed)} carry events but have no "
+            f"pid/tids {sorted(unnamed)} carry events but have no "
             f"thread_name metadata")
-    return [named_tids[tid] for tid in sorted(named_tids)]
+    return [named_tids[lane] for lane in sorted(named_tids)]
 
 
 def counters_csv(tracer: Tracer) -> str:

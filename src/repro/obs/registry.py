@@ -115,13 +115,43 @@ class ProbeRegistry:
                 if probe.within_target is False]
 
 
-#: Units for the tracer's counter series, by counter name -- the
-#: registry's unit vocabulary applied to the counter tracks, so CSV
-#: exports are self-describing (``counters_csv`` joins on this).
+#: Unit vocabulary, by series name.  Two consumers join on this:
+#: the tracer's counter tracks (``counters_csv`` stamps each row's
+#: unit column from here) and the live metrics plane
+#: (:mod:`repro.obs.metrics` refuses to build a metric whose name has
+#: no unit registered here unless one is passed explicitly) -- so an
+#: unregistered unit fails tier-1, not a dashboard review.
 COUNTER_UNITS: dict[str, str] = {
+    # Tracer counter series (PR 1).
     "scoreboard": "slots",
     "cycles by category": "cycles",
     "channel busy (sampled mem cycles)": "mem cycles",
+    # Service job lifecycle (repro.serve.service).
+    "serve_jobs_submitted_total": "jobs",
+    "serve_jobs_accepted_total": "jobs",
+    "serve_jobs_rejected_total": "jobs",
+    "serve_jobs_terminal_total": "jobs",
+    "serve_jobs_coalesced_total": "jobs",
+    "serve_jobs_recovered_total": "jobs",
+    "serve_artifact_hits_total": "jobs",
+    "serve_job_retries_total": "retries",
+    "serve_job_executions_total": "executions",
+    "serve_queue_depth": "jobs",
+    "serve_breaker_state": "state",
+    "serve_breaker_transitions_total": "transitions",
+    "serve_job_latency_ms": "ms",
+    # HTTP front end (repro.serve.http).
+    "serve_http_requests_total": "requests",
+    "serve_http_latency_ms": "ms",
+    # Engine sessions (repro.engine.session).
+    "engine_cache_requests_total": "runs",
+    "engine_cache_evictions_total": "entries",
+    "engine_inflight_dedup_total": "runs",
+    "engine_worker_timeouts_total": "runs",
+    "engine_worker_retries_total": "retries",
+    "engine_backend_selected_total": "runs",
+    "engine_runs_executed_total": "runs",
+    "engine_runs_failed_total": "runs",
 }
 
 

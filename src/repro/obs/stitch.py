@@ -1,0 +1,185 @@
+"""Cross-process trace stitching: one Perfetto file per job.
+
+A job submitted over HTTP lives in two processes: the experiment
+service (accept -> queue -> engine execute) and the pool worker that
+runs the simulator.  Each side already has good telemetry -- the
+service knows its admission/queue/execution wall times, the simulator
+has a full per-component :class:`~repro.obs.tracer.Tracer` -- but
+until now they exported as *separate* documents with no shared
+timeline.
+
+:func:`stitch_job_trace` merges them: service-side spans land on
+:data:`SERVICE_PID`, the simulator document is rebased onto
+:data:`SIMULATOR_PID` with its timestamps shifted to the start of the
+service's ``engine execute`` span, and ``M``-phase process/thread
+metadata names both tracks.  The result is a single Chrome
+trace-event document where HTTP accept -> queue wait -> engine
+execute -> per-component simulator spans read as one causal chain,
+all carrying the same ``job_id``/``digest`` args.
+
+The :class:`TraceContext` carried from the HTTP layer into the worker
+is deliberately tiny (job id + request digest): it is the correlation
+key, not a baggage bag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.obs.export import (TraceValidationError, finalize_events,
+                              validate_chrome_trace)
+
+#: pid of the service-side track in a stitched document.
+SERVICE_PID = 1
+#: pid of the rebased simulator track in a stitched document.
+SIMULATOR_PID = 2
+
+#: Span names on the service track, in causal order.
+SERVICE_SPANS = ("http accept", "queue wait", "engine execute")
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Correlation key carried from the HTTP layer into the worker."""
+
+    job_id: str
+    digest: str
+
+    def args(self) -> dict[str, str]:
+        return {"job_id": self.job_id, "digest": self.digest}
+
+
+def _service_events(context: TraceContext, admit_us: float,
+                    queue_us: float, execute_us: float
+                    ) -> list[dict[str, Any]]:
+    args = context.args()
+    total_us = admit_us + queue_us + execute_us
+    events: list[dict[str, Any]] = [
+        {"name": "process_name", "ph": "M", "ts": 0,
+         "pid": SERVICE_PID, "tid": 0,
+         "args": {"name": "experiment-service"}},
+        {"name": "thread_name", "ph": "M", "ts": 0,
+         "pid": SERVICE_PID, "tid": 0, "args": {"name": "job"}},
+        {"name": "thread_name", "ph": "M", "ts": 0,
+         "pid": SERVICE_PID, "tid": 1, "args": {"name": "lifecycle"}},
+        {"name": f"job {context.job_id}", "cat": "serve", "ph": "X",
+         "ts": 0.0, "dur": total_us, "pid": SERVICE_PID, "tid": 0,
+         "args": args},
+    ]
+    starts = (0.0, admit_us, admit_us + queue_us)
+    durations = (admit_us, queue_us, execute_us)
+    for name, start, dur in zip(SERVICE_SPANS, starts, durations):
+        events.append({
+            "name": name, "cat": "serve", "ph": "X",
+            "ts": start, "dur": dur,
+            "pid": SERVICE_PID, "tid": 1, "args": args,
+        })
+    return events
+
+
+def _rebase_simulator(document: dict[str, Any], offset_us: float,
+                      context: TraceContext) -> list[dict[str, Any]]:
+    """Shift a simulator document onto the stitched timeline.
+
+    Events move to :data:`SIMULATOR_PID`; non-metadata timestamps are
+    offset so cycle 0 aligns with the service's ``engine execute``
+    start; the process is renamed so Perfetto shows both tracks.
+    """
+    events = []
+    for source in document.get("traceEvents", []):
+        event = dict(source)
+        event["pid"] = SIMULATOR_PID
+        if event["ph"] == "M":
+            if event["name"] == "process_name":
+                event["args"] = {"name": "imagine-simulator"}
+        else:
+            event["ts"] = event["ts"] + offset_us
+            event["args"] = {**event.get("args", {}),
+                             **context.args()}
+            event.pop("id", None)
+        events.append(event)
+    return events
+
+
+def stitch_job_trace(context: TraceContext, *, admit_s: float,
+                     queue_s: float, execute_s: float,
+                     simulator: dict[str, Any] | None = None
+                     ) -> dict[str, Any]:
+    """Merge service-side timings and a simulator trace document.
+
+    ``admit_s``/``queue_s``/``execute_s`` are the wall-clock phase
+    durations measured by the service (clamped at zero: clock skew
+    chaos keeps the *offset* constant, but defensive clamping keeps
+    the validator's non-negative-duration invariant safe regardless).
+    ``simulator`` is a document from
+    :func:`repro.obs.export.to_chrome_trace`, or ``None`` for jobs
+    that ran untraced (cache hits, coalesced followers).
+    """
+    admit_us = max(admit_s, 0.0) * 1e6
+    queue_us = max(queue_s, 0.0) * 1e6
+    execute_us = max(execute_s, 0.0) * 1e6
+    events = _service_events(context, admit_us, queue_us, execute_us)
+    if simulator is not None:
+        events.extend(_rebase_simulator(
+            simulator, admit_us + queue_us, context))
+    finalize_events(events)
+    document = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"job_id": context.job_id,
+                      "digest": context.digest,
+                      "schema": "repro.job-trace/1"},
+    }
+    return document
+
+
+def validate_stitched_trace(document: dict[str, Any]) -> dict[str, Any]:
+    """Assert the full HTTP -> queue -> engine -> simulator chain.
+
+    Runs the structural :func:`validate_chrome_trace` check first,
+    then the stitching contract: the three service spans exist in
+    causal order on :data:`SERVICE_PID`, each carrying the same
+    ``job_id``/``digest``, and -- when a simulator track is present --
+    every simulator span starts no earlier than ``engine execute``.
+    Returns a summary ``{job_id, digest, tracks, simulator_spans}``.
+    """
+    tracks = validate_chrome_trace(document)
+    events = document["traceEvents"]
+    spans = {event["name"]: event for event in events
+             if event["ph"] == "X" and event["pid"] == SERVICE_PID}
+    missing = [name for name in SERVICE_SPANS if name not in spans]
+    if missing:
+        raise TraceValidationError(
+            f"stitched trace is missing service spans {missing}")
+    contexts = {(event["args"].get("job_id"),
+                 event["args"].get("digest"))
+                for name, event in spans.items()
+                if name in SERVICE_SPANS}
+    if len(contexts) != 1 or None in next(iter(contexts)):
+        raise TraceValidationError(
+            f"service spans disagree on job context: {sorted(contexts)}")
+    job_id, digest = next(iter(contexts))
+    clock = 0.0
+    for name in SERVICE_SPANS:
+        span = spans[name]
+        if span["ts"] < clock:
+            raise TraceValidationError(
+                f"span {name!r} starts at {span['ts']} before the "
+                f"previous phase ended at {clock}")
+        clock = span["ts"] + span["dur"]
+    exec_start = spans["engine execute"]["ts"]
+    simulator_spans = [event for event in events
+                       if event["ph"] == "X"
+                       and event["pid"] == SIMULATOR_PID]
+    for event in simulator_spans:
+        if event["ts"] < exec_start:
+            raise TraceValidationError(
+                f"simulator span {event['name']!r} at {event['ts']} "
+                f"precedes engine execute at {exec_start}")
+        if event["args"].get("job_id") != job_id:
+            raise TraceValidationError(
+                f"simulator span {event['name']!r} lost the job "
+                f"context")
+    return {"job_id": job_id, "digest": digest, "tracks": tracks,
+            "simulator_spans": len(simulator_spans)}

@@ -16,6 +16,15 @@ The chaos harness (:mod:`repro.serve.chaos` +
 corruption, slow and disconnecting clients and clock-skewed deadlines
 mid-load-test, and asserts the service never loses an accepted job
 and never serves a wrong-digest artifact.
+
+The telemetry plane (:mod:`repro.obs.metrics` wired through the
+service, engine sessions and the HTTP front end) exposes labeled
+counters/gauges/histograms at ``GET /metrics`` (Prometheus text
+exposition), stitches service-side job phases and in-worker simulator
+spans into one cross-process Perfetto trace
+(``GET /v1/jobs/{id}/trace``), and feeds the SLO verdict
+(:mod:`repro.serve.slo`, ``repro slo``).  See
+``docs/observability.md``.
 """
 
 from repro.serve.artifacts import ARTIFACT_SCHEMA, ArtifactStore
@@ -36,7 +45,16 @@ from repro.serve.models import (
 )
 from repro.serve.retry import RetryPolicy, is_retryable
 from repro.serve.service import ExperimentService
-from repro.serve.http import ServiceServer, http_request
+from repro.serve.http import ServiceServer, http_request, route_template
+from repro.serve.slo import (
+    SLO_SCHEMA,
+    SloError,
+    build_slo_block,
+    evaluate_slo,
+    latency_block,
+    render_slo,
+    stable_projection,
+)
 
 __all__ = [
     "ARTIFACT_SCHEMA",
@@ -51,11 +69,19 @@ __all__ = [
     "JobJournal",
     "QueueFull",
     "RetryPolicy",
+    "SLO_SCHEMA",
     "ServiceConfig",
     "ServiceServer",
     "ServiceUnavailable",
+    "SloError",
+    "build_slo_block",
+    "evaluate_slo",
     "get_chaos_plan",
     "http_request",
     "is_retryable",
+    "latency_block",
+    "render_slo",
     "request_from_payload",
+    "route_template",
+    "stable_projection",
 ]

@@ -11,10 +11,18 @@ Routes::
                                  400 / 429+Retry-After / 503+Retry-After)
     GET  /v1/jobs/{id}           job status (200 / 404)
     GET  /v1/jobs/{id}/artifact  finished artifact (200 / 404 / 409)
+    GET  /v1/jobs/{id}/trace     stitched Perfetto trace (200/404/409)
     GET  /v1/artifacts/{digest}  artifact by request digest (200 / 404)
     GET  /healthz                liveness
     GET  /readyz                 readiness (503 while shedding)
     GET  /v1/stats               service + engine counters
+    GET  /metrics                Prometheus text exposition v0.0.4
+
+Every request (except ``GET /metrics`` -- a scrape must not count
+itself, or two scrapes of an idle service could never be
+byte-identical) is counted into ``serve_http_requests_total`` /
+``serve_http_latency_ms`` under a bounded route *template* label,
+and optionally emitted as one structured JSON access-log line.
 
 The module also ships :func:`http_request`, the tiny asyncio client
 the load/chaos harness drives the server with -- including its
@@ -26,8 +34,10 @@ from __future__ import annotations
 
 import asyncio
 import json
-from typing import Any
+import time
+from typing import Any, Callable
 
+from repro.obs.metrics import CONTENT_TYPE as METRICS_CONTENT_TYPE
 from repro.serve.models import (
     BadRequest,
     QueueFull,
@@ -54,15 +64,58 @@ class _HttpError(Exception):
         self.retry_after_s = retry_after_s
 
 
+#: Fixed routes that are their own metric label.
+_FIXED_ROUTES = ("/healthz", "/readyz", "/v1/stats", "/v1/jobs",
+                 "/metrics")
+
+
+def route_template(path: str) -> str:
+    """Collapse a request path to its bounded route-label template.
+
+    Label cardinality must be a reviewable constant, so ids and
+    digests never reach a label value; anything unrecognised is
+    ``other``.
+    """
+    if path in _FIXED_ROUTES:
+        return path
+    if path.startswith("/v1/jobs/"):
+        if path.endswith("/artifact"):
+            return "/v1/jobs/{id}/artifact"
+        if path.endswith("/trace"):
+            return "/v1/jobs/{id}/trace"
+        return "/v1/jobs/{id}"
+    if path.startswith("/v1/artifacts/"):
+        return "/v1/artifacts/{digest}"
+    return "other"
+
+
 class ServiceServer:
-    """Binds an :class:`ExperimentService` to a TCP port."""
+    """Binds an :class:`ExperimentService` to a TCP port.
+
+    ``access_log`` is an optional callable receiving one dict per
+    handled request (method, path, status, latency_ms, plus
+    job_id/digest when the response carried a job); the CLI's
+    ``--log-json`` wires it to a JSON-lines printer.
+    """
 
     def __init__(self, service: ExperimentService,
-                 host: str = "127.0.0.1", port: int = 0) -> None:
+                 host: str = "127.0.0.1", port: int = 0,
+                 access_log: Callable[[dict], None] | None = None
+                 ) -> None:
         self.service = service
         self.host = host
         self.port = port
+        self.access_log = access_log
         self._server: asyncio.AbstractServer | None = None
+        m = service.metrics
+        self._m_requests = m.counter(
+            "serve_http_requests_total",
+            "handled HTTP requests (excluding /metrics scrapes)",
+            labels=("method", "route", "status"))
+        self._m_latency = m.histogram(
+            "serve_http_latency_ms",
+            "request handling latency (excluding /metrics scrapes)",
+            labels=("route",))
 
     async def start(self) -> None:
         await self.service.start()
@@ -92,6 +145,17 @@ class ServiceServer:
     async def _handle(self, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
         timeout = self.service.config.io_timeout_s
+        started = time.perf_counter()
+        method: str | None = None
+        path: str | None = None
+        sent: tuple[int, Any] | None = None
+
+        def send_error(status: int, message: str,
+                       retry_after_s: float | None = None) -> None:
+            nonlocal sent
+            sent = (status, {"error": message})
+            self._write_error(writer, status, message, retry_after_s)
+
         try:
             try:
                 method, path, headers = await asyncio.wait_for(
@@ -99,11 +163,10 @@ class ServiceServer:
                 body = await asyncio.wait_for(
                     self._read_body(reader, headers), timeout=timeout)
             except asyncio.TimeoutError:
-                self._write_error(writer, 408,
-                                  "client too slow; dropping request")
+                send_error(408, "client too slow; dropping request")
                 return
             except _HttpError as error:
-                self._write_error(writer, error.status, str(error))
+                send_error(error.status, str(error))
                 return
             except (asyncio.IncompleteReadError, ConnectionError):
                 return  # client went away mid-request
@@ -111,16 +174,17 @@ class ServiceServer:
                 status, document, retry_after = self._route(
                     method, path, body)
             except _HttpError as error:
-                self._write_error(writer, error.status, str(error),
-                                  error.retry_after_s)
+                send_error(error.status, str(error),
+                           error.retry_after_s)
                 return
             except Exception as error:   # never kill the handler task
-                self._write_error(
-                    writer, 500,
-                    f"{type(error).__name__}: {error}")
+                send_error(500, f"{type(error).__name__}: {error}")
                 return
+            sent = (status, document)
             self._write(writer, status, document, retry_after)
         finally:
+            self._observe(method, path, sent,
+                          time.perf_counter() - started)
             try:
                 await asyncio.wait_for(writer.drain(),
                                        timeout=timeout)
@@ -131,6 +195,44 @@ class ServiceServer:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
+
+    def _observe(self, method: str | None, path: str | None,
+                 sent: tuple[int, Any] | None,
+                 elapsed_s: float) -> None:
+        """Per-route metrics + one access-log entry for a handled
+        request.  Requests dropped before a request line parsed (or
+        answered to a vanished client) are not observable; /metrics
+        scrapes are deliberately excluded from the counters so idle
+        scrapes stay byte-identical."""
+        if method is None or path is None or sent is None:
+            return
+        status, document = sent
+        latency_ms = elapsed_s * 1e3
+        route = route_template(path)
+        if path != "/metrics":
+            self._m_requests.labels(method=method, route=route,
+                                    status=str(status)).inc()
+            self._m_latency.labels(route=route).observe(latency_ms)
+        if self.access_log is None:
+            return
+        entry: dict[str, Any] = {
+            "ts": round(time.time(), 3),
+            "method": method,
+            "path": path,
+            "status": status,
+            "latency_ms": round(latency_ms, 3),
+        }
+        job = (document.get("job")
+               if isinstance(document, dict) else None)
+        if isinstance(job, dict):
+            if job.get("id") is not None:
+                entry["job_id"] = job["id"]
+            if job.get("digest") is not None:
+                entry["digest"] = job["digest"]
+        try:
+            self.access_log(entry)
+        except Exception:
+            pass   # a broken log sink must never kill the handler
 
     async def _read_head(self, reader: asyncio.StreamReader
                          ) -> tuple[str, str, dict[str, str]]:
@@ -165,10 +267,12 @@ class ServiceServer:
     # Routing.
     # ------------------------------------------------------------------
     def _route(self, method: str, path: str, body: bytes
-               ) -> tuple[int, dict, float | None]:
+               ) -> tuple[int, Any, float | None]:
         service = self.service
         if path == "/healthz" and method == "GET":
             return 200, service.health(), None
+        if path == "/metrics" and method == "GET":
+            return 200, service.render_metrics(), None
         if path == "/readyz" and method == "GET":
             ready, document = service.readiness()
             return (200 if ready else 503), document, None
@@ -186,11 +290,13 @@ class ServiceServer:
             rest = path[len("/v1/jobs/"):]
             if rest.endswith("/artifact"):
                 return self._artifact(rest[:-len("/artifact")])
+            if rest.endswith("/trace"):
+                return self._trace(rest[:-len("/trace")])
             return self._status(rest)
         if path.startswith("/v1/artifacts/") and method == "GET":
             return self._artifact_by_digest(
                 path[len("/v1/artifacts/"):])
-        if path in ("/healthz", "/readyz", "/v1/stats", "/v1/jobs"):
+        if path in _FIXED_ROUTES:
             raise _HttpError(405, f"{method} not allowed on {path}")
         raise _HttpError(404, f"no route for {method} {path}")
 
@@ -236,6 +342,17 @@ class ServiceServer:
                      "failed verification; resubmit the request")
         return 200, {"job": job.as_dict(), "artifact": envelope}, None
 
+    def _trace(self, job_id: str) -> tuple[int, dict, float | None]:
+        job = self.service.status(job_id)
+        if job is None:
+            raise _HttpError(404, f"unknown job {job_id!r}")
+        document = self.service.stitched_trace(job_id)
+        if document is None:
+            raise _HttpError(
+                409, f"job {job_id} is {job.state}; the trace is "
+                     f"stitched once the job is terminal")
+        return 200, document, None
+
     def _artifact_by_digest(self, digest: str
                             ) -> tuple[int, dict, float | None]:
         envelope = self.service.artifacts.load(digest)
@@ -248,12 +365,19 @@ class ServiceServer:
     # Response writing.
     # ------------------------------------------------------------------
     def _write(self, writer: asyncio.StreamWriter, status: int,
-               document: dict,
+               document: Any,
                retry_after_s: float | None = None) -> None:
-        body = (json.dumps(document, sort_keys=True) + "\n").encode()
+        if isinstance(document, str):
+            # Pre-rendered text body (the /metrics exposition).
+            body = document.encode("utf-8")
+            content_type = METRICS_CONTENT_TYPE
+        else:
+            body = (json.dumps(document, sort_keys=True)
+                    + "\n").encode()
+            content_type = "application/json"
         head = [f"HTTP/1.1 {status} "
                 f"{_REASONS.get(status, 'Unknown')}",
-                "Content-Type: application/json",
+                f"Content-Type: {content_type}",
                 f"Content-Length: {len(body)}",
                 "Connection: close"]
         if retry_after_s is not None:
@@ -277,13 +401,17 @@ class ServiceServer:
 async def http_request(host: str, port: int, method: str, path: str,
                        body: Any = None, *, slow_s: float = 0.0,
                        disconnect: bool = False,
-                       timeout_s: float = 30.0
+                       timeout_s: float = 30.0,
+                       raw: bool = False
                        ) -> tuple[int, dict[str, str], Any]:
     """One HTTP exchange; returns ``(status, headers, document)``.
 
     ``slow_s`` sleeps between the head and the body to emulate a slow
     client; ``disconnect`` closes the socket mid-request (both are
     chaos-harness behaviours).  A disconnect reports status ``0``.
+    With ``raw=True`` the response body is returned as decoded text
+    instead of parsed JSON (used for ``/metrics`` scrapes, whose
+    byte-level stability is part of the contract).
     """
     reader, writer = await asyncio.open_connection(host, port)
     try:
@@ -304,15 +432,15 @@ async def http_request(host: str, port: int, method: str, path: str,
         if data:
             writer.write(data)
             await writer.drain()
-        raw = await asyncio.wait_for(reader.read(),
-                                     timeout=timeout_s)
+        blob = await asyncio.wait_for(reader.read(),
+                                      timeout=timeout_s)
     finally:
         writer.close()
         try:
             await writer.wait_closed()
         except (ConnectionError, OSError):
             pass
-    head_blob, _, body_blob = raw.partition(b"\r\n\r\n")
+    head_blob, _, body_blob = blob.partition(b"\r\n\r\n")
     lines = head_blob.decode("latin-1").split("\r\n")
     status = int(lines[0].split()[1]) if lines and lines[0] else 0
     headers: dict[str, str] = {}
@@ -322,11 +450,15 @@ async def http_request(host: str, port: int, method: str, path: str,
             headers[key.strip().lower()] = value.strip()
     document: Any = None
     if body_blob:
-        try:
-            document = json.loads(body_blob.decode("utf-8"))
-        except (json.JSONDecodeError, UnicodeDecodeError):
-            document = None
+        if raw:
+            document = body_blob.decode("utf-8", errors="replace")
+        else:
+            try:
+                document = json.loads(body_blob.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                document = None
     return status, headers, document
 
 
-__all__ = ["MAX_BODY_BYTES", "ServiceServer", "http_request"]
+__all__ = ["MAX_BODY_BYTES", "ServiceServer", "http_request",
+           "route_template"]

@@ -38,6 +38,8 @@ from repro.serve.http import ServiceServer, http_request
 from repro.serve.journal import TERMINAL_EVENTS
 from repro.serve.models import ServiceConfig
 from repro.serve.service import ExperimentService
+from repro.serve.slo import (build_slo_block, latency_block,
+                             stable_projection)
 
 #: Version tag on the byte-stable soak report.
 SOAK_SCHEMA = "repro.soak-report/1"
@@ -163,18 +165,29 @@ async def run_soak(*, seed: int = 0, requests: int = 200,
                    data_dir: str | None = None,
                    workers: int = 2,
                    history: str | None = None,
-                   queue_limit: int = 64) -> dict[str, Any]:
+                   queue_limit: int = 64,
+                   metrics_out: str | None = None,
+                   trace_out: str | None = None) -> dict[str, Any]:
     """One full soak: returns the ``repro.soak-report/1`` dict.
 
     ``data_dir`` should be a *fresh* directory (the default tempdir
     is) -- byte-identical reruns rely on every digest starting cold.
+
+    ``metrics_out`` saves two real ``GET /metrics`` scrapes: a
+    mid-soak one (taken over HTTP once half the requests have
+    resolved; written to ``<metrics_out>.mid``, format-validated
+    only) and a final post-drain one (written to ``metrics_out``;
+    its counter totals are the cross-rerun determinism surface the
+    CI job compares).  ``trace_out`` traces the first execution end
+    to end and writes the stitched cross-process Perfetto document.
     """
     plan = get_chaos_plan(chaos).with_seed(seed)
     monkey = ChaosMonkey(plan)
     config = ServiceConfig(data_dir=data_dir, workers=workers,
                            queue_limit=queue_limit,
                            default_deadline_s=120.0,
-                           journal_fsync=False)
+                           journal_fsync=False,
+                           trace_jobs=1 if trace_out else 0)
     service = ExperimentService(config, chaos=monkey)
     server = ServiceServer(service)
     await server.start()
@@ -191,6 +204,22 @@ async def run_soak(*, seed: int = 0, requests: int = 200,
             await _drive_one(server, monkey, index + 1, mix[index],
                              records[index])
 
+    async def scrape() -> str:
+        _, _, text = await http_request(
+            server.host, server.port, "GET", "/metrics", raw=True)
+        return text
+
+    async def mid_scrape() -> str:
+        # A *live* scrape: waits until half the requests resolved,
+        # then reads /metrics over real HTTP while load continues.
+        target = max(len(mix) // 2, 1)
+        while sum(1 for record in records
+                  if "fate" in record) < target:
+            await asyncio.sleep(0.02)
+        return await scrape()
+
+    mid_task = (asyncio.create_task(mid_scrape())
+                if metrics_out is not None else None)
     try:
         await asyncio.gather(*(bounded(index)
                                for index in range(len(mix))))
@@ -200,13 +229,34 @@ async def run_soak(*, seed: int = 0, requests: int = 200,
                                seed=seed, requests=requests,
                                cold_digests=cold_digests,
                                chaos=chaos, drained=drained)
+        if metrics_out is not None and mid_task is not None:
+            with open(metrics_out + ".mid", "w") as handle:
+                handle.write(await mid_task)
+            with open(metrics_out, "w") as handle:
+                handle.write(await scrape())
+            mid_task = None
+        if trace_out is not None:
+            _write_trace(service, trace_out)
         if history is not None:
             _publish_history(history, records, elapsed, seed=seed,
                              requests=requests,
                              concurrency=concurrency, chaos=chaos)
     finally:
+        if mid_task is not None:
+            mid_task.cancel()
         await server.stop()
     return report
+
+
+def _write_trace(service: ExperimentService, path: str) -> None:
+    """Stitch and save the trace of the first traced job (the one
+    that consumed the ``trace_jobs`` budget), if any completed."""
+    for job_id in sorted(service._tracers):
+        document = service.stitched_trace(job_id)
+        if document is not None:
+            with open(path, "w") as handle:
+                json.dump(document, handle)
+            return
 
 
 def _build_report(service: ExperimentService, monkey: ChaosMonkey,
@@ -256,6 +306,10 @@ def _build_report(service: ExperimentService, monkey: ChaosMonkey,
                             for state in sorted(
                                 digests[digest]["states"])}}
         for digest in sorted(digests)}
+    completed = sum(1 for record in folded.values()
+                    if record["state"] == "completed")
+    failed = sum(1 for record in folded.values()
+                 if record["state"] == "failed")
     return {
         "schema": SOAK_SCHEMA,
         "seed": seed,
@@ -275,6 +329,12 @@ def _build_report(service: ExperimentService, monkey: ChaosMonkey,
             "artifacts_verified": verified,
             "chaos_fired_matches_configured": chaos_ok,
         },
+        "slo": build_slo_block(
+            accepted=len(folded), completed=completed,
+            failed=failed, unresolved=len(unresolved),
+            availability_target=service.config.slo_availability,
+            p99_target_ms=service.config.slo_p99_ms,
+            latency=latency_block(service.metrics)),
     }
 
 
@@ -321,4 +381,5 @@ __all__ = [
     "build_request_mix",
     "run_soak",
     "soak_report_bytes",
+    "stable_projection",
 ]

@@ -98,6 +98,18 @@ class ServiceConfig:
     #: fsync every journal append (disable only in tests that measure
     #: throughput, never in production).
     journal_fsync: bool = True
+    #: Trace the first N *executions* end to end: the job carries a
+    #: :class:`~repro.obs.stitch.TraceContext` into the worker, the
+    #: simulator runs traced (in-process, uncached), and
+    #: ``GET /v1/jobs/{id}/trace`` serves the stitched Perfetto
+    #: document.  0 disables tracing (the default: traced runs bypass
+    #: the cache, so this is a sampling tool, not an always-on path).
+    trace_jobs: int = 0
+    #: Declared SLO: minimum fraction of accepted jobs that must
+    #: complete, and the cold-path p99 latency bound, both evaluated
+    #: by ``repro slo`` over the soak report's SLO block.
+    slo_availability: float = 0.99
+    slo_p99_ms: float = 60000.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -126,6 +138,12 @@ class Job:
     #: How the result was produced: ``execution`` | ``artifact`` |
     #: ``coalesced`` | ``recovered``.
     served_from: str | None = None
+    #: Admission wall time (seconds spent in ``submit()``) and the
+    #: execution start/finish clocks -- the service-side phase
+    #: boundaries the cross-process trace stitcher renders.
+    admit_s: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
 
     @property
     def terminal(self) -> bool:

@@ -50,7 +50,9 @@ from repro.serve.retry import is_retryable
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.request import RunRequest
+    from repro.obs.metrics import MetricsRegistry
     from repro.obs.registry import ProbeRegistry
+    from repro.obs.tracer import Tracer
 
 
 @dataclass
@@ -84,33 +86,44 @@ class CircuitBreaker:
     its fate closes or re-opens the breaker.
     """
 
-    def __init__(self, threshold: int, cooldown_s: float) -> None:
+    def __init__(self, threshold: int, cooldown_s: float,
+                 on_transition: Any = None) -> None:
         self.threshold = threshold
         self.cooldown_s = cooldown_s
         self.state = "closed"
         self.strikes = 0
         self.opened_at = 0.0
         self.trips = 0
+        #: Called as ``on_transition(old_state, new_state)`` on every
+        #: state change (the service bridges this into metrics).
+        self.on_transition = on_transition
+
+    def _transition(self, state: str) -> None:
+        if state == self.state:
+            return
+        old, self.state = self.state, state
+        if self.on_transition is not None:
+            self.on_transition(old, state)
 
     def strike(self, now: float) -> None:
         self.strikes += 1
         if self.state == "half-open" or (
                 self.state == "closed"
                 and self.strikes >= self.threshold):
-            self.state = "open"
+            self._transition("open")
             self.opened_at = now
             self.trips += 1
 
     def success(self) -> None:
         self.strikes = 0
-        self.state = "closed"
+        self._transition("closed")
 
     def allow_cold(self, now: float) -> bool:
         if self.state == "closed":
             return True
         if self.state == "open":
             if now - self.opened_at >= self.cooldown_s:
-                self.state = "half-open"
+                self._transition("half-open")
                 return True
             return False
         # half-open: one probe is already in flight.
@@ -131,7 +144,8 @@ class ExperimentService:
     """Submit / poll / fetch front end over the parallel engine."""
 
     def __init__(self, config: ServiceConfig | None = None,
-                 chaos: ChaosMonkey | None = None) -> None:
+                 chaos: ChaosMonkey | None = None,
+                 metrics: "MetricsRegistry | None" = None) -> None:
         self.config = config if config is not None else ServiceConfig()
         self.chaos = chaos if chaos is not None else \
             ChaosMonkey.disabled()
@@ -148,8 +162,10 @@ class ExperimentService:
         self.artifacts = ArtifactStore(
             self.data_dir, on_written=self.chaos.artifact_written)
         self.stats = ServiceStats()
+        self._init_metrics(metrics)
         self.breaker = CircuitBreaker(self.config.breaker_threshold,
-                                      self.config.breaker_cooldown_s)
+                                      self.config.breaker_cooldown_s,
+                                      on_transition=self._on_breaker)
         self.jobs: dict[str, Job] = {}
         self._requests: dict[str, "RunRequest"] = {}
         self._deadline_at: dict[str, float] = {}
@@ -166,7 +182,72 @@ class ExperimentService:
         self._thread_sessions: list[Any] = []
         self._local = threading.local()
         self._sessions_lock = threading.Lock()
+        self._trace_lock = threading.Lock()
+        self._trace_budget = self.config.trace_jobs
+        self._tracers: dict[str, "Tracer"] = {}
         self._started = False
+
+    def _init_metrics(self, metrics: "MetricsRegistry | None") -> None:
+        """Register the service's live-metric families.
+
+        Dual-written alongside :class:`ServiceStats` (the snapshot
+        dict stays the journal-auditable source of truth; the metric
+        families are the scrapeable one).  The registry is shared
+        with every worker-thread engine session, so one ``/metrics``
+        scrape carries the ``serve_*`` and ``engine_*`` vocabularies
+        together.
+        """
+        from repro.obs.metrics import MetricsRegistry
+
+        self.metrics = (metrics if metrics is not None
+                        else MetricsRegistry())
+        m = self.metrics
+        self._m_submitted = m.counter(
+            "serve_jobs_submitted_total",
+            "submissions received, before any admission decision")
+        self._m_accepted = m.counter(
+            "serve_jobs_accepted_total",
+            "admitted submissions by admission path",
+            labels=("path",))
+        self._m_rejected = m.counter(
+            "serve_jobs_rejected_total",
+            "refused submissions by reason", labels=("reason",))
+        self._m_terminal = m.counter(
+            "serve_jobs_terminal_total",
+            "jobs reaching a terminal state", labels=("state",))
+        self._m_coalesced = m.counter(
+            "serve_jobs_coalesced_total",
+            "duplicate digests coalesced onto an in-flight primary")
+        self._m_recovered = m.counter(
+            "serve_jobs_recovered_total",
+            "jobs recovered from the journal at startup")
+        self._m_artifact_hits = m.counter(
+            "serve_artifact_hits_total",
+            "submissions answered from the verified artifact store")
+        self._m_retries = m.counter(
+            "serve_job_retries_total",
+            "execution attempts retried on the backoff policy")
+        self._m_executions = m.counter(
+            "serve_job_executions_total",
+            "execution attempts dispatched to worker threads")
+        self._m_queue_depth = m.gauge(
+            "serve_queue_depth", "queued + running jobs")
+        self._m_breaker_state = m.gauge(
+            "serve_breaker_state",
+            "circuit breaker state (0 closed, 1 half-open, 2 open)")
+        self._m_breaker_transitions = m.counter(
+            "serve_breaker_transitions_total",
+            "circuit breaker state changes by target state",
+            labels=("to",))
+        self._m_latency = m.histogram(
+            "serve_job_latency_ms",
+            "accepted-to-terminal latency; hot = artifact-store "
+            "answers, cold = executed work", labels=("temperature",))
+
+    def _on_breaker(self, old: str, new: str) -> None:
+        self._m_breaker_transitions.labels(to=new).inc()
+        self._m_breaker_state.set(
+            {"closed": 0, "half-open": 1, "open": 2}[new])
 
     # ------------------------------------------------------------------
     # Clock (skewable by chaos).
@@ -253,6 +334,8 @@ class ExperimentService:
                                     served_from="artifact",
                                     recovered=True)
                 self.stats.recovered += 1
+                self._m_recovered.inc()
+                self._m_terminal.labels(state="completed").inc()
                 continue
             try:
                 if payload is None:
@@ -268,6 +351,7 @@ class ExperimentService:
                                     error_type="UnrecoverableJob",
                                     error_message=str(error))
                 self.stats.failed += 1
+                self._m_terminal.labels(state="failed").inc()
                 continue
             job.deadline_s = deadline_s
             job.served_from = "recovered"
@@ -277,6 +361,8 @@ class ExperimentService:
             self._inflight.setdefault(job.digest, job_id)
             self._pending += 1
             self.stats.recovered += 1
+            self._m_recovered.inc()
+            self._m_queue_depth.set(self._pending)
             self.journal.append("recovered", job_id, digest=job.digest)
             self._queue.put_nowait(job_id)
 
@@ -305,12 +391,15 @@ class ExperimentService:
         if not self._started:
             raise ServiceUnavailable("service not started",
                                      retry_after_s=1.0)
+        admit_start = time.perf_counter()
+        self._m_submitted.inc()
         now = self.now()
         try:
             request, deadline_s = request_from_payload(payload,
                                                        self.config)
         except BadRequest:
             self.stats.bad_requests += 1
+            self._m_rejected.labels(reason="bad_request").inc()
             raise
         digest = request.digest(salt=self._salt)
 
@@ -326,11 +415,17 @@ class ExperimentService:
             self.stats.accepted += 1
             self.stats.artifact_hits += 1
             self.stats.completed += 1
+            self._m_accepted.labels(path="artifact").inc()
+            self._m_artifact_hits.inc()
+            self._m_terminal.labels(state="completed").inc()
             self.journal.append("accepted", job.id, digest=digest,
                                 payload=job.payload,
                                 deadline_s=deadline_s)
             self.journal.append("completed", job.id, digest=digest,
                                 served_from="artifact")
+            job.admit_s = time.perf_counter() - admit_start
+            self._m_latency.labels(temperature="hot").observe(
+                job.admit_s * 1e3)
             return job, envelope
 
         # Coalesce onto an in-flight primary for the same digest.
@@ -346,15 +441,19 @@ class ExperimentService:
             self._followers.setdefault(primary_id, []).append(job.id)
             self.stats.accepted += 1
             self.stats.coalesced += 1
+            self._m_accepted.labels(path="coalesced").inc()
+            self._m_coalesced.inc()
             self.journal.append("accepted", job.id, digest=digest,
                                 payload=job.payload,
                                 deadline_s=deadline_s)
             self.journal.append("coalesced", job.id, into=primary_id)
+            job.admit_s = time.perf_counter() - admit_start
             return job, None
 
         # Cold work: the breaker may be shedding it.
         if not self.breaker.allow_cold(now):
             self.stats.shed_breaker += 1
+            self._m_rejected.labels(reason="breaker").inc()
             raise ServiceUnavailable(
                 "worker pool unhealthy; serving cache hits only",
                 retry_after_s=self.breaker.retry_after_s(now))
@@ -362,6 +461,7 @@ class ExperimentService:
         # Bounded admission queue: explicit backpressure beyond it.
         if self._pending >= self.config.queue_limit:
             self.stats.shed_queue_full += 1
+            self._m_rejected.labels(reason="queue_full").inc()
             retry_after = max(
                 1.0, self._pending * self._avg_exec_s
                 / self.config.workers)
@@ -379,9 +479,12 @@ class ExperimentService:
         self._inflight[digest] = job.id
         self._pending += 1
         self.stats.accepted += 1
+        self._m_accepted.labels(path="queued").inc()
+        self._m_queue_depth.set(self._pending)
         self.journal.append("accepted", job.id, digest=digest,
                             payload=job.payload, deadline_s=deadline_s)
         self._queue.put_nowait(job.id)
+        job.admit_s = time.perf_counter() - admit_start
         return job, None
 
     # ------------------------------------------------------------------
@@ -424,17 +527,45 @@ class ExperimentService:
                 backend=self.config.backend,
                 jobs=self.config.engine_jobs,
                 cache=True, cache_dir=self.cache_dir,
-                timeout=self.config.engine_timeout_s))
+                timeout=self.config.engine_timeout_s),
+                metrics=self.metrics)
             self._local.session = session
             with self._sessions_lock:
                 self._thread_sessions.append(session)
         return session
 
-    def _execute_blocking(self, request: "RunRequest"):
-        """Worker-thread entry: chaos hook, then one engine run."""
+    def _claim_trace(self) -> bool:
+        """Atomically consume one unit of the end-to-end trace budget.
+
+        Claimed *after* the chaos execution hook, so an injected
+        worker kill never burns the budget on a run that produced no
+        spans.
+        """
+        with self._trace_lock:
+            if self._trace_budget > 0:
+                self._trace_budget -= 1
+                return True
+        return False
+
+    def _execute_blocking(self, request: "RunRequest", job: Job):
+        """Worker-thread entry: chaos hook, then one engine run.
+
+        When the trace budget allows, the run executes traced: the
+        simulator's per-component spans are kept for
+        :meth:`stitched_trace` (traced runs stay in-process and
+        uncached by the engine's contract, so tracing is sampling,
+        never the steady-state path).
+        """
         self.chaos.execution_started()
         session = self._thread_session()
-        handle = session.submit(request)
+        if self._claim_trace():
+            from repro.obs.tracer import Tracer
+
+            tracer = Tracer()
+            handle = session.submit(request, tracer=tracer)
+            self._tracers[job.id] = tracer
+        else:
+            handle = session.submit(request)
         return handle.outcome(), handle.cache_status
 
     async def _worker(self, index: int) -> None:
@@ -463,7 +594,9 @@ class ExperimentService:
                 return
             job.state = "running"
             job.attempts += 1
+            job.started_at = self.now()
             self.stats.executions += 1
+            self._m_executions.inc()
             self.journal.append("started", job.id,
                                 attempt=job.attempts)
             started = time.monotonic()
@@ -471,7 +604,7 @@ class ExperimentService:
                 outcome, cache_status = await asyncio.wait_for(
                     loop.run_in_executor(self._executor,
                                          self._execute_blocking,
-                                         request),
+                                         request, job),
                     timeout=max(remaining, 0.001))
             except asyncio.TimeoutError:
                 self.stats.deadline_failures += 1
@@ -521,6 +654,7 @@ class ExperimentService:
                 and job.deadline_remaining(self.now()) > 0):
             delay = self.config.retry.delay(job.digest, job.attempts)
             self.stats.retried += 1
+            self._m_retries.inc()
             self.journal.append("retrying", job.id,
                                 attempt=job.attempts,
                                 error_type=error_type,
@@ -566,6 +700,7 @@ class ExperimentService:
         if job.served_from is None:
             job.served_from = "execution"
         self.stats.completed += 1
+        self._m_terminal.labels(state="completed").inc()
         self.journal.append("completed", job.id, digest=job.digest,
                             served_from=job.served_from)
         self._settle(job)
@@ -577,16 +712,21 @@ class ExperimentService:
         job.error_message = message
         job.diagnostics = diagnostics
         self.stats.failed += 1
+        self._m_terminal.labels(state="failed").inc()
         self.journal.append("failed", job.id, error_type=error_type,
                             error_message=message)
         self._settle(job)
 
     def _settle(self, job: Job) -> None:
         """Release bookkeeping and resolve coalesced followers."""
+        job.finished_at = self.now()
+        self._m_latency.labels(temperature="cold").observe(
+            max(job.finished_at - job.accepted_at, 0.0) * 1e3)
         if self._inflight.get(job.digest) == job.id:
             del self._inflight[job.digest]
         if job.coalesced_into is None:
             self._pending = max(self._pending - 1, 0)
+            self._m_queue_depth.set(self._pending)
         event = self._events.pop(job.id, None)
         if event is not None:
             event.set()
@@ -599,13 +739,16 @@ class ExperimentService:
             follower.error_type = job.error_type
             follower.error_message = job.error_message
             follower.served_from = "coalesced"
+            follower.finished_at = job.finished_at
             if job.state == "completed":
                 self.stats.completed += 1
+                self._m_terminal.labels(state="completed").inc()
                 self.journal.append("completed", follower.id,
                                     digest=follower.digest,
                                     served_from="coalesced")
             else:
                 self.stats.failed += 1
+                self._m_terminal.labels(state="failed").inc()
                 self.journal.append(
                     "failed", follower.id,
                     error_type=job.error_type or "UnknownError",
@@ -614,6 +757,41 @@ class ExperimentService:
     # ------------------------------------------------------------------
     # Health / observability.
     # ------------------------------------------------------------------
+    def stitched_trace(self, job_id: str) -> dict[str, Any] | None:
+        """The cross-process Perfetto document for one finished job.
+
+        ``None`` for unknown or still-running jobs.  The service-side
+        spans (HTTP accept -> queue wait -> engine execute) come from
+        the job's phase clocks; when the job's execution was traced
+        (``ServiceConfig.trace_jobs``), the simulator's per-component
+        spans are rebased under the execute span.
+        """
+        job = self.jobs.get(job_id)
+        if job is None or not job.terminal:
+            return None
+        from repro.obs.export import to_chrome_trace
+        from repro.obs.stitch import TraceContext, stitch_job_trace
+
+        started = (job.started_at if job.started_at is not None
+                   else job.accepted_at)
+        finished = (job.finished_at if job.finished_at is not None
+                    else started)
+        tracer = self._tracers.get(job.id)
+        simulator = (to_chrome_trace(tracer)
+                     if tracer is not None else None)
+        return stitch_job_trace(
+            TraceContext(job.id, job.digest),
+            admit_s=job.admit_s,
+            queue_s=started - job.accepted_at,
+            execute_s=finished - started,
+            simulator=simulator)
+
+    def render_metrics(self) -> str:
+        """The ``GET /metrics`` body (Prometheus text v0.0.4)."""
+        from repro.obs.metrics import render_prometheus
+
+        return render_prometheus(self.metrics)
+
     def engine_stats(self) -> dict[str, float]:
         """Engine counters aggregated over every worker session."""
         totals: dict[str, float] = {}
@@ -648,6 +826,11 @@ class ExperimentService:
             registry.add(f"serve.engine.{name}", value, unit,
                          "aggregated engine counter over worker "
                          "sessions")
+        # The live metric families (serve_* and, via the shared
+        # registry, engine_*) ride along under their exposition names.
+        from repro.obs.metrics import probes_from_metrics
+
+        probes_from_metrics(self.metrics, add=registry.add)
         return registry
 
     def health(self) -> dict[str, Any]:

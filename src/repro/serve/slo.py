@@ -1,0 +1,200 @@
+"""SLO accounting over the soak report and the live histograms.
+
+The soak harness has always asserted *correctness* invariants (no
+lost jobs, digest integrity); this module adds the *service-level*
+ones: did enough of the accepted work complete
+(``slo_availability``), how much of the error budget burned, and --
+from the ``serve_job_latency_ms`` histogram -- where the hot/cold
+latency quantiles sit against the declared ``slo_p99_ms``.
+
+Two layers, split by determinism:
+
+* :func:`build_slo_block` produces the ``slo`` section of
+  ``repro.soak-report/1``.  Everything in it is derived from the
+  folded journal (and therefore byte-identical across seeded reruns)
+  **except** the ``latency`` subsection, which is wall-clock and
+  explicitly excluded from the byte-identity surface by
+  :func:`stable_projection`.
+* :func:`evaluate_slo` turns a report into a pass/fail verdict (the
+  ``repro slo`` CLI and the CI soak gate), checking conservation
+  (jobs in == jobs accounted), availability against the target, the
+  correctness invariants, and -- when latency data is present -- the
+  cold p99 bound.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any
+
+#: Version tag on the ``repro slo`` verdict document.
+SLO_SCHEMA = "repro.serve-slo/1"
+
+#: Quantiles reported per latency temperature.
+_QUANTILES = (("p50_ms", 0.50), ("p95_ms", 0.95), ("p99_ms", 0.99))
+
+
+class SloError(ValueError):
+    """The report cannot be evaluated (wrong schema, missing block)."""
+
+
+def latency_block(metrics: Any) -> dict[str, Any]:
+    """Histogram-quantile upper bounds per temperature.
+
+    ``metrics`` is the service's
+    :class:`~repro.obs.metrics.MetricsRegistry`; quantiles are
+    bucket-boundary *upper bounds* (deterministic given the fixed
+    bucket layout, but the observations themselves are wall-clock).
+    """
+    out: dict[str, Any] = {}
+    if "serve_job_latency_ms" not in metrics:
+        return out
+    histogram = metrics.get("serve_job_latency_ms")
+    for key, child in histogram.children():
+        labels = dict(zip(histogram.label_names, key))
+        temperature = labels.get("temperature", "unknown")
+        entry: dict[str, Any] = {"count": child.count}
+        if child.count:
+            entry["sum_ms"] = round(child.sum, 3)
+            for name, q in _QUANTILES:
+                entry[name] = child.quantile(q)
+        out[temperature] = entry
+    return out
+
+
+def build_slo_block(*, accepted: int, completed: int, failed: int,
+                    unresolved: int, availability_target: float,
+                    p99_target_ms: float,
+                    latency: dict[str, Any] | None = None
+                    ) -> dict[str, Any]:
+    """The ``slo`` section of a soak report.
+
+    ``accepted``/``completed``/``failed`` come from the folded
+    journal -- the deterministic authority -- so everything except
+    ``latency`` is byte-stable across seeded reruns.
+    """
+    accounted = completed + failed
+    ratio = (completed / accepted) if accepted else 1.0
+    allowed = (1.0 - availability_target) * accepted
+    return {
+        "objective": {
+            "availability": availability_target,
+            "p99_ms": p99_target_ms,
+        },
+        "availability": {
+            "accepted": accepted,
+            "completed": completed,
+            "failed": failed,
+            "ratio": round(ratio, 6),
+        },
+        "error_budget": {
+            "allowed": round(allowed, 6),
+            "burned": failed,
+            "burn_ratio": (round(failed / allowed, 6)
+                           if allowed > 0 else (0.0 if failed == 0
+                                                else float("inf"))),
+        },
+        "conservation": {
+            "accepted": accepted,
+            "accounted": accounted,
+            "unresolved": unresolved,
+            "ok": accepted == accounted + unresolved
+            and unresolved == 0,
+        },
+        "latency": latency if latency is not None else {},
+    }
+
+
+def evaluate_slo(report: dict[str, Any], *,
+                 availability: float | None = None,
+                 p99_ms: float | None = None) -> dict[str, Any]:
+    """Pass/fail verdict over a soak report's SLO block.
+
+    ``availability``/``p99_ms`` override the targets declared in the
+    report.  Raises :class:`SloError` when the report carries no
+    ``slo`` block (pre-PR-10 reports).
+    """
+    slo = report.get("slo")
+    if not isinstance(slo, dict):
+        raise SloError(
+            "report has no 'slo' block; re-run the soak with this "
+            "version")
+    objective = slo.get("objective", {})
+    availability_target = (availability if availability is not None
+                           else float(objective.get(
+                               "availability", 0.99)))
+    p99_target = (p99_ms if p99_ms is not None
+                  else float(objective.get("p99_ms", 60000.0)))
+    checks: list[dict[str, Any]] = []
+
+    def check(name: str, ok: bool, detail: str) -> None:
+        checks.append({"name": name, "ok": bool(ok),
+                       "detail": detail})
+
+    conservation = slo.get("conservation", {})
+    check("conservation", conservation.get("ok", False),
+          f"accepted={conservation.get('accepted')} "
+          f"accounted={conservation.get('accounted')} "
+          f"unresolved={conservation.get('unresolved')}")
+    avail = slo.get("availability", {})
+    ratio = float(avail.get("ratio", 0.0))
+    check("availability", ratio >= availability_target,
+          f"completed {avail.get('completed')}/{avail.get('accepted')}"
+          f" = {ratio:.6f} (target {availability_target})")
+    invariants = report.get("invariants", {})
+    if invariants:
+        check("no_lost_jobs", invariants.get("no_lost_jobs", False),
+              f"unresolved={invariants.get('unresolved_jobs')}")
+        check("digest_integrity",
+              invariants.get("digest_integrity", False),
+              f"wrong serves="
+              f"{invariants.get('wrong_digest_serves')}")
+    cold = slo.get("latency", {}).get("cold", {})
+    if cold.get("count"):
+        p99 = float(cold.get("p99_ms", 0.0))
+        check("cold_p99", p99 <= p99_target,
+              f"cold p99 <= {p99:g}ms (target {p99_target:g}ms, "
+              f"histogram upper bound)")
+    passed = all(entry["ok"] for entry in checks)
+    return {
+        "schema": SLO_SCHEMA,
+        "pass": passed,
+        "objective": {"availability": availability_target,
+                      "p99_ms": p99_target},
+        "checks": checks,
+    }
+
+
+def render_slo(verdict: dict[str, Any]) -> str:
+    lines = [f"slo: {'PASS' if verdict['pass'] else 'FAIL'} "
+             f"(availability >= "
+             f"{verdict['objective']['availability']}, "
+             f"p99 <= {verdict['objective']['p99_ms']:g}ms)"]
+    for entry in verdict["checks"]:
+        mark = "ok " if entry["ok"] else "FAIL"
+        lines.append(f"  [{mark}] {entry['name']}: {entry['detail']}")
+    return "\n".join(lines) + "\n"
+
+
+def stable_projection(report: dict[str, Any]) -> dict[str, Any]:
+    """The byte-identity surface of a soak report.
+
+    Everything except ``slo.latency`` (wall-clock observations); two
+    seeded reruns must agree on this projection byte for byte.
+    """
+    projected = copy.deepcopy(report)
+    slo = projected.get("slo")
+    if isinstance(slo, dict):
+        slo.pop("latency", None)
+    return projected
+
+
+__all__ = [
+    "SLO_SCHEMA",
+    "SloError",
+    "build_slo_block",
+    "evaluate_slo",
+    "latency_block",
+    "render_slo",
+    "stable_projection",
+]

@@ -256,6 +256,51 @@ class TestChromeExport:
             dict(counter, ts=10.0),
             dict(counter, name="other", ts=0.0)]})
 
+    def test_multi_process_metadata_keyed_by_pid_and_tid(self):
+        # Two processes may reuse tid 0 under different names -- the
+        # stitched documents do exactly that.
+        events = [
+            {"name": "process_name", "ph": "M", "ts": 0, "pid": 1,
+             "tid": 0, "args": {"name": "service"}},
+            {"name": "process_name", "ph": "M", "ts": 0, "pid": 2,
+             "tid": 0, "args": {"name": "simulator"}},
+            {"name": "thread_name", "ph": "M", "ts": 0, "pid": 1,
+             "tid": 0, "args": {"name": "job"}},
+            {"name": "thread_name", "ph": "M", "ts": 0, "pid": 2,
+             "tid": 0, "args": {"name": "clusters"}},
+            {"name": "x", "ph": "X", "ts": 0, "dur": 1, "pid": 1,
+             "tid": 0},
+            {"name": "y", "ph": "X", "ts": 0, "dur": 1, "pid": 2,
+             "tid": 0},
+        ]
+        tracks = validate_chrome_trace({"traceEvents": events})
+        assert tracks == ["job", "clusters"]
+
+    def test_duplicate_metadata_must_agree(self):
+        # Repeated thread_name/process_name events are legal iff they
+        # agree; a rename is a corrupted document.
+        def doc(second_thread, second_process="service"):
+            return {"traceEvents": [
+                {"name": "process_name", "ph": "M", "ts": 0,
+                 "pid": 1, "tid": 0, "args": {"name": "service"}},
+                {"name": "process_name", "ph": "M", "ts": 0,
+                 "pid": 1, "tid": 0,
+                 "args": {"name": second_process}},
+                {"name": "thread_name", "ph": "M", "ts": 0,
+                 "pid": 1, "tid": 0, "args": {"name": "job"}},
+                {"name": "thread_name", "ph": "M", "ts": 0,
+                 "pid": 1, "tid": 0,
+                 "args": {"name": second_thread}},
+            ]}
+
+        assert validate_chrome_trace(doc("job")) == ["job"]
+        with pytest.raises(TraceValidationError,
+                           match="renames pid/tid"):
+            validate_chrome_trace(doc("worker"))
+        with pytest.raises(TraceValidationError,
+                           match="renames pid 1"):
+            validate_chrome_trace(doc("job", "other-process"))
+
 
 class TestRegistry:
     def test_probes_are_self_describing(self, traced_depth):

@@ -565,11 +565,240 @@ class TestHttp:
 
 
 # ----------------------------------------------------------------------
+# The telemetry plane: /metrics, counter conservation, stitched
+# traces, the access log and the SLO verdict.
+# ----------------------------------------------------------------------
+def _counter_total(service, name: str) -> float:
+    metric = service.metrics.get(name)
+    return sum(child.value for _, child in metric.children())
+
+
+class TestTelemetryPlane:
+    def test_counter_conservation_under_concurrent_load(self,
+                                                        tmp_path):
+        # The serving analogue of the profiler's cycle-conservation
+        # invariant: every submission is accounted for -- accepted or
+        # rejected at admission, and every accepted job terminal
+        # (completed or failed) with nothing left in flight.
+        async def scenario():
+            config = service_config(tmp_path, workers=2,
+                                    queue_limit=3)
+            service = ExperimentService(config)
+            server = ServiceServer(service)
+            await server.start()
+            try:
+                payloads = [
+                    {"app": "depth",
+                     "sizes": {"width": 24 + 8 * (index % 4),
+                               "height": 24}}
+                    for index in range(16)]
+
+                async def fire(payload):
+                    status, _, _ = await http_request(
+                        server.host, server.port, "POST",
+                        "/v1/jobs", body=payload)
+                    return status
+
+                statuses = await asyncio.gather(
+                    *(fire(payload) for payload in payloads))
+                await service.drain(timeout_s=300)
+                submitted = _counter_total(
+                    service, "serve_jobs_submitted_total")
+                accepted = _counter_total(
+                    service, "serve_jobs_accepted_total")
+                rejected = _counter_total(
+                    service, "serve_jobs_rejected_total")
+                terminal = _counter_total(
+                    service, "serve_jobs_terminal_total")
+                queue_depth = sum(
+                    child.value for _, child in service.metrics.get(
+                        "serve_queue_depth").children())
+                assert submitted == len(payloads)
+                assert submitted == accepted + rejected
+                # Drained: nothing in flight, every accepted job hit
+                # exactly one terminal state.
+                assert queue_depth == 0
+                assert accepted == terminal
+                completed = service.metrics.get(
+                    "serve_jobs_terminal_total")
+                by_state = {key[0]: child.value
+                            for key, child in completed.children()}
+                assert terminal == (by_state.get("completed", 0)
+                                    + by_state.get("failed", 0))
+                # Client-observed refusals match the counter.
+                refused = sum(1 for status in statuses
+                              if status in (429, 503))
+                assert refused == rejected
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+    def test_idle_metrics_scrapes_byte_identical(self, tmp_path):
+        from repro.obs.metrics import parse_prometheus
+
+        async def scenario():
+            service = ExperimentService(service_config(tmp_path))
+            server = ServiceServer(service)
+            await server.start()
+            try:
+                # Touch a non-metrics route first so request counters
+                # are non-empty, then prove /metrics does not count
+                # itself.
+                await http_request(server.host, server.port, "GET",
+                                   "/healthz")
+                one = await http_request(server.host, server.port,
+                                         "GET", "/metrics", raw=True)
+                two = await http_request(server.host, server.port,
+                                         "GET", "/metrics", raw=True)
+                assert one[0] == 200
+                assert one[2] == two[2]
+                families = parse_prometheus(one[2])
+                assert "serve_http_requests_total" in families
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+    def test_stitched_trace_route(self, tmp_path):
+        from repro.obs.stitch import validate_stitched_trace
+
+        async def scenario():
+            service = ExperimentService(
+                service_config(tmp_path, trace_jobs=1))
+            server = ServiceServer(service)
+            await server.start()
+            try:
+                _, _, created = await http_request(
+                    server.host, server.port, "POST", "/v1/jobs",
+                    body=DEPTH)
+                job_id = created["job"]["id"]
+                await service.wait(job_id, timeout_s=120)
+                status, _, document = await http_request(
+                    server.host, server.port, "GET",
+                    f"/v1/jobs/{job_id}/trace")
+                assert status == 200
+                summary = validate_stitched_trace(document)
+                assert summary["job_id"] == job_id
+                assert summary["tracks"][:2] == ["job", "lifecycle"]
+                assert summary["simulator_spans"] > 0
+                missing, _, _ = await http_request(
+                    server.host, server.port, "GET",
+                    "/v1/jobs/nope/trace")
+                assert missing == 404
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+    def test_access_log_entries(self, tmp_path):
+        async def scenario():
+            entries = []
+            service = ExperimentService(service_config(tmp_path))
+            server = ServiceServer(service,
+                                   access_log=entries.append)
+            await server.start()
+            try:
+                _, _, created = await http_request(
+                    server.host, server.port, "POST", "/v1/jobs",
+                    body=DEPTH)
+                await http_request(server.host, server.port, "GET",
+                                   "/healthz")
+                await service.drain(timeout_s=120)
+            finally:
+                await server.stop()
+            assert len(entries) == 2
+            post, health = entries
+            assert post["method"] == "POST"
+            assert post["path"] == "/v1/jobs"
+            assert post["status"] == 202
+            assert post["latency_ms"] >= 0
+            assert post["job_id"] == created["job"]["id"]
+            assert post["digest"] == created["job"]["digest"]
+            assert health["path"] == "/healthz"
+            assert "job_id" not in health
+            # Every entry is JSON-serializable as-is (the --log-json
+            # sink writes them verbatim).
+            for entry in entries:
+                json.dumps(entry)
+
+        run(scenario())
+
+    def test_route_template_bounds_cardinality(self):
+        from repro.serve import route_template
+
+        assert route_template("/v1/jobs/abc123") == "/v1/jobs/{id}"
+        assert (route_template("/v1/jobs/abc123/artifact")
+                == "/v1/jobs/{id}/artifact")
+        assert (route_template("/v1/jobs/abc123/trace")
+                == "/v1/jobs/{id}/trace")
+        assert (route_template("/v1/artifacts/" + "ab" * 8)
+                == "/v1/artifacts/{digest}")
+        assert route_template("/metrics") == "/metrics"
+        assert route_template("/anything/else") == "other"
+
+    def test_slo_verdict_fails_on_burned_budget(self):
+        from repro.serve.slo import (SloError, build_slo_block,
+                                     evaluate_slo)
+
+        block = build_slo_block(accepted=100, completed=96, failed=4,
+                                unresolved=0,
+                                availability_target=0.99,
+                                p99_target_ms=1000.0)
+        verdict = evaluate_slo({"slo": block})
+        assert not verdict["pass"]
+        availability = next(c for c in verdict["checks"]
+                            if c["name"] == "availability")
+        assert not availability["ok"]
+        # Overriding the target can flip the verdict.
+        assert evaluate_slo({"slo": block},
+                            availability=0.95)["pass"]
+        # Conservation failure is always fatal.
+        broken = build_slo_block(accepted=10, completed=8, failed=1,
+                                 unresolved=1,
+                                 availability_target=0.5,
+                                 p99_target_ms=1000.0)
+        assert not evaluate_slo({"slo": broken})["pass"]
+        with pytest.raises(SloError):
+            evaluate_slo({"schema": "repro.soak-report/1"})
+
+    def test_breaker_transitions_counted(self, tmp_path):
+        # Kill every execution: the breaker opens; the transition
+        # counter and state gauge follow CircuitBreaker.on_transition.
+        plan = ChaosPlan(name="kill-all", faults=(
+            ChaosSpec("worker_kill", {"start": 1, "every": 1,
+                                      "count": 1000}),))
+
+        async def scenario():
+            service = ExperimentService(
+                service_config(tmp_path, workers=1),
+                chaos=ChaosMonkey(plan))
+            await service.start()
+            try:
+                job, _ = service.submit(DEPTH)
+                await service.wait(job.id, timeout_s=120)
+                transitions = service.metrics.get(
+                    "serve_breaker_transitions_total")
+                by_target = {key[0]: child.value
+                             for key, child in transitions.children()}
+                assert by_target.get("open", 0) >= 1
+                state = next(iter(service.metrics.get(
+                    "serve_breaker_state").children()))[1].value
+                assert state in (0.0, 1.0, 2.0)
+            finally:
+                await service.stop()
+
+        run(scenario())
+
+
+# ----------------------------------------------------------------------
 # The soak: chaos end to end, byte-identical report.
 # ----------------------------------------------------------------------
 class TestSoak:
     def test_soak_reports_byte_identical_and_invariants_hold(self):
-        from repro.serve.load import run_soak, soak_report_bytes
+        from repro.serve.load import (run_soak, soak_report_bytes,
+                                      stable_projection)
+        from repro.serve.slo import evaluate_slo
 
         async def both():
             first = await run_soak(seed=5, requests=16,
@@ -581,7 +810,11 @@ class TestSoak:
             return first, second
 
         first, second = run(both())
-        assert soak_report_bytes(first) == soak_report_bytes(second)
+        # The byte-identity surface excludes only slo.latency (the
+        # wall-clock histogram observations); everything else --
+        # including the rest of the SLO block -- must agree.
+        assert (soak_report_bytes(stable_projection(first))
+                == soak_report_bytes(stable_projection(second)))
         invariants = first["invariants"]
         assert invariants["no_lost_jobs"]
         assert invariants["digest_integrity"]
@@ -589,6 +822,15 @@ class TestSoak:
         assert invariants["chaos_fired_matches_configured"]
         assert first["chaos"]["fired"]["worker_kill"] == 1
         assert first["chaos"]["fired"]["cache_corrupt"] == 1
+        slo = first["slo"]
+        assert slo["conservation"]["ok"]
+        assert slo["availability"]["accepted"] == 16
+        assert slo["latency"]["cold"]["count"] >= 1
+        verdict = evaluate_slo(first)
+        assert verdict["pass"], verdict
+        assert {c["name"] for c in verdict["checks"]} >= {
+            "conservation", "availability", "no_lost_jobs",
+            "digest_integrity", "cold_p99"}
 
     def test_request_mix_seeded(self):
         from repro.serve.load import build_request_mix
